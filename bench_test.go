@@ -1,0 +1,392 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the ablations DESIGN.md calls out.  The
+// human-readable reports behind the same experiments are produced by
+// cmd/nmbench; these benches measure the kernels under the Go benchmark
+// framework so regressions are visible in -benchmem terms.
+package netmark_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"netmark"
+	"netmark/internal/corpus"
+	"netmark/internal/costmodel"
+	"netmark/internal/databank"
+	"netmark/internal/docform"
+	"netmark/internal/experiments"
+	"netmark/internal/ordbms"
+	"netmark/internal/shred"
+	"netmark/internal/xdb"
+	"netmark/internal/xmlstore"
+)
+
+// loadedStore builds an in-memory store pre-loaded with n proposals.
+func loadedStore(b *testing.B, n int, seed int64) *xmlstore.Store {
+	b.Helper()
+	s, err := experiments.NewStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := corpus.New(seed)
+	if err := experiments.LoadCorpus(s, gen.Proposals(n)); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTable1AppAssembly measures what Table 1 claims is cheap: the
+// complete assembly of an integration application — databank declaration
+// plus first integrated query — for the Anomaly Tracking shape (one full
+// source, one content-only legacy source).
+func BenchmarkTable1AppAssembly(b *testing.B) {
+	sa, err := experiments.NewStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb, err := experiments.NewStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := corpus.New(41)
+	if err := experiments.LoadCorpus(sa, gen.Anomalies(50)); err != nil {
+		b.Fatal(err)
+	}
+	if err := experiments.LoadCorpus(sb, gen.Anomalies(50)); err != nil {
+		b.Fatal(err)
+	}
+	ea, eb := xdb.NewEngine(sa), xdb.NewEngine(sb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank := databank.New("anomaly")
+		bank.AddSource(databank.NewLocalSource("tracker-a", ea))
+		bank.AddSource(databank.NewLegacySource("lessons", databank.ContentOnly, eb))
+		m, err := bank.Query(context.Background(), xdb.Query{Context: "System", Content: "Engine"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Sections()) == 0 {
+			b.Fatal("assembled app returned nothing")
+		}
+	}
+}
+
+// BenchmarkFig1CostScaling measures the cost-model assembly itself:
+// building the mediator (schemas+views+mappings) versus the databank
+// specs for a 64-source, 4-application deployment.
+func BenchmarkFig1CostScaling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := costmodel.Measure(64, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.MediatorCost <= p.NetmarkCost {
+			b.Fatal("cost ordering violated")
+		}
+	}
+}
+
+// BenchmarkFig6ContextSearch measures the Fig 6 operation — one context
+// query returning the matching section of every document — across
+// collection sizes.
+func BenchmarkFig6ContextSearch(b *testing.B) {
+	for _, docs := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("docs=%d", docs), func(b *testing.B) {
+			s := loadedStore(b, docs, int64(docs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				secs, err := s.ContextSearch("Budget")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(secs) != docs {
+					b.Fatalf("sections = %d, want %d", len(secs), docs)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6ContentSearch measures the content half of the kernel
+// (text-index probe + traversal to governing contexts).
+func BenchmarkFig6ContentSearch(b *testing.B) {
+	s := loadedStore(b, 500, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ContentSearch("cryogenic"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7QueryTransform measures the full Fig 7 pipeline: XDB
+// query plus XSLT composition of the result document, against the plain
+// query for comparison.
+func BenchmarkFig7QueryTransform(b *testing.B) {
+	s, err := experiments.NewStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := corpus.New(7)
+	if err := experiments.LoadCorpus(s, gen.TaskPlans(300)); err != nil {
+		b.Fatal(err)
+	}
+	eng := xdb.NewEngine(s)
+	if err := eng.RegisterStylesheet("ibpd", experiments.IBPDStylesheet); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("search-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ExecuteString("context=Budget"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("search+xslt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.ExecuteString("context=Budget&xslt=ibpd")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Transformed == nil {
+				b.Fatal("no composed document")
+			}
+		}
+	})
+}
+
+// BenchmarkFig8MultiSourceFanout measures the thin router's own overhead
+// across source counts, parallel versus sequential, with all sources
+// local (no network).  The Fig 8 wall-clock shape — near-flat parallel
+// latency versus linear sequential growth — appears once sources carry
+// realistic round-trip latency; `nmbench -exp fig8` reproduces that with
+// a simulated 2 ms RTT per source (see internal/experiments).
+func BenchmarkFig8MultiSourceFanout(b *testing.B) {
+	build := func(n int) *databank.Databank {
+		bank := databank.New("fig8")
+		for i := 0; i < n; i++ {
+			s, err := experiments.NewStore()
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := corpus.New(int64(100*n + i))
+			if err := experiments.LoadCorpus(s, gen.Anomalies(20)); err != nil {
+				b.Fatal(err)
+			}
+			eng := xdb.NewEngine(s)
+			name := fmt.Sprintf("src%02d", i)
+			if i%3 == 2 {
+				bank.AddSource(databank.NewLegacySource(name, databank.ContentOnly, eng))
+			} else {
+				bank.AddSource(databank.NewLocalSource(name, eng))
+			}
+		}
+		return bank
+	}
+	q := xdb.Query{Context: "System", Content: "Engine"}
+	for _, n := range []int{2, 8, 32} {
+		bank := build(n)
+		b.Run(fmt.Sprintf("parallel/sources=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bank.Query(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sequential/sources=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bank.QuerySequential(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAugmentation isolates §2.1.5 query augmentation: decompose,
+// pushdown to a content-only source, residual filter.
+func BenchmarkAugmentation(b *testing.B) {
+	s, err := experiments.NewStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := corpus.New(15)
+	if err := experiments.LoadCorpus(s, gen.LessonsLearned(100)); err != nil {
+		b.Fatal(err)
+	}
+	eng := xdb.NewEngine(s)
+	bank := databank.New("aug")
+	bank.AddSource(databank.NewLegacySource("lessons", databank.ContentOnly, eng))
+	q := xdb.Query{Context: "Title", Content: "Engine"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := bank.Query(context.Background(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Errs()) != 0 {
+			b.Fatalf("errors: %v", m.Errs())
+		}
+	}
+}
+
+// BenchmarkAblationRowidTraversal compares one parent-chain walk via
+// physical RowID links against the same walk via NODEID B-tree probes.
+func BenchmarkAblationRowidTraversal(b *testing.B) {
+	s := loadedStore(b, 200, 17)
+	secs, err := s.ContextSearch("Budget")
+	if err != nil || len(secs) == 0 {
+		b.Fatalf("setup: %v", err)
+	}
+	start, err := s.FetchNode(secs[0].ContextRID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rowid-links", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := start
+			for !n.ParentRowID.IsZero() {
+				var err error
+				n, err = s.FetchNode(n.ParentRowID)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("btree-probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := start
+			for n.ParentID != 0 {
+				var err error
+				n, err = s.FetchNodeByID(n.ParentID)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationShredVsUniversal compares document ingest into the
+// universal two-table store against schema-aware shredding.
+func BenchmarkAblationShredVsUniversal(b *testing.B) {
+	gen := corpus.New(23)
+	docs := gen.Mixed(50)
+	b.Run("universal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := experiments.NewStore()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.LoadCorpus(s, docs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shredded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db, err := ordbms.Open(ordbms.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh, err := shred.Open(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range docs {
+				tree, _, err := docform.Convert(d.Name, d.Data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sh.StoreDocument(d.Name, tree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTextIndexVsScan compares index-first content search
+// (§2.1.4) against a full node scan.
+func BenchmarkAblationTextIndexVsScan(b *testing.B) {
+	s := loadedStore(b, 300, 29)
+	b.Run("text-index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.ContentSearch("cryogenic"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count := 0
+			err := s.ScanNodes(func(n *xmlstore.Node) bool {
+				if strings.Contains(strings.ToLower(n.Data), "cryogenic") {
+					count++
+				}
+				return true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIngestByFormat measures the upmark+store path per source
+// format (documents/op).
+func BenchmarkIngestByFormat(b *testing.B) {
+	gen := corpus.New(31)
+	formats := map[string]corpus.Document{
+		"html": gen.Proposal(1), // html variant
+		"rtf":  gen.Proposal(0), // rtf variant
+		"text": gen.Proposal(2), // text variant
+		"csv":  gen.BudgetSpreadsheet(50),
+	}
+	for name, doc := range formats {
+		b.Run(name, func(b *testing.B) {
+			nm, err := netmark.Open(netmark.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nm.Close()
+			b.SetBytes(int64(len(doc.Data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nm.Ingest(fmt.Sprintf("%d-%s", i, doc.Name), doc.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCombinedQueryPlans measures both sides of the Search planner
+// on the paper's Context=Technology Gap & Content=Shrinking shape.
+func BenchmarkCombinedQueryPlans(b *testing.B) {
+	s := loadedStore(b, 400, 37)
+	b.Run("planner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Search("Budget", "request"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+// Command nmbench regenerates every table and figure of the paper's
+// evaluation plus the design ablations, printing the same rows/series
+// the paper reports.
+//
+// Usage:
+//
+//	nmbench                    # run everything
+//	nmbench -exp fig1,table1   # run a subset
+//	nmbench -scale 3           # triple the workload sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netmark/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma list: table1,fig1,fig6,fig7,fig8,ablations")
+	scale := flag.Int("scale", 1, "workload size multiplier")
+	flag.Parse()
+	if *scale < 1 {
+		*scale = 1
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func() (string, error)) {
+		if !all && !want[name] {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Println(strings.Repeat("-", 72))
+	}
+
+	run("table1", func() (string, error) {
+		_, report, err := experiments.Table1()
+		return report, err
+	})
+	run("fig1", func() (string, error) {
+		return experiments.Fig1([]int{1, 2, 4, 8, 16, 32, 64, 128, 256}, 4)
+	})
+	run("fig6", func() (string, error) {
+		_, report, err := experiments.Fig6([]int{100 * *scale, 300 * *scale, 1000 * *scale})
+		return report, err
+	})
+	run("fig7", func() (string, error) {
+		return experiments.Fig7(200 * *scale)
+	})
+	run("fig8", func() (string, error) {
+		_, report, err := experiments.Fig8([]int{1, 2, 4, 8, 16, 32}, 20**scale)
+		return report, err
+	})
+	run("ablations", func() (string, error) {
+		var sb strings.Builder
+		for _, fn := range []func(int) (string, error){
+			experiments.AblationRowidTraversal,
+			experiments.AblationUniversalVsShred,
+			experiments.AblationTextIndexVsScan,
+		} {
+			out, err := fn(100 * *scale)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(out)
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
+	})
+}

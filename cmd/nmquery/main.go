@@ -1,0 +1,84 @@
+// Command nmquery runs an XDB query against a NETMARK store and prints
+// the matching sections.
+//
+// Usage:
+//
+//	nmquery -dir ./data 'context=Budget&content=propulsion'
+//	nmquery -dir ./data -xslt compose.xsl 'context=Budget'
+//	nmquery -url http://host:8080 'content=shuttle&scope=document'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netmark"
+	"netmark/internal/databank"
+	"netmark/internal/sgml"
+)
+
+func main() {
+	dir := flag.String("dir", "", "storage directory of a local store")
+	url := flag.String("url", "", "query a remote netmarkd instead of a local store")
+	xsltFile := flag.String("xslt", "", "stylesheet file for result composition")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: nmquery [-dir DIR | -url URL] 'context=...&content=...'")
+	}
+	raw := flag.Arg(0)
+
+	q, err := netmark.ParseQuery(raw)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+
+	if *url != "" {
+		src := databank.NewHTTPSource("remote", *url, databank.Full)
+		res, err := src.Query(context.Background(), q)
+		if err != nil {
+			log.Fatalf("remote query: %v", err)
+		}
+		printSections(res.Sections, res.Docs)
+		return
+	}
+	if *dir == "" {
+		log.Fatal("nmquery: one of -dir or -url is required")
+	}
+	nm, err := netmark.Open(netmark.Config{Dir: *dir})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	defer nm.Close()
+	if *xsltFile != "" {
+		src, err := os.ReadFile(*xsltFile)
+		if err != nil {
+			log.Fatalf("stylesheet: %v", err)
+		}
+		if err := nm.RegisterStylesheet("cli", string(src)); err != nil {
+			log.Fatalf("stylesheet: %v", err)
+		}
+		q.XSLT = "cli"
+	}
+	res, err := nm.Engine().Execute(q)
+	if err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	if res.Transformed != nil {
+		fmt.Println(sgml.SerializeIndent(res.Transformed))
+		return
+	}
+	printSections(res.Sections, res.Docs)
+}
+
+func printSections(secs []netmark.Section, docs []*netmark.DocInfo) {
+	for _, d := range docs {
+		fmt.Printf("document %-30s title=%q format=%s\n", d.FileName, d.Title, d.Format)
+	}
+	for _, s := range secs {
+		fmt.Printf("== %s  (doc %s)\n%s\n\n", s.Context, s.DocName, s.Content)
+	}
+	fmt.Printf("%d result(s)\n", len(secs)+len(docs))
+}

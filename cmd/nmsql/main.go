@@ -1,0 +1,121 @@
+// Command nmsql is a SQL shell over the ORDBMS substrate — the
+// administrative face of NETMARK's "intelligent storage".  It can inspect
+// a store's universal tables or act as a standalone relational engine.
+//
+// Usage:
+//
+//	nmsql -dir ./data 'SELECT filename, nnodes FROM DOC ORDER BY nnodes DESC LIMIT 5'
+//	echo 'SELECT COUNT(*) FROM XML' | nmsql -dir ./data
+//	nmsql -dir ./scratch -i          # interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"netmark/internal/ordbms"
+	"netmark/internal/sqlx"
+)
+
+func main() {
+	dir := flag.String("dir", "", "storage directory (empty = in-memory scratch)")
+	interactive := flag.Bool("i", false, "interactive shell")
+	flag.Parse()
+
+	eng, err := ordbms.Open(ordbms.Options{Dir: *dir})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+	db := sqlx.New(eng)
+
+	run := func(stmt string) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return
+		}
+		res, err := db.Exec(stmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		printResult(res)
+	}
+
+	if flag.NArg() > 0 {
+		for _, stmt := range flag.Args() {
+			run(stmt)
+		}
+		return
+	}
+	if !*interactive {
+		// Read statements from stdin, one per line (\ continues).
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var pending strings.Builder
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasSuffix(line, "\\") {
+				pending.WriteString(strings.TrimSuffix(line, "\\"))
+				pending.WriteByte(' ')
+				continue
+			}
+			pending.WriteString(line)
+			run(pending.String())
+			pending.Reset()
+		}
+		return
+	}
+	fmt.Println("nmsql — SQL over the NETMARK ORDBMS (tables:", strings.Join(eng.TableNames(), ", "), ")")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("nmsql> ")
+	for sc.Scan() {
+		run(sc.Text())
+		fmt.Print("nmsql> ")
+	}
+}
+
+func printResult(res *sqlx.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Printf("ok (%d row(s) affected)\n", res.Affected)
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	cells := make([][]string, 0, len(res.Rows)+1)
+	header := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, row := range res.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = v.String()
+			if len(line[i]) > 60 {
+				line[i] = line[i][:57] + "..."
+			}
+			if len(line[i]) > widths[i] {
+				widths[i] = len(line[i])
+			}
+		}
+		cells = append(cells, line)
+	}
+	for r, line := range cells {
+		for i, cell := range line {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+		if r == 0 {
+			for _, w := range widths {
+				fmt.Print(strings.Repeat("-", w) + "  ")
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("(%d row(s), plan: %s)\n", len(res.Rows), res.Plan)
+}

@@ -1,0 +1,54 @@
+package netmark_test
+
+import (
+	"fmt"
+	"log"
+
+	"netmark"
+)
+
+// ExampleOpen shows the minimal ingest-and-query loop.
+func ExampleOpen() {
+	nm, err := netmark.Open(netmark.Config{}) // in-memory
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nm.Close()
+
+	_, err = nm.Ingest("memo.rtf", []byte(`{\rtf1 {\b Findings}\par The valve passed retest.\par}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nm.Query("context=Findings")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sec := range res.Sections {
+		fmt.Printf("%s: %s\n", sec.Context, sec.Content)
+	}
+	// Output:
+	// Findings: The valve passed retest.
+}
+
+// ExampleNetmark_Search shows the combined context+content predicate —
+// the paper's Context=Technology Gap & Content=Shrinking form.
+func ExampleNetmark_Search() {
+	nm, _ := netmark.Open(netmark.Config{})
+	defer nm.Close()
+	nm.Ingest("r.html", []byte(`<html><body>
+		<h2>Technology Gap</h2><p>The gap is shrinking.</p>
+		<h2>Schedule</h2><p>On track.</p></body></html>`))
+
+	secs, _ := nm.Search("Technology Gap", "shrinking")
+	fmt.Println(len(secs), secs[0].Context)
+	// Output:
+	// 1 Technology Gap
+}
+
+// ExampleParseQuery shows the URL-appended XDB query syntax.
+func ExampleParseQuery() {
+	q, _ := netmark.ParseQuery("context=Budget&content=propulsion&limit=5")
+	fmt.Println(q.Context, q.Content, q.Limit)
+	// Output:
+	// Budget propulsion 5
+}

@@ -1,0 +1,105 @@
+// Anomaly Tracking — the Table 1 application "that allows integrated
+// querying of two NASA (web accessible) data sources that are
+// essentially anomaly tracking databases", plus the §2.1.5 Lessons
+// Learned source that "allows only 'Content search' kinds of queries".
+//
+// Tracker A is queried over real HTTP (a second NETMARK server, Fig 8's
+// multi-server topology); tracker B is a full local source; the Lessons
+// Learned server is capability-limited, so the router pushes down only
+// the content portion of each query and applies the context residually —
+// the paper's query augmentation, "all this is of course abstracted from
+// the end user."
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"netmark"
+	"netmark/internal/corpus"
+)
+
+func main() {
+	// Three independent stores.
+	trackerA := mustOpen()
+	defer trackerA.Close()
+	trackerB := mustOpen()
+	defer trackerB.Close()
+	lessons := mustOpen()
+	defer lessons.Close()
+
+	gen := corpus.New(99)
+	loadAll(trackerA, gen.Anomalies(40))
+	loadAll(trackerB, gen.Anomalies(40))
+	loadAll(lessons, gen.LessonsLearned(30))
+
+	// Tracker A is remote: expose it over HTTP and integrate by URL.
+	srv, err := trackerA.HTTPServer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Assemble the application: a declarative source list.  This is the
+	// whole "integration middleware".
+	app := mustOpen()
+	defer app.Close()
+	bank := netmark.NewDatabank("anomaly-tracking")
+	bank.AddSource(netmark.NewHTTPSource("tracker-a", ts.URL, netmark.FullCapability))
+	bank.AddSource(netmark.NewLocalSource("tracker-b", trackerB))
+	bank.AddSource(netmark.NewLegacySource("lessons-learned", netmark.ContentOnly, lessons))
+	if err := app.AddDatabank(bank); err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's example query: Context=Title & Content=Engine.
+	q := netmark.Query{Context: "Title", Content: "Engine"}
+	m, err := app.QueryBank(context.Background(), "anomaly-tracking", q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q across %d sources (%v):\n\n", q.Encode(), len(bank.Sources()), m.Elapsed)
+	for _, sr := range m.PerSource {
+		residual := ""
+		if sr.Plan.HasResidual() {
+			residual = fmt.Sprintf("  [pushdown %q, residual applied here]", sr.Plan.Pushdown.Encode())
+		}
+		if sr.Err != nil {
+			fmt.Printf("  %-16s ERROR: %v\n", sr.Source, sr.Err)
+			continue
+		}
+		fmt.Printf("  %-16s %d section(s) in %v%s\n", sr.Source, len(sr.Sections), sr.Elapsed, residual)
+		for _, sec := range sr.Sections {
+			fmt.Printf("      %s: %s\n", sec.DocName, sec.Content)
+		}
+	}
+	fmt.Printf("\nintegrated result: %d sections, %d source errors\n",
+		len(m.Sections()), len(m.Errs()))
+
+	// Cross-source severity report: one more query, still no schemas.
+	m, err = app.QueryBank(context.Background(), "anomaly-tracking",
+		netmark.Query{Context: "Severity", Content: "Critical"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical anomalies across all trackers: %d\n", len(m.Sections()))
+}
+
+func mustOpen() *netmark.Netmark {
+	nm, err := netmark.Open(netmark.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nm
+}
+
+func loadAll(nm *netmark.Netmark, docs []corpus.Document) {
+	for _, d := range docs {
+		if _, err := nm.Ingest(d.Name, d.Data); err != nil {
+			log.Fatalf("ingest %s: %v", d.Name, err)
+		}
+	}
+}

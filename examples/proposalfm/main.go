@@ -1,0 +1,117 @@
+// Proposal Financial Management — the first NASA application of Table 1:
+// "an information system for tracking proposal financial information for
+// outgoing (NASA) proposals [...] querying of aggregated and statistical
+// information about the proposals such as proposal numbers by NASA
+// division type, dollar amounts requested etc."
+//
+// The application is assembled exactly as the paper describes: ingest
+// the proposal documents (Word-substitute RTF, HTML and plain text), and
+// query by context.  The financial roll-up is computed client-side from
+// the Budget sections — no schema was ever declared for the proposals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netmark"
+	"netmark/internal/corpus"
+)
+
+func main() {
+	nm, err := netmark.Open(netmark.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nm.Close()
+
+	// The incoming proposal pile: 90 documents in three formats.
+	gen := corpus.New(2026)
+	for _, d := range gen.Proposals(90) {
+		if _, err := nm.Ingest(d.Name, d.Data); err != nil {
+			log.Fatalf("ingest %s: %v", d.Name, err)
+		}
+	}
+	// Plus the division budget spreadsheet.
+	sheet := gen.BudgetSpreadsheet(40)
+	if _, err := nm.Ingest(sheet.Name, sheet.Data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d documents (%d nodes)\n\n", nm.Store().NumDocuments(), nm.Store().NumNodes())
+
+	// Pull every Budget section; parse amount and division out of the
+	// text on the client — "imposition of structure and semantics may be
+	// done by clients as needed".
+	res, err := nm.Query("context=Budget")
+	if err != nil {
+		log.Fatal(err)
+	}
+	type stat struct {
+		count int
+		total int64
+	}
+	byDivision := map[string]*stat{}
+	for _, sec := range res.Sections {
+		amount, division := parseBudget(sec.Content)
+		if division == "" {
+			continue
+		}
+		s := byDivision[division]
+		if s == nil {
+			s = &stat{}
+			byDivision[division] = s
+		}
+		s.count++
+		s.total += amount
+	}
+
+	divisions := make([]string, 0, len(byDivision))
+	for d := range byDivision {
+		divisions = append(divisions, d)
+	}
+	sort.Strings(divisions)
+	fmt.Println("proposal dollars requested by NASA division:")
+	fmt.Printf("  %-18s %-10s %-14s\n", "division", "proposals", "requested")
+	var grand int64
+	for _, d := range divisions {
+		s := byDivision[d]
+		fmt.Printf("  %-18s %-10d $%-13d\n", d, s.count, s.total)
+		grand += s.total
+	}
+	fmt.Printf("  %-18s %-10s $%-13d\n\n", "TOTAL", "", grand)
+
+	// Drill-down: high-risk proposals mentioning cryogenics.
+	res, err = nm.Query("context=Risk+Assessment&content=Critical")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Risk Assessment sections mentioning \"Critical\": %d\n", res.Len())
+	for i, sec := range res.Sections {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", res.Len()-3)
+			break
+		}
+		fmt.Printf("  %s: %.80s...\n", sec.DocName, sec.Content)
+	}
+}
+
+// parseBudget extracts "$N for the D division" from a Budget section.
+func parseBudget(text string) (amount int64, division string) {
+	words := strings.Fields(text)
+	for i, w := range words {
+		if strings.HasPrefix(w, "$") {
+			if v, err := strconv.ParseInt(strings.Trim(w, "$.,"), 10, 64); err == nil {
+				amount = v
+			}
+		}
+		if w == "division." || w == "division" {
+			if i > 0 {
+				division = strings.TrimSpace(words[i-1])
+			}
+		}
+	}
+	return amount, division
+}

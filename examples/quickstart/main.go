@@ -1,0 +1,83 @@
+// Quickstart: ingest documents of several formats into a schema-less
+// NETMARK store, run the paper's context/content queries, and compose
+// the results into a new document with XSLT — all against the public
+// netmark API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netmark"
+)
+
+func main() {
+	// An in-memory instance; pass Config{Dir: "..."} for a durable one.
+	nm, err := netmark.Open(netmark.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nm.Close()
+
+	// Ingest three different formats.  No schemas are declared anywhere:
+	// every document lands in the same two universal tables.
+	docs := map[string]string{
+		"status.html": `<html><head><title>Weekly Status</title></head><body>
+			<h1>Overview</h1><p>All shuttle systems nominal this week.</p>
+			<h2>Budget</h2><p>Spend tracking at 97 percent of plan.</p>
+			<h2>Risks</h2><p>Cryogenic valve sourcing remains the top risk.</p>
+			</body></html>`,
+		"memo.rtf": `{\rtf1 {\b Findings}\par The cryogenic valve passed retest.\par
+			{\b Budget}\par Retest consumed \'2412K of reserve.\par}`,
+		"plan.txt": "FLIGHT READINESS\n\nReview scheduled.\n\n1. Budget\n\nReserve stands at $90K after retest.\n",
+	}
+	for name, data := range docs {
+		if _, err := nm.Ingest(name, []byte(data)); err != nil {
+			log.Fatalf("ingest %s: %v", name, err)
+		}
+	}
+	fmt.Printf("stored %d documents as %d nodes, zero schemas defined\n\n",
+		nm.Store().NumDocuments(), nm.Store().NumNodes())
+
+	// Context search: the Budget section of every document (Fig 6).
+	res, err := nm.Query("context=Budget")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("context=Budget —")
+	for _, s := range res.Sections {
+		fmt.Printf("  [%s] %s\n", s.DocName, s.Content)
+	}
+
+	// Combined context+content (the paper's §2.1.3 query form).
+	res, err = nm.Query("context=Budget&content=reserve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontext=Budget&content=reserve — %d hit(s)\n", res.Len())
+	for _, s := range res.Sections {
+		fmt.Printf("  [%s] %s\n", s.DocName, s.Content)
+	}
+
+	// Result composition with XSLT (Fig 7): build a new briefing document
+	// out of the query results.
+	err = nm.RegisterStylesheet("briefing", `<xsl:stylesheet>
+<xsl:template match="/">
+  <briefing>
+    <xsl:for-each select="//result">
+      <xsl:sort select="@doc"/>
+      <line source="{@doc}"><xsl:value-of select="content"/></line>
+    </xsl:for-each>
+  </briefing>
+</xsl:template>
+</xsl:stylesheet>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = nm.Query("context=Budget&xslt=briefing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncomposed document (context=Budget&xslt=briefing):")
+	fmt.Println(netmark.TransformedXML(res))
+}

@@ -1,0 +1,337 @@
+// Package btree provides an in-memory B+tree used for the engine's
+// secondary indexes (the NETMARK "NETMARK generated schema" keeps B-tree
+// indexes on NODENAME, NODETYPE and DOC_ID, and the catalog rebuilds them
+// from the heap on open).
+//
+// Keys are ordered by a caller-supplied comparison; duplicate keys are
+// supported, with values accumulated per key in insertion order.  Leaves
+// are linked for range scans.
+package btree
+
+// Tree is a B+tree from K to a list of V.  It is not safe for concurrent
+// use; callers (the ordbms index layer) serialise access.
+type Tree[K any, V any] struct {
+	cmp    func(a, b K) int
+	order  int // max children per interior node
+	root   node[K, V]
+	height int
+	keys   int // distinct key count
+	size   int // total value count
+}
+
+type node[K any, V any] interface{ isNode() }
+
+type leaf[K any, V any] struct {
+	keys []K
+	vals [][]V
+	next *leaf[K, V]
+	prev *leaf[K, V]
+}
+
+type interior[K any, V any] struct {
+	// keys[i] is the smallest key in children[i+1]'s subtree.
+	keys     []K
+	children []node[K, V]
+}
+
+func (*leaf[K, V]) isNode()     {}
+func (*interior[K, V]) isNode() {}
+
+// DefaultOrder is the fan-out used by New.
+const DefaultOrder = 64
+
+// New creates an empty tree with the default order.
+func New[K any, V any](cmp func(a, b K) int) *Tree[K, V] {
+	return NewWithOrder[K, V](cmp, DefaultOrder)
+}
+
+// NewWithOrder creates an empty tree with the given maximum fan-out
+// (minimum 4).
+func NewWithOrder[K any, V any](cmp func(a, b K) int, order int) *Tree[K, V] {
+	if order < 4 {
+		order = 4
+	}
+	return &Tree[K, V]{cmp: cmp, order: order, root: &leaf[K, V]{}, height: 1}
+}
+
+// Len returns the total number of stored values.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Keys returns the number of distinct keys.
+func (t *Tree[K, V]) Keys() int { return t.keys }
+
+// Height returns the tree height (1 = just a leaf).
+func (t *Tree[K, V]) Height() int { return t.height }
+
+// search returns the index of the first key in keys that is >= k, using
+// binary search.
+func (t *Tree[K, V]) searchKeys(keys []K, k K) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := t.cmp(keys[mid], k)
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found := lo < len(keys) && t.cmp(keys[lo], k) == 0
+	return lo, found
+}
+
+// childIndex returns which child of an interior node covers k.
+func (t *Tree[K, V]) childIndex(n *interior[K, V], k K) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cmp(n.keys[mid], k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds v under k.
+func (t *Tree[K, V]) Insert(k K, v V) {
+	splitKey, right := t.insert(t.root, k, v)
+	if right != nil {
+		newRoot := &interior[K, V]{
+			keys:     []K{splitKey},
+			children: []node[K, V]{t.root, right},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	t.size++
+}
+
+// insert descends to the leaf, inserts, and propagates splits upward.
+// Returns a non-nil right sibling and its separator key when n split.
+func (t *Tree[K, V]) insert(n node[K, V], k K, v V) (K, node[K, V]) {
+	var zero K
+	switch n := n.(type) {
+	case *leaf[K, V]:
+		i, found := t.searchKeys(n.keys, k)
+		if found {
+			n.vals[i] = append(n.vals[i], v)
+			return zero, nil
+		}
+		n.keys = append(n.keys, zero)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = []V{v}
+		t.keys++
+		if len(n.keys) < t.order {
+			return zero, nil
+		}
+		// Split leaf.
+		mid := len(n.keys) / 2
+		right := &leaf[K, V]{
+			keys: append([]K(nil), n.keys[mid:]...),
+			vals: append([][]V(nil), n.vals[mid:]...),
+			next: n.next,
+			prev: n,
+		}
+		if n.next != nil {
+			n.next.prev = right
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+
+	case *interior[K, V]:
+		ci := t.childIndex(n, k)
+		splitKey, newChild := t.insert(n.children[ci], k, v)
+		if newChild == nil {
+			return zero, nil
+		}
+		n.keys = append(n.keys, zero)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = splitKey
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = newChild
+		if len(n.children) <= t.order {
+			return zero, nil
+		}
+		// Split interior.
+		midKey := len(n.keys) / 2
+		up := n.keys[midKey]
+		right := &interior[K, V]{
+			keys:     append([]K(nil), n.keys[midKey+1:]...),
+			children: append([]node[K, V](nil), n.children[midKey+1:]...),
+		}
+		n.keys = n.keys[:midKey:midKey]
+		n.children = n.children[: midKey+1 : midKey+1]
+		return up, right
+	}
+	return zero, nil
+}
+
+// Get returns the values stored under k (nil when absent).  The returned
+// slice must not be modified.
+func (t *Tree[K, V]) Get(k K) []V {
+	l, i, found := t.findLeaf(k)
+	if !found {
+		return nil
+	}
+	return l.vals[i]
+}
+
+// Contains reports whether k is present.
+func (t *Tree[K, V]) Contains(k K) bool {
+	_, _, found := t.findLeaf(k)
+	return found
+}
+
+func (t *Tree[K, V]) findLeaf(k K) (*leaf[K, V], int, bool) {
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *interior[K, V]:
+			n = nn.children[t.childIndex(nn, k)]
+		case *leaf[K, V]:
+			i, found := t.searchKeys(nn.keys, k)
+			return nn, i, found
+		}
+	}
+}
+
+// Delete removes all values equal to v (per eq) under k.  It returns the
+// number of values removed.  Keys left empty are removed from the leaf;
+// structural rebalancing is deliberately lazy (nodes are not merged),
+// which keeps deletes O(log n) and is harmless for index workloads where
+// deletes are a small fraction of inserts.
+func (t *Tree[K, V]) Delete(k K, eq func(V) bool) int {
+	l, i, found := t.findLeaf(k)
+	if !found {
+		return 0
+	}
+	kept := l.vals[i][:0]
+	removed := 0
+	for _, v := range l.vals[i] {
+		if eq(v) {
+			removed++
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	l.vals[i] = kept
+	t.size -= removed
+	if len(kept) == 0 {
+		copy(l.keys[i:], l.keys[i+1:])
+		l.keys = l.keys[:len(l.keys)-1]
+		copy(l.vals[i:], l.vals[i+1:])
+		l.vals = l.vals[:len(l.vals)-1]
+		t.keys--
+	}
+	return removed
+}
+
+// DeleteKey removes a key and all its values, returning how many values
+// were removed.
+func (t *Tree[K, V]) DeleteKey(k K) int {
+	return t.Delete(k, func(V) bool { return true })
+}
+
+// Ascend walks keys in ascending order calling fn(k, values); returning
+// false stops the walk.
+func (t *Tree[K, V]) Ascend(fn func(k K, vals []V) bool) {
+	l := t.firstLeaf()
+	for l != nil {
+		for i, k := range l.keys {
+			if !fn(k, l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+	}
+}
+
+// AscendRange walks keys in [lo, hi] inclusive.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, vals []V) bool) {
+	l, i, _ := t.findLeaf(lo)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if t.cmp(l.keys[i], hi) > 0 {
+				return
+			}
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// AscendPrefixFunc walks keys starting at lo while pred(k) holds.  It is
+// used for string-prefix scans.
+func (t *Tree[K, V]) AscendPrefixFunc(lo K, pred func(k K) bool, fn func(k K, vals []V) bool) {
+	l, i, _ := t.findLeaf(lo)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if !pred(l.keys[i]) {
+				return
+			}
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+func (t *Tree[K, V]) firstLeaf() *leaf[K, V] {
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *interior[K, V]:
+			n = nn.children[0]
+		case *leaf[K, V]:
+			return nn
+		}
+	}
+}
+
+// Min returns the smallest key (ok=false when empty).
+func (t *Tree[K, V]) Min() (K, bool) {
+	l := t.firstLeaf()
+	var zero K
+	if len(l.keys) == 0 {
+		return zero, false
+	}
+	return l.keys[0], true
+}
+
+// Max returns the largest key (ok=false when empty).
+func (t *Tree[K, V]) Max() (K, bool) {
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *interior[K, V]:
+			n = nn.children[len(nn.children)-1]
+		case *leaf[K, V]:
+			var zero K
+			if len(nn.keys) == 0 {
+				// Lazy deletion can empty a leaf that still hangs off an
+				// interior node; fall back to a full walk.
+				var last K
+				ok := false
+				t.Ascend(func(k K, _ []V) bool { last, ok = k, true; return true })
+				if !ok {
+					return zero, false
+				}
+				return last, true
+			}
+			return nn.keys[len(nn.keys)-1], true
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func strCmp(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int, string](intCmp)
+	if tr.Len() != 0 || tr.Keys() != 0 {
+		t.Fatalf("empty tree: len=%d keys=%d", tr.Len(), tr.Keys())
+	}
+	if got := tr.Get(42); got != nil {
+		t.Fatalf("Get on empty = %v", got)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty should report !ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty should report !ok")
+	}
+}
+
+func TestInsertGetSingle(t *testing.T) {
+	tr := New[int, string](intCmp)
+	tr.Insert(1, "one")
+	if got := tr.Get(1); len(got) != 1 || got[0] != "one" {
+		t.Fatalf("Get(1) = %v", got)
+	}
+	if tr.Get(2) != nil {
+		t.Fatal("Get(2) should be nil")
+	}
+}
+
+func TestDuplicateKeysAccumulate(t *testing.T) {
+	tr := New[string, int](strCmp)
+	for i := 0; i < 10; i++ {
+		tr.Insert("k", i)
+	}
+	got := tr.Get("k")
+	if len(got) != 10 {
+		t.Fatalf("want 10 values, got %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("insertion order broken at %d: %v", i, got)
+		}
+	}
+	if tr.Keys() != 1 || tr.Len() != 10 {
+		t.Fatalf("keys=%d len=%d", tr.Keys(), tr.Len())
+	}
+}
+
+func TestSplitsPreserveAllKeys(t *testing.T) {
+	tr := NewWithOrder[int, int](intCmp, 4) // tiny order forces many splits
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(k, k*10)
+	}
+	if tr.Keys() != n {
+		t.Fatalf("keys = %d, want %d", tr.Keys(), n)
+	}
+	for k := 0; k < n; k++ {
+		got := tr.Get(k)
+		if len(got) != 1 || got[0] != k*10 {
+			t.Fatalf("Get(%d) = %v", k, got)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected a deep tree with order 4, height=%d", tr.Height())
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	tr := NewWithOrder[int, int](intCmp, 5)
+	perm := rand.New(rand.NewSource(2)).Perm(500)
+	for _, k := range perm {
+		tr.Insert(k, k)
+	}
+	var keys []int
+	tr.Ascend(func(k int, _ []int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Ascend out of order")
+	}
+	if len(keys) != 500 {
+		t.Fatalf("Ascend visited %d keys", len(keys))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int, int](intCmp)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	count := 0
+	tr.Ascend(func(int, []int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendRangeInclusive(t *testing.T) {
+	tr := NewWithOrder[int, int](intCmp, 4)
+	for i := 0; i < 200; i += 2 { // even keys only
+		tr.Insert(i, i)
+	}
+	var got []int
+	tr.AscendRange(10, 20, func(k int, _ []int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+	// Bounds not present in the tree.
+	got = got[:0]
+	tr.AscendRange(11, 19, func(k int, _ []int) bool {
+		got = append(got, k)
+		return true
+	})
+	want = []int{12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("range with absent bounds = %v, want %v", got, want)
+	}
+}
+
+func TestDeleteValueAndKey(t *testing.T) {
+	tr := New[string, int](strCmp)
+	tr.Insert("a", 1)
+	tr.Insert("a", 2)
+	tr.Insert("b", 3)
+	if n := tr.Delete("a", func(v int) bool { return v == 1 }); n != 1 {
+		t.Fatalf("Delete removed %d", n)
+	}
+	if got := tr.Get("a"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after delete Get(a) = %v", got)
+	}
+	if n := tr.DeleteKey("a"); n != 1 {
+		t.Fatalf("DeleteKey removed %d", n)
+	}
+	if tr.Contains("a") {
+		t.Fatal("a should be gone")
+	}
+	if !tr.Contains("b") {
+		t.Fatal("b should remain")
+	}
+	if tr.Keys() != 1 || tr.Len() != 1 {
+		t.Fatalf("keys=%d len=%d", tr.Keys(), tr.Len())
+	}
+}
+
+func TestDeleteAbsentKey(t *testing.T) {
+	tr := New[int, int](intCmp)
+	tr.Insert(1, 1)
+	if n := tr.DeleteKey(99); n != 0 {
+		t.Fatalf("deleting absent key removed %d", n)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := NewWithOrder[int, int](intCmp, 4)
+	for _, k := range []int{50, 10, 90, 30, 70} {
+		tr.Insert(k, k)
+	}
+	if mn, _ := tr.Min(); mn != 10 {
+		t.Fatalf("Min = %d", mn)
+	}
+	if mx, _ := tr.Max(); mx != 90 {
+		t.Fatalf("Max = %d", mx)
+	}
+}
+
+func TestPrefixScan(t *testing.T) {
+	tr := New[string, int](strCmp)
+	words := []string{"alpha", "alphabet", "beta", "alp", "gamma", "alpine"}
+	for i, w := range words {
+		tr.Insert(w, i)
+	}
+	var got []string
+	tr.AscendPrefixFunc("alp",
+		func(k string) bool { return len(k) >= 3 && k[:3] == "alp" },
+		func(k string, _ []int) bool {
+			got = append(got, k)
+			return true
+		})
+	want := []string{"alp", "alpha", "alphabet", "alpine"}
+	if len(got) != len(want) {
+		t.Fatalf("prefix scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix scan = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: a tree behaves exactly like a reference map across a random
+// mixed workload of inserts and deletes.
+func TestQuickAgainstReferenceMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := NewWithOrder[int, int](intCmp, 6)
+		ref := make(map[int][]int)
+		seq := 0
+		for _, op := range ops {
+			k := int(op) % 64
+			if op%3 == 0 && len(ref[k]) > 0 {
+				tr.DeleteKey(k)
+				delete(ref, k)
+				continue
+			}
+			tr.Insert(k, seq)
+			ref[k] = append(ref[k], seq)
+			seq++
+		}
+		// Compare every key.
+		for k, want := range ref {
+			got := tr.Get(k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		// Tree must not invent keys.
+		if tr.Keys() != len(ref) {
+			return false
+		}
+		// Ascend order must be sorted and complete.
+		var keys []int
+		tr.Ascend(func(k int, _ []int) bool { keys = append(keys, k); return true })
+		return sort.IntsAreSorted(keys) && len(keys) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: range scans agree with a sorted reference slice.
+func TestQuickRangeScan(t *testing.T) {
+	f := func(keys []uint8, lo, hi uint8) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := NewWithOrder[int, int](intCmp, 4)
+		seen := make(map[int]bool)
+		for _, k := range keys {
+			if !seen[int(k)] {
+				tr.Insert(int(k), int(k))
+				seen[int(k)] = true
+			}
+		}
+		var want []int
+		for k := range seen {
+			if k >= int(lo) && k <= int(hi) {
+				want = append(want, k)
+			}
+		}
+		sort.Ints(want)
+		var got []int
+		tr.AscendRange(int(lo), int(hi), func(k int, _ []int) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tr := New[int, int](intCmp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(i, i)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	tr := New[int, int](intCmp)
+	r := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(r.Int(), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int, int](intCmp)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(i, i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i % 100000)
+	}
+}

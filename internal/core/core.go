@@ -1,0 +1,177 @@
+// Package core assembles the NETMARK system of Fig 2/3: the schema-less
+// XML store over the ORDBMS, the SGML parser and upmark converters, the
+// XDB query engine with XSLT result composition, the databank registry
+// for on-the-fly multi-source integration, the drop-folder ingestion
+// daemon, and the HTTP/WebDAV access layer.
+//
+// This is the paper's primary contribution as a single embeddable
+// component; the repo-root netmark package re-exports it as the public
+// API.
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"netmark/internal/daemon"
+	"netmark/internal/databank"
+	"netmark/internal/ordbms"
+	"netmark/internal/webdav"
+	"netmark/internal/xdb"
+	"netmark/internal/xmlstore"
+)
+
+// Config configures a NETMARK instance.
+type Config struct {
+	// Dir is the storage directory.  Empty runs fully in memory
+	// (volatile, unlogged) — the right mode for tests and experiments.
+	Dir string
+	// PoolPages caps the buffer pool (default 4096 pages).
+	PoolPages int
+	// DropDir enables the ingestion daemon over the given folder.
+	DropDir string
+	// PollInterval is the daemon's scan period (default 1s).
+	PollInterval time.Duration
+}
+
+// Netmark is a running instance.
+type Netmark struct {
+	cfg    Config
+	db     *ordbms.DB
+	store  *xmlstore.Store
+	engine *xdb.Engine
+	banks  *databank.Registry
+	daemon *daemon.Daemon
+	server *webdav.Server
+}
+
+// Open creates or reopens an instance.
+func Open(cfg Config) (*Netmark, error) {
+	db, err := ordbms.Open(ordbms.Options{Dir: cfg.Dir, PoolPages: cfg.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	store, err := xmlstore.Open(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	n := &Netmark{
+		cfg:    cfg,
+		db:     db,
+		store:  store,
+		engine: xdb.NewEngine(store),
+		banks:  databank.NewRegistry(),
+	}
+	if cfg.DropDir != "" {
+		d, err := daemon.New(cfg.DropDir, store, cfg.PollInterval)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		n.daemon = d
+	}
+	return n, nil
+}
+
+// Close checkpoints and shuts the instance down.
+func (n *Netmark) Close() error { return n.db.Close() }
+
+// DB exposes the storage engine (stats, checkpoints).
+func (n *Netmark) DB() *ordbms.DB { return n.db }
+
+// Store exposes the XML store.
+func (n *Netmark) Store() *xmlstore.Store { return n.store }
+
+// Engine exposes the XDB query engine.
+func (n *Netmark) Engine() *xdb.Engine { return n.engine }
+
+// Banks exposes the databank registry.
+func (n *Netmark) Banks() *databank.Registry { return n.banks }
+
+// Daemon exposes the ingestion daemon (nil when DropDir unset).
+func (n *Netmark) Daemon() *daemon.Daemon { return n.daemon }
+
+// Ingest converts and stores one document.
+func (n *Netmark) Ingest(name string, data []byte) (uint64, error) {
+	return n.store.StoreRaw(name, data)
+}
+
+// IngestFile reads and ingests a file from disk.
+func (n *Netmark) IngestFile(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return n.Ingest(filepath.Base(path), data)
+}
+
+// Query parses and executes a URL-form XDB query against the local
+// store.
+func (n *Netmark) Query(raw string) (*xdb.Result, error) {
+	return n.engine.ExecuteString(raw)
+}
+
+// Search runs a context/content search directly.
+func (n *Netmark) Search(contextHeading, content string) ([]xmlstore.Section, error) {
+	return n.store.Search(contextHeading, content)
+}
+
+// RegisterStylesheet names a stylesheet for the xslt= query parameter.
+func (n *Netmark) RegisterStylesheet(name, src string) error {
+	return n.engine.RegisterStylesheet(name, src)
+}
+
+// CreateDatabank assembles an integration application from its
+// declarative spec.  Local/legacy source names resolve to this
+// instance's engine; for multi-instance topologies use AddDatabank with
+// explicitly constructed sources.
+func (n *Netmark) CreateDatabank(specJSON []byte) (*databank.Databank, error) {
+	spec, err := databank.ParseSpec(specJSON)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := spec.Build(func(string) (*xdb.Engine, error) { return n.engine, nil })
+	if err != nil {
+		return nil, err
+	}
+	if err := n.banks.Add(bank); err != nil {
+		return nil, err
+	}
+	return bank, nil
+}
+
+// AddDatabank registers a programmatically assembled databank.
+func (n *Netmark) AddDatabank(b *databank.Databank) error { return n.banks.Add(b) }
+
+// QueryBank fans a query out across a databank's sources.
+func (n *Netmark) QueryBank(ctx context.Context, bank string, q xdb.Query) (*databank.Merged, error) {
+	b := n.banks.Get(bank)
+	if b == nil {
+		return nil, fmt.Errorf("netmark: no databank %q", bank)
+	}
+	return b.Query(ctx, q)
+}
+
+// Serve starts the HTTP/WebDAV server and, when configured, the
+// ingestion daemon, until ctx is cancelled.
+func (n *Netmark) Serve(ctx context.Context, addr string) error {
+	srv, err := webdav.NewServer(n.engine, n.banks, n.cfg.DropDir)
+	if err != nil {
+		return err
+	}
+	n.server = srv
+	if n.daemon != nil {
+		go n.daemon.Run(ctx)
+	}
+	return srv.Serve(ctx, addr)
+}
+
+// HTTPServer builds the HTTP server for custom hosting (its Handler
+// method yields an http.Handler for tests and embedding).
+func (n *Netmark) HTTPServer() (*webdav.Server, error) {
+	return webdav.NewServer(n.engine, n.banks, n.cfg.DropDir)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netmark/internal/databank"
+	"netmark/internal/xdb"
+)
+
+func TestOpenInMemory(t *testing.T) {
+	nm, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm.Close()
+	if nm.Daemon() != nil {
+		t.Fatal("daemon should be nil without DropDir")
+	}
+	if nm.DB() == nil || nm.Store() == nil || nm.Engine() == nil || nm.Banks() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}
+
+func TestOpenWithDropDirWiresDaemon(t *testing.T) {
+	drop := t.TempDir()
+	nm, err := Open(Config{DropDir: drop, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm.Close()
+	if nm.Daemon() == nil {
+		t.Fatal("daemon not wired")
+	}
+	if err := os.WriteFile(filepath.Join(drop, "x.html"),
+		[]byte(`<html><body><h1>T</h1><p>dropped</p></body></html>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.Daemon().ScanOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if nm.Store().NumDocuments() != 1 {
+		t.Fatalf("docs = %d", nm.Store().NumDocuments())
+	}
+}
+
+func TestCreateDatabankDuplicateRejected(t *testing.T) {
+	nm, _ := Open(Config{})
+	defer nm.Close()
+	spec := []byte(`{"name":"b","sources":[{"type":"local","name":"self"}]}`)
+	if _, err := nm.CreateDatabank(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.CreateDatabank(spec); err == nil {
+		t.Fatal("duplicate databank accepted")
+	}
+	if _, err := nm.CreateDatabank([]byte(`{"bad json`)); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestQueryBankUnknown(t *testing.T) {
+	nm, _ := Open(Config{})
+	defer nm.Close()
+	if _, err := nm.QueryBank(context.Background(), "ghost", xdb.Query{Context: "X"}); err == nil {
+		t.Fatal("unknown bank accepted")
+	}
+}
+
+func TestAddDatabankProgrammatic(t *testing.T) {
+	nm, _ := Open(Config{})
+	defer nm.Close()
+	if _, err := nm.Ingest("a.html", []byte(`<html><body><h1>S</h1><p>x</p></body></html>`)); err != nil {
+		t.Fatal(err)
+	}
+	bank := databank.New("prog")
+	bank.AddSource(databank.NewLocalSource("self", nm.Engine()))
+	if err := nm.AddDatabank(bank); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nm.QueryBank(context.Background(), "prog", xdb.Query{Context: "S"})
+	if err != nil || len(m.Sections()) != 1 {
+		t.Fatalf("bank query: %v %v", m, err)
+	}
+}
+
+func TestHTTPServerConstruction(t *testing.T) {
+	nm, _ := Open(Config{DropDir: t.TempDir()})
+	defer nm.Close()
+	srv, err := nm.HTTPServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Handler() == nil {
+		t.Fatal("nil handler")
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	nm, _ := Open(Config{DropDir: t.TempDir(), PollInterval: 10 * time.Millisecond})
+	defer nm.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- nm.Serve(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && ctx.Err() == nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve did not stop on cancel")
+	}
+}

@@ -1,0 +1,268 @@
+// Package corpus generates deterministic synthetic document collections
+// that stand in for the NASA corpora the paper's applications were built
+// on: outgoing proposals (Proposal Financial Management), budget task
+// plans (the Integrated Budget Performance Document), anomaly records
+// (Anomaly Tracking) and Lessons Learned pages.
+//
+// The generators reproduce the structural statistics that matter for the
+// experiments: section headings drawn from small controlled vocabularies
+// (so context searches have meaningful selectivity), body text with
+// overlapping term distributions across sources (so content searches span
+// sources), and a mix of file formats exercising every upmark converter.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Document is one generated source file, ready for ingestion.
+type Document struct {
+	Name string
+	Data []byte
+}
+
+// Generator produces documents deterministically from a seed.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New creates a generator; equal seeds yield identical corpora.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+var (
+	divisions = []string{"Science", "Engineering", "Aeronautics", "Exploration", "Space Operations"}
+	centers   = []string{"Ames", "Johnson", "Kennedy", "Goddard", "Langley"}
+	systems   = []string{"Engine", "Avionics", "Thermal Protection", "Guidance", "Life Support", "Propulsion"}
+	severity  = []string{"Low", "Moderate", "High", "Critical"}
+	nouns     = []string{
+		"shuttle", "orbiter", "payload", "telemetry", "trajectory", "booster",
+		"sensor", "actuator", "manifold", "turbine", "nozzle", "airframe",
+		"mission", "milestone", "deliverable", "schedule", "budget", "contract",
+	}
+	verbs = []string{
+		"analyzed", "integrated", "measured", "validated", "simulated",
+		"reviewed", "procured", "assembled", "tested", "documented",
+	}
+	adjectives = []string{
+		"cryogenic", "redundant", "nominal", "anomalous", "composite",
+		"preliminary", "critical", "baseline", "revised", "shrinking",
+	}
+)
+
+// sentence builds a plausible technical sentence.
+func (g *Generator) sentence() string {
+	return fmt.Sprintf("The %s %s was %s during the %s %s review.",
+		g.pick(adjectives), g.pick(nouns), g.pick(verbs), g.pick(adjectives), g.pick(nouns))
+}
+
+func (g *Generator) paragraph(sentences int) string {
+	parts := make([]string, sentences)
+	for i := range parts {
+		parts[i] = g.sentence()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *Generator) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+// titleCase capitalises the first letter of each word.
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}
+
+// dollars produces a request amount between $100K and $20M.
+func (g *Generator) dollars() int {
+	return (g.rng.Intn(199) + 1) * 100_000
+}
+
+// proposalSections is the heading vocabulary of a NASA proposal.
+var proposalSections = []string{
+	"Abstract", "Technical Approach", "Budget", "Schedule",
+	"Risk Assessment", "Management Plan", "Facilities",
+}
+
+// Proposal generates one proposal document.  Formats rotate across rtf,
+// html and text so the full upmark path is exercised.
+func (g *Generator) Proposal(i int) Document {
+	division := divisions[i%len(divisions)]
+	amount := g.dollars()
+	title := fmt.Sprintf("Proposal %04d: %s %s Initiative", i, titleCase(g.pick(adjectives)), titleCase(g.pick(nouns)))
+	switch i % 3 {
+	case 0:
+		return Document{Name: fmt.Sprintf("proposal-%04d.rtf", i), Data: []byte(g.proposalRTF(title, division, amount))}
+	case 1:
+		return Document{Name: fmt.Sprintf("proposal-%04d.html", i), Data: []byte(g.proposalHTML(title, division, amount))}
+	default:
+		return Document{Name: fmt.Sprintf("proposal-%04d.txt", i), Data: []byte(g.proposalText(title, division, amount))}
+	}
+}
+
+// Proposals generates n proposals.
+func (g *Generator) Proposals(n int) []Document {
+	out := make([]Document, n)
+	for i := range out {
+		out[i] = g.Proposal(i)
+	}
+	return out
+}
+
+func (g *Generator) proposalBody(division string, amount int) map[string]string {
+	return map[string]string{
+		"Abstract":           g.paragraph(3),
+		"Technical Approach": g.paragraph(5),
+		"Budget": fmt.Sprintf("We request $%d for the %s division. %s",
+			amount, division, g.paragraph(2)),
+		"Schedule":        fmt.Sprintf("The period of performance is %d months. %s", 12+g.rng.Intn(36), g.paragraph(2)),
+		"Risk Assessment": fmt.Sprintf("Overall risk is %s. %s", g.pick(severity), g.paragraph(2)),
+		"Management Plan": g.paragraph(3),
+		"Facilities":      fmt.Sprintf("Work is performed at NASA %s. %s", g.pick(centers), g.paragraph(1)),
+	}
+}
+
+func (g *Generator) proposalRTF(title, division string, amount int) string {
+	body := g.proposalBody(division, amount)
+	var sb strings.Builder
+	sb.WriteString(`{\rtf1\ansi` + "\n")
+	sb.WriteString(`{\b ` + title + `}\par` + "\n")
+	for _, sec := range proposalSections {
+		sb.WriteString(`{\b ` + sec + `}\par` + "\n")
+		sb.WriteString(body[sec] + `\par` + "\n")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func (g *Generator) proposalHTML(title, division string, amount int) string {
+	body := g.proposalBody(division, amount)
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>" + title + "</title></head><body>\n")
+	for _, sec := range proposalSections {
+		sb.WriteString("<h2>" + sec + "</h2>\n<p>" + body[sec] + "</p>\n")
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+func (g *Generator) proposalText(title, division string, amount int) string {
+	body := g.proposalBody(division, amount)
+	var sb strings.Builder
+	sb.WriteString(strings.ToUpper(title) + "\n\n")
+	for i, sec := range proposalSections {
+		sb.WriteString(fmt.Sprintf("%d. %s\n\n%s\n\n", i+1, sec, body[sec]))
+	}
+	return sb.String()
+}
+
+// TaskPlan generates one budget task plan (the IBPD inputs: "thousands of
+// NASA task plans containing the required budget information").
+func (g *Generator) TaskPlan(i int) Document {
+	center := centers[i%len(centers)]
+	title := fmt.Sprintf("Task Plan %05d (%s)", i, center)
+	amount := g.dollars()
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>" + title + "</title></head><body>\n")
+	sb.WriteString("<h2>Objective</h2><p>" + g.paragraph(2) + "</p>\n")
+	sb.WriteString(fmt.Sprintf("<h2>Budget</h2><p>FY allocation of $%d at NASA %s for the %s effort.</p>\n",
+		amount, center, g.pick(nouns)))
+	sb.WriteString("<h2>Milestones</h2><ul>")
+	for m := 0; m < 3; m++ {
+		sb.WriteString("<li>" + g.sentence() + "</li>")
+	}
+	sb.WriteString("</ul>\n</body></html>")
+	return Document{Name: fmt.Sprintf("taskplan-%05d.html", i), Data: []byte(sb.String())}
+}
+
+// TaskPlans generates n task plans.
+func (g *Generator) TaskPlans(n int) []Document {
+	out := make([]Document, n)
+	for i := range out {
+		out[i] = g.TaskPlan(i)
+	}
+	return out
+}
+
+// Anomaly generates one anomaly-tracking record.
+func (g *Generator) Anomaly(i int) Document {
+	sys := g.pick(systems)
+	sev := g.pick(severity)
+	title := fmt.Sprintf("Anomaly %05d: %s irregularity", i, sys)
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>" + title + "</title></head><body>\n")
+	sb.WriteString("<h2>Title</h2><p>" + title + "</p>\n")
+	sb.WriteString("<h2>System</h2><p>" + sys + "</p>\n")
+	sb.WriteString("<h2>Severity</h2><p>" + sev + "</p>\n")
+	sb.WriteString("<h2>Description</h2><p>" + g.paragraph(3) + "</p>\n")
+	sb.WriteString("<h2>Corrective Action</h2><p>" + g.paragraph(2) + "</p>\n")
+	sb.WriteString("</body></html>")
+	return Document{Name: fmt.Sprintf("anomaly-%05d.html", i), Data: []byte(sb.String())}
+}
+
+// Anomalies generates n anomaly records.
+func (g *Generator) Anomalies(n int) []Document {
+	out := make([]Document, n)
+	for i := range out {
+		out[i] = g.Anomaly(i)
+	}
+	return out
+}
+
+// LessonLearned generates one Lessons Learned page (the content-only
+// legacy source of §2.1.5).
+func (g *Generator) LessonLearned(i int) Document {
+	sys := g.pick(systems)
+	title := fmt.Sprintf("Lesson %04d: %s practices", i, sys)
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>" + title + "</title></head><body>\n")
+	sb.WriteString("<h2>Title</h2><p>" + title + "</p>\n")
+	sb.WriteString("<h2>Lesson</h2><p>" + g.paragraph(4) + "</p>\n")
+	sb.WriteString("<h2>Recommendation</h2><p>" + g.paragraph(2) + "</p>\n")
+	sb.WriteString("</body></html>")
+	return Document{Name: fmt.Sprintf("lesson-%04d.html", i), Data: []byte(sb.String())}
+}
+
+// LessonsLearned generates n lessons.
+func (g *Generator) LessonsLearned(n int) []Document {
+	out := make([]Document, n)
+	for i := range out {
+		out[i] = g.LessonLearned(i)
+	}
+	return out
+}
+
+// BudgetSpreadsheet generates a CSV roll-up used by the financial
+// examples.
+func (g *Generator) BudgetSpreadsheet(rows int) Document {
+	var sb strings.Builder
+	sb.WriteString("Project,Division,Center,Amount\n")
+	for i := 0; i < rows; i++ {
+		sb.WriteString(fmt.Sprintf("Project-%03d,%s,%s,%d\n",
+			i, divisions[i%len(divisions)], g.pick(centers), g.dollars()))
+	}
+	return Document{Name: "budget-rollup.csv", Data: []byte(sb.String())}
+}
+
+// Mixed generates a blended corpus of all document types, n total.
+func (g *Generator) Mixed(n int) []Document {
+	out := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			out = append(out, g.Proposal(i))
+		case 1:
+			out = append(out, g.TaskPlan(i))
+		case 2:
+			out = append(out, g.Anomaly(i))
+		default:
+			out = append(out, g.LessonLearned(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netmark/internal/docform"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).Proposals(10)
+	b := New(42).Proposals(10)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("doc %d differs across equal seeds", i)
+		}
+	}
+	c := New(43).Proposals(10)
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Data, c[i].Data) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestProposalsRotateFormats(t *testing.T) {
+	docs := New(1).Proposals(9)
+	formats := map[string]int{}
+	for _, d := range docs {
+		ext := d.Name[strings.LastIndexByte(d.Name, '.')+1:]
+		formats[ext]++
+	}
+	if formats["rtf"] != 3 || formats["html"] != 3 || formats["txt"] != 3 {
+		t.Fatalf("formats = %v", formats)
+	}
+}
+
+func TestEveryGeneratedDocumentConverts(t *testing.T) {
+	gen := New(7)
+	var docs []Document
+	docs = append(docs, gen.Proposals(6)...)
+	docs = append(docs, gen.TaskPlans(4)...)
+	docs = append(docs, gen.Anomalies(4)...)
+	docs = append(docs, gen.LessonsLearned(4)...)
+	docs = append(docs, gen.BudgetSpreadsheet(10))
+	docs = append(docs, gen.Mixed(8)...)
+	for _, d := range docs {
+		tree, meta, err := docform.Convert(d.Name, d.Data)
+		if err != nil {
+			t.Fatalf("%s does not convert: %v", d.Name, err)
+		}
+		if tree.Name != "document" {
+			t.Fatalf("%s: root %q", d.Name, tree.Name)
+		}
+		if meta.Title == "" {
+			t.Fatalf("%s: empty title", d.Name)
+		}
+	}
+}
+
+func TestProposalsCarryRequiredSections(t *testing.T) {
+	for _, d := range New(3).Proposals(6) {
+		tree, _, err := docform.Convert(d.Name, d.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var heads []string
+		for _, ctx := range tree.FindAll("context") {
+			heads = append(heads, ctx.Text())
+		}
+		joined := strings.Join(heads, "|")
+		for _, want := range []string{"Abstract", "Budget", "Schedule", "Risk Assessment"} {
+			if !strings.Contains(joined, want) {
+				t.Fatalf("%s missing %q section (has %v)", d.Name, want, heads)
+			}
+		}
+	}
+}
+
+func TestTaskPlansHaveBudgetAmounts(t *testing.T) {
+	for _, d := range New(5).TaskPlans(5) {
+		if !bytes.Contains(d.Data, []byte("Budget")) || !bytes.Contains(d.Data, []byte("$")) {
+			t.Fatalf("%s lacks budget data", d.Name)
+		}
+	}
+}
+
+func TestAnomalyFieldsPresent(t *testing.T) {
+	for _, d := range New(6).Anomalies(5) {
+		for _, f := range []string{"Title", "System", "Severity", "Description", "Corrective Action"} {
+			if !bytes.Contains(d.Data, []byte(f)) {
+				t.Fatalf("%s missing field %s", d.Name, f)
+			}
+		}
+	}
+}
+
+func TestBudgetSpreadsheetShape(t *testing.T) {
+	d := New(8).BudgetSpreadsheet(12)
+	lines := strings.Split(strings.TrimSpace(string(d.Data)), "\n")
+	if len(lines) != 13 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if lines[0] != "Project,Division,Center,Amount" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestMixedCoversAllTypes(t *testing.T) {
+	docs := New(9).Mixed(12)
+	kinds := map[string]bool{}
+	for _, d := range docs {
+		switch {
+		case strings.HasPrefix(d.Name, "proposal"):
+			kinds["proposal"] = true
+		case strings.HasPrefix(d.Name, "taskplan"):
+			kinds["taskplan"] = true
+		case strings.HasPrefix(d.Name, "anomaly"):
+			kinds["anomaly"] = true
+		case strings.HasPrefix(d.Name, "lesson"):
+			kinds["lesson"] = true
+		}
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}

@@ -1,0 +1,158 @@
+// Package costmodel reproduces Fig 1 of the paper: the cost of data
+// integration as a function of scale.  "The investment in schema
+// management per new source integrated and heavy-weight middleware are
+// reasons why user costs increase directly with the user benefit [...]
+// What is beneficial to end users however are integration technologies
+// that truly demonstrate economies of scale."
+//
+// The costs are measured, not asserted: for each (sources, applications)
+// point the model actually assembles both systems — a GAV mediator with
+// registered schemas, view definitions and mappings, and a NETMARK
+// deployment with one databank spec per application — and counts the
+// artifacts an administrator had to author.  Artifacts are also weighted
+// by authoring complexity (a mapping requires attribute-level schema
+// reconciliation; a databank source entry is one line naming a source).
+package costmodel
+
+import (
+	"context"
+	"fmt"
+
+	"netmark/internal/databank"
+	"netmark/internal/mediator"
+)
+
+// Weights per artifact class, in relative authoring-effort units.
+// A mediator mapping is attribute-level reconciliation work; a schema is
+// relation modelling; a databank entry is a pointer.
+const (
+	WeightSchema       = 5 // model one source's relations and attributes
+	WeightView         = 3 // design a global view
+	WeightMapping      = 4 // reconcile view attrs against one source
+	WeightDatabankSpec = 1 // name the application
+	WeightSourceEntry  = 1 // name/point at one source
+	WeightServer       = 2 // stand up the NETMARK server (paid once)
+)
+
+// Point is one measurement of Fig 1.
+type Point struct {
+	Sources int
+	Apps    int
+
+	// Raw artifact counts.
+	MediatorArtifacts int
+	NetmarkArtifacts  int
+
+	// Weighted authoring cost.
+	MediatorCost int
+	NetmarkCost  int
+}
+
+// relationShape is the synthetic source relation used for assembly; the
+// attribute count matters because mappings must bind each one.
+var relationShape = mediator.SourceRelation{
+	Name:  "records",
+	Attrs: []string{"Title", "System", "Severity", "Description"},
+}
+
+// Measure assembles both systems for a deployment of `sources`
+// information sources shared by `apps` integration applications and
+// returns the measured artifact counts and weighted costs.
+func Measure(sources, apps int) (Point, error) {
+	if sources < 1 || apps < 1 {
+		return Point{}, fmt.Errorf("costmodel: need at least one source and app")
+	}
+	p := Point{Sources: sources, Apps: apps}
+
+	// --- Mediator assembly (the heavy-weight path). -------------------
+	med := mediator.New()
+	for i := 0; i < sources; i++ {
+		name := fmt.Sprintf("src%d", i)
+		schema := &mediator.SourceSchema{Source: name,
+			Relations: []mediator.SourceRelation{relationShape}}
+		if err := med.RegisterSource(schema, nullAdapter{name}); err != nil {
+			return p, err
+		}
+	}
+	attrMap := map[string]string{}
+	for _, a := range relationShape.Attrs {
+		attrMap[a] = a
+	}
+	for a := 0; a < apps; a++ {
+		view := &mediator.GlobalView{
+			Name:  fmt.Sprintf("App%dView", a),
+			Attrs: relationShape.Attrs,
+		}
+		if err := med.DefineView(view); err != nil {
+			return p, err
+		}
+		for i := 0; i < sources; i++ {
+			if err := med.AddMapping(mediator.Mapping{
+				View:     view.Name,
+				Source:   fmt.Sprintf("src%d", i),
+				Relation: relationShape.Name,
+				AttrMap:  attrMap,
+			}); err != nil {
+				return p, err
+			}
+		}
+	}
+	p.MediatorArtifacts = med.ArtifactCount()
+	nSchemas, nViews, nMappings := med.Stats()
+	p.MediatorCost = nSchemas*WeightSchema + nViews*WeightView + nMappings*WeightMapping
+
+	// --- NETMARK assembly (the lean path). ----------------------------
+	// One server, then one declarative databank spec per application.
+	p.NetmarkCost = WeightServer
+	for a := 0; a < apps; a++ {
+		spec := &databank.Spec{Name: fmt.Sprintf("app%d", a)}
+		for i := 0; i < sources; i++ {
+			spec.Sources = append(spec.Sources, databank.SourceSpec{
+				Type: "http",
+				Name: fmt.Sprintf("src%d", i),
+				URL:  fmt.Sprintf("http://src%d.example", i),
+			})
+		}
+		p.NetmarkArtifacts += spec.ArtifactCount()
+		p.NetmarkCost += WeightDatabankSpec + sources*WeightSourceEntry
+	}
+	return p, nil
+}
+
+// nullAdapter satisfies the adapter interface for assembly-only
+// measurements (no extraction is performed).
+type nullAdapter struct{ name string }
+
+func (a nullAdapter) Name() string { return a.name }
+func (a nullAdapter) Extract(_ context.Context, _ mediator.SourceRelation) ([]mediator.Tuple, error) {
+	return nil, nil
+}
+
+// Series sweeps sources for a fixed number of applications — the Fig 1
+// x-axis ("# of consumers" reads as integration scale; we sweep sources
+// and report both).
+func Series(sourceCounts []int, apps int) ([]Point, error) {
+	out := make([]Point, 0, len(sourceCounts))
+	for _, n := range sourceCounts {
+		p, err := Measure(n, apps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MarginalCost returns the cost of integrating one more source into an
+// existing deployment — the paper's economies-of-scale test.
+func MarginalCost(sources, apps int) (mediatorDelta, netmarkDelta int, err error) {
+	a, err := Measure(sources, apps)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := Measure(sources+1, apps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return b.MediatorCost - a.MediatorCost, b.NetmarkCost - a.NetmarkCost, nil
+}

@@ -1,0 +1,93 @@
+package costmodel
+
+import "testing"
+
+func TestMeasureBasicShape(t *testing.T) {
+	p, err := Measure(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mediator: 4 schemas + 2 views + 8 mappings = 14 artifacts.
+	if p.MediatorArtifacts != 14 {
+		t.Fatalf("mediator artifacts = %d", p.MediatorArtifacts)
+	}
+	// NETMARK: 2 specs x (1 + 4 sources) = 10 artifacts.
+	if p.NetmarkArtifacts != 10 {
+		t.Fatalf("netmark artifacts = %d", p.NetmarkArtifacts)
+	}
+	if p.MediatorCost <= p.NetmarkCost {
+		t.Fatalf("cost ordering: mediator %d vs netmark %d", p.MediatorCost, p.NetmarkCost)
+	}
+}
+
+func TestMeasureRejectsDegenerate(t *testing.T) {
+	if _, err := Measure(0, 1); err == nil {
+		t.Fatal("zero sources accepted")
+	}
+	if _, err := Measure(1, 0); err == nil {
+		t.Fatal("zero apps accepted")
+	}
+}
+
+// TestFig1Shape verifies the figure's claim: the mediator's cost curve
+// dominates and grows strictly faster, with the gap widening as sources
+// are added.
+func TestFig1Shape(t *testing.T) {
+	pts, err := Series([]int{1, 2, 4, 8, 16, 32}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGap := -1
+	for _, p := range pts {
+		if p.MediatorCost <= p.NetmarkCost {
+			t.Fatalf("at %d sources mediator %d <= netmark %d",
+				p.Sources, p.MediatorCost, p.NetmarkCost)
+		}
+		gap := p.MediatorCost - p.NetmarkCost
+		if gap <= prevGap {
+			t.Fatalf("gap not widening at %d sources: %d then %d", p.Sources, prevGap, gap)
+		}
+		prevGap = gap
+	}
+}
+
+// TestMarginalCost: adding one source costs the mediator a schema plus
+// one mapping per application; NETMARK pays one spec line per app.
+func TestMarginalCost(t *testing.T) {
+	apps := 3
+	med, nm, err := MarginalCost(10, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMed := WeightSchema + apps*WeightMapping
+	wantNM := apps * WeightSourceEntry
+	if med != wantMed {
+		t.Fatalf("mediator marginal = %d, want %d", med, wantMed)
+	}
+	if nm != wantNM {
+		t.Fatalf("netmark marginal = %d, want %d", nm, wantNM)
+	}
+	if med <= nm {
+		t.Fatal("marginal costs inverted")
+	}
+}
+
+// TestConsumersAxis sweeps applications (the figure's #consumers axis)
+// at fixed sources.
+func TestConsumersAxis(t *testing.T) {
+	var prev Point
+	for i, apps := range []int{1, 2, 4, 8} {
+		p, err := Measure(8, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			medSlope := p.MediatorCost - prev.MediatorCost
+			nmSlope := p.NetmarkCost - prev.NetmarkCost
+			if medSlope <= nmSlope {
+				t.Fatalf("per-consumer slope: mediator %d <= netmark %d", medSlope, nmSlope)
+			}
+		}
+		prev = p
+	}
+}

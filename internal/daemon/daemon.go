@@ -1,0 +1,133 @@
+// Package daemon implements the NETMARK DAEMON of Fig 3: "Users insert
+// new documents (in any format such as Word, PDF, HTML, XML or others)
+// into NETMARK by simply dragging the documents into a (NETMARK) desktop
+// folder.  The 'NETMARK DAEMON' periodically picks up these documents
+// [and] passes them onto the 'SGML Parser', which converts the documents
+// into XML" for schema-less storage.
+//
+// The daemon polls a drop folder; successfully ingested files move to
+// .processed/, failures to .failed/ with a .err note, so a drop folder is
+// also an audit trail.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"netmark/internal/xmlstore"
+)
+
+// processedDir and failedDir are the bookkeeping subfolders.
+const (
+	processedDir = ".processed"
+	failedDir    = ".failed"
+)
+
+// Daemon watches one drop folder and ingests into one store.
+type Daemon struct {
+	dir      string
+	store    *xmlstore.Store
+	interval time.Duration
+
+	// OnIngest, when set, observes every attempt (err nil on success).
+	OnIngest func(name string, docID uint64, err error)
+
+	mu       sync.Mutex
+	ingested int
+	failed   int
+}
+
+// New creates a daemon for a drop folder (created if missing).
+func New(dir string, store *xmlstore.Store, interval time.Duration) (*Daemon, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for _, d := range []string{dir, filepath.Join(dir, processedDir), filepath.Join(dir, failedDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("daemon: %w", err)
+		}
+	}
+	return &Daemon{dir: dir, store: store, interval: interval}, nil
+}
+
+// Stats returns how many files were ingested and how many failed.
+func (d *Daemon) Stats() (ingested, failed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ingested, d.failed
+}
+
+// ScanOnce processes every file currently in the drop folder and returns
+// the number ingested.  It is the synchronous core Run loops over, and
+// what tests call directly.
+func (d *Daemon) ScanOnce() (int, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, fmt.Errorf("daemon: read drop folder: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	count := 0
+	for _, name := range names {
+		full := filepath.Join(d.dir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			d.recordFailure(name, full, err)
+			continue
+		}
+		docID, err := d.store.StoreRaw(name, data)
+		if err != nil {
+			d.recordFailure(name, full, err)
+			continue
+		}
+		// Move to .processed (best effort; the document is stored).
+		_ = os.Rename(full, filepath.Join(d.dir, processedDir, name))
+		d.mu.Lock()
+		d.ingested++
+		d.mu.Unlock()
+		count++
+		if d.OnIngest != nil {
+			d.OnIngest(name, docID, nil)
+		}
+	}
+	return count, nil
+}
+
+func (d *Daemon) recordFailure(name, full string, err error) {
+	_ = os.Rename(full, filepath.Join(d.dir, failedDir, name))
+	_ = os.WriteFile(filepath.Join(d.dir, failedDir, name+".err"), []byte(err.Error()), 0o644)
+	d.mu.Lock()
+	d.failed++
+	d.mu.Unlock()
+	if d.OnIngest != nil {
+		d.OnIngest(name, 0, err)
+	}
+}
+
+// Run polls until the context is cancelled.
+func (d *Daemon) Run(ctx context.Context) error {
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			if _, err := d.ScanOnce(); err != nil {
+				return err
+			}
+		}
+	}
+}

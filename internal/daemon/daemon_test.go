@@ -1,0 +1,152 @@
+package daemon
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netmark/internal/ordbms"
+	"netmark/internal/xmlstore"
+)
+
+func newStore(t testing.TB) *xmlstore.Store {
+	t.Helper()
+	db, err := ordbms.Open(ordbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := xmlstore.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScanOnceIngestsAndMoves(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, err := New(dir, store, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.html"),
+		[]byte(`<html><body><h1>T</h1><p>x</p></body></html>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.txt"),
+		[]byte("HEADING\n\nplain body\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ingested = %d", n)
+	}
+	if store.NumDocuments() != 2 {
+		t.Fatalf("store docs = %d", store.NumDocuments())
+	}
+	// Files moved out of the drop folder.
+	if _, err := os.Stat(filepath.Join(dir, "a.html")); !os.IsNotExist(err) {
+		t.Fatal("a.html still in drop folder")
+	}
+	if _, err := os.Stat(filepath.Join(dir, processedDir, "a.html")); err != nil {
+		t.Fatal("a.html not archived")
+	}
+	// Second scan finds nothing.
+	n, err = d.ScanOnce()
+	if err != nil || n != 0 {
+		t.Fatalf("rescan = %d %v", n, err)
+	}
+}
+
+func TestScanOnceRecordsFailures(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, err := New(dir, store, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary garbage has no converter.
+	if err := os.WriteFile(filepath.Join(dir, "blob.bin"),
+		[]byte{0, 1, 2, 0xFF, 0, 0, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("ingested = %d", n)
+	}
+	ing, failed := d.Stats()
+	if ing != 0 || failed != 1 {
+		t.Fatalf("stats = %d %d", ing, failed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "blob.bin")); err != nil {
+		t.Fatal("failed file not quarantined")
+	}
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "blob.bin.err")); err != nil {
+		t.Fatal("error note missing")
+	}
+}
+
+func TestOnIngestCallback(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, _ := New(dir, store, time.Second)
+	var calls []string
+	d.OnIngest = func(name string, docID uint64, err error) {
+		calls = append(calls, name)
+		if err == nil && docID == 0 {
+			t.Error("success without docID")
+		}
+	}
+	os.WriteFile(filepath.Join(dir, "x.html"), []byte(`<html><body><h1>A</h1><p>b</p></body></html>`), 0o644)
+	d.ScanOnce()
+	if len(calls) != 1 || calls[0] != "x.html" {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestRunLoopIngests(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, _ := New(dir, store, 10*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	os.WriteFile(filepath.Join(dir, "live.html"),
+		[]byte(`<html><body><h1>Live</h1><p>dropped while running</p></body></html>`), 0o644)
+
+	deadline := time.After(3 * time.Second)
+	for store.NumDocuments() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("daemon never picked up the file")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	secs, err := store.ContextSearch("Live")
+	if err != nil || len(secs) != 1 {
+		t.Fatalf("search after daemon ingest: %v %v", secs, err)
+	}
+}
+
+func TestHiddenAndDirEntriesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, _ := New(dir, store, time.Second)
+	os.WriteFile(filepath.Join(dir, ".hidden.html"), []byte(`<html><body><h1>H</h1></body></html>`), 0o644)
+	os.MkdirAll(filepath.Join(dir, "subdir"), 0o755)
+	n, err := d.ScanOnce()
+	if err != nil || n != 0 {
+		t.Fatalf("scan = %d %v", n, err)
+	}
+}

@@ -1,0 +1,114 @@
+package databank
+
+import (
+	"fmt"
+
+	"netmark/internal/xdb"
+	"netmark/internal/xmlstore"
+)
+
+// Plan is the result of query decomposition against one source: the
+// pushdown part the source evaluates natively and the residual predicates
+// NETMARK applies to the returned results.
+//
+// This is the paper's query augmentation: "NETMARK will pass on to the
+// original source whatever portions of the query it can process [...]
+// Further processing is then done in NETMARK" (§2.1.5).
+type Plan struct {
+	Source   string
+	Pushdown xdb.Query
+	// Residual predicates applied by the router.
+	ResidualContext bool
+	ResidualContent bool
+	ResidualPhrase  bool
+}
+
+// HasResidual reports whether the router must post-process.
+func (p Plan) HasResidual() bool {
+	return p.ResidualContext || p.ResidualContent || p.ResidualPhrase
+}
+
+// Decompose splits a query against a capability set.
+//
+// Rules:
+//   - Predicates the source supports are pushed down.
+//   - A context predicate against a content-only source is converted to a
+//     content query on the heading terms (best effort — the heading text
+//     almost always appears in the section), and the exact context match
+//     is kept as a residual.
+//   - A phrase against a source without phrase support degrades to an AND
+//     of terms pushdown with a residual phrase check.
+//   - A prefix context against a source without prefix support cannot be
+//     narrowed; the pushdown keeps only the content part and the prefix
+//     match is residual.
+func Decompose(q xdb.Query, caps Capability) (Plan, error) {
+	if !caps.Context && !caps.Content {
+		return Plan{}, fmt.Errorf("databank: source supports neither context nor content queries")
+	}
+	p := Plan{Pushdown: q}
+
+	// Phrase degradation.
+	if q.Phrase && !caps.Phrase {
+		p.Pushdown.Phrase = false
+		p.ResidualPhrase = true
+	}
+
+	// Context handling.
+	if q.Context != "" {
+		switch {
+		case caps.Context && q.ContextPrefix && !caps.Prefix:
+			// Exact-match-only source: cannot push a prefix; keep the
+			// context residual and push nothing for it.
+			p.Pushdown.Context = ""
+			p.Pushdown.ContextPrefix = false
+			p.ResidualContext = true
+		case !caps.Context:
+			// Content-only source: degrade context to content keywords.
+			p.Pushdown.Context = ""
+			p.Pushdown.ContextPrefix = false
+			p.ResidualContext = true
+			if p.Pushdown.Content == "" {
+				p.Pushdown.Content = q.Context
+				p.Pushdown.Phrase = false
+			}
+		}
+	}
+
+	// Content handling.
+	if q.Content != "" && !caps.Content {
+		// Context-only source: push the context, verify content here.
+		p.Pushdown.Content = ""
+		p.Pushdown.Phrase = false
+		p.ResidualContent = true
+	}
+
+	// Limits cannot be pushed when a residual filter may discard rows.
+	if p.HasResidual() {
+		p.Pushdown.Limit = 0
+	}
+	if p.Pushdown.IsZero() {
+		return Plan{}, fmt.Errorf("databank: nothing pushable for this source (query %q, caps %s)", q.Encode(), caps)
+	}
+	return p, nil
+}
+
+// ApplyResidual filters the source's sections by the residual predicates.
+func (p Plan) ApplyResidual(q xdb.Query, secs []xmlstore.Section) []xmlstore.Section {
+	if !p.HasResidual() {
+		return secs
+	}
+	out := secs[:0]
+	for _, s := range secs {
+		if p.ResidualContext && !xdb.SectionMatchesContext(s, q) {
+			continue
+		}
+		if (p.ResidualContent || p.ResidualPhrase) && !xdb.SectionMatchesContent(s, q) {
+			continue
+		}
+		out = append(out, s)
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package databank
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"netmark/internal/xdb"
+	"netmark/internal/xmlstore"
+)
+
+// Databank is a declared integration application: a name and the sources
+// its queries fan out to.  Creating one is the paper's entire assembly
+// process for a new integration application — no schemas, no mappings.
+type Databank struct {
+	name        string
+	mu          sync.RWMutex
+	sources     []Source
+	timeout     time.Duration
+	maxParallel int
+}
+
+// Option configures a databank.
+type Option func(*Databank)
+
+// WithTimeout bounds each multi-source query.
+func WithTimeout(d time.Duration) Option {
+	return func(b *Databank) { b.timeout = d }
+}
+
+// WithMaxParallel caps concurrent source queries (0 = unbounded).
+func WithMaxParallel(n int) Option {
+	return func(b *Databank) { b.maxParallel = n }
+}
+
+// New creates an empty databank.
+func New(name string, opts ...Option) *Databank {
+	b := &Databank{name: name, timeout: 30 * time.Second}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Name returns the databank name.
+func (b *Databank) Name() string { return b.name }
+
+// AddSource registers a source.
+func (b *Databank) AddSource(s Source) {
+	b.mu.Lock()
+	b.sources = append(b.sources, s)
+	b.mu.Unlock()
+}
+
+// Sources lists registered sources.
+func (b *Databank) Sources() []Source {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]Source(nil), b.sources...)
+}
+
+// SourceResult is one source's contribution to a merged result.
+type SourceResult struct {
+	Source   string
+	Plan     Plan
+	Sections []xmlstore.Section
+	Docs     []*xmlstore.DocInfo
+	Err      error
+	Elapsed  time.Duration
+}
+
+// Merged is the union of all source results for one query.
+type Merged struct {
+	Query     xdb.Query
+	PerSource []SourceResult
+	Elapsed   time.Duration
+}
+
+// Sections returns all sections across sources, tagged stably by source
+// order then document order.
+func (m *Merged) Sections() []xmlstore.Section {
+	var out []xmlstore.Section
+	for _, sr := range m.PerSource {
+		out = append(out, sr.Sections...)
+	}
+	return out
+}
+
+// Docs returns all document-level results across sources.
+func (m *Merged) Docs() []*xmlstore.DocInfo {
+	var out []*xmlstore.DocInfo
+	for _, sr := range m.PerSource {
+		out = append(out, sr.Docs...)
+	}
+	return out
+}
+
+// Errs returns per-source failures (partial results are still usable).
+func (m *Merged) Errs() map[string]error {
+	out := make(map[string]error)
+	for _, sr := range m.PerSource {
+		if sr.Err != nil {
+			out[sr.Source] = sr.Err
+		}
+	}
+	return out
+}
+
+// Query fans the query out to every source in parallel — the thin-router
+// data path of Fig 8.  Each source gets its own goroutine, its own
+// decomposed plan, and residual filtering on the way back.  A failing
+// source yields an error entry, not a failed query.
+func (b *Databank) Query(ctx context.Context, q xdb.Query) (*Merged, error) {
+	if q.IsZero() {
+		return nil, fmt.Errorf("databank: empty query")
+	}
+	sources := b.Sources()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("databank %s: no sources", b.name)
+	}
+	if b.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	results := make([]SourceResult, len(sources))
+
+	var sem chan struct{}
+	if b.maxParallel > 0 {
+		sem = make(chan struct{}, b.maxParallel)
+	}
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src Source) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			results[i] = b.querySource(ctx, src, q)
+		}(i, src)
+	}
+	wg.Wait()
+	return &Merged{Query: q, PerSource: results, Elapsed: time.Since(start)}, nil
+}
+
+// QuerySequential is the ablation path: same semantics, one source at a
+// time (what a naive router without goroutine fan-out would do).
+func (b *Databank) QuerySequential(ctx context.Context, q xdb.Query) (*Merged, error) {
+	if q.IsZero() {
+		return nil, fmt.Errorf("databank: empty query")
+	}
+	sources := b.Sources()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("databank %s: no sources", b.name)
+	}
+	start := time.Now()
+	results := make([]SourceResult, len(sources))
+	for i, src := range sources {
+		results[i] = b.querySource(ctx, src, q)
+	}
+	return &Merged{Query: q, PerSource: results, Elapsed: time.Since(start)}, nil
+}
+
+func (b *Databank) querySource(ctx context.Context, src Source, q xdb.Query) SourceResult {
+	sr := SourceResult{Source: src.Name()}
+	t0 := time.Now()
+	defer func() { sr.Elapsed = time.Since(t0) }()
+
+	plan, err := Decompose(q, src.Capabilities())
+	if err != nil {
+		sr.Err = err
+		return sr
+	}
+	sr.Plan = plan
+	res, err := src.Query(ctx, plan.Pushdown)
+	if err != nil {
+		sr.Err = err
+		return sr
+	}
+	if q.DocsOnly {
+		sr.Docs = res.Docs
+		return sr
+	}
+	sr.Sections = plan.ApplyResidual(q, res.Sections)
+	return sr
+}
+
+// Registry holds the named databanks of a NETMARK deployment.
+type Registry struct {
+	mu    sync.RWMutex
+	banks map[string]*Databank
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{banks: make(map[string]*Databank)}
+}
+
+// Add registers a databank; replacing an existing name is an error.
+func (r *Registry) Add(b *Databank) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.banks[b.Name()]; dup {
+		return fmt.Errorf("databank: %q already registered", b.Name())
+	}
+	r.banks[b.Name()] = b
+	return nil
+}
+
+// Get returns a databank by name, or nil.
+func (r *Registry) Get(name string) *Databank {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.banks[name]
+}
+
+// Remove deletes a databank.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	delete(r.banks, name)
+	r.mu.Unlock()
+}
+
+// Names lists registered databanks in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.banks))
+	for n := range r.banks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec is the declarative JSON form of a databank — the administrator's
+// entire artifact for assembling an integration application (compare the
+// mediator's per-source schemas plus view mappings).
+type Spec struct {
+	Name    string       `json:"name"`
+	Sources []SourceSpec `json:"sources"`
+	// TimeoutSeconds bounds multi-source queries (default 30).
+	TimeoutSeconds int `json:"timeout_seconds,omitempty"`
+}
+
+// SourceSpec declares one source.
+type SourceSpec struct {
+	// Type: "local", "legacy" or "http".
+	Type string `json:"type"`
+	Name string `json:"name"`
+	// URL for http sources.
+	URL string `json:"url,omitempty"`
+	// Capabilities in "context+content" form; empty means full.
+	Capabilities string `json:"capabilities,omitempty"`
+}
+
+// ParseSpec decodes a JSON spec.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("databank: bad spec: %w", err)
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("databank: spec needs a name")
+	}
+	if len(s.Sources) == 0 {
+		return nil, fmt.Errorf("databank: spec %q has no sources", s.Name)
+	}
+	return &s, nil
+}
+
+// ArtifactCount is the integration-cost accounting hook for Fig 1: one
+// artifact for the databank itself plus one per source entry.  No
+// schemas, no view definitions, no mappings.
+func (s *Spec) ArtifactCount() int { return 1 + len(s.Sources) }
+
+// Build instantiates the spec.  The resolver maps local/legacy source
+// names to engines (http sources need no resolver).
+func (s *Spec) Build(resolve func(name string) (*xdb.Engine, error)) (*Databank, error) {
+	opts := []Option{}
+	if s.TimeoutSeconds > 0 {
+		opts = append(opts, WithTimeout(time.Duration(s.TimeoutSeconds)*time.Second))
+	}
+	b := New(s.Name, opts...)
+	for _, ss := range s.Sources {
+		caps := Full
+		if ss.Capabilities != "" {
+			var err error
+			caps, err = ParseCapability(ss.Capabilities)
+			if err != nil {
+				return nil, err
+			}
+		}
+		switch ss.Type {
+		case "local":
+			eng, err := resolve(ss.Name)
+			if err != nil {
+				return nil, err
+			}
+			b.AddSource(NewLocalSource(ss.Name, eng))
+		case "legacy":
+			eng, err := resolve(ss.Name)
+			if err != nil {
+				return nil, err
+			}
+			b.AddSource(NewLegacySource(ss.Name, caps, eng))
+		case "http":
+			if ss.URL == "" {
+				return nil, fmt.Errorf("databank: http source %q needs url", ss.Name)
+			}
+			b.AddSource(NewHTTPSource(ss.Name, ss.URL, caps))
+		default:
+			return nil, fmt.Errorf("databank: unknown source type %q", ss.Type)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,75 @@
+package docform
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"netmark/internal/sgml"
+)
+
+// csvConverter upmarks spreadsheets (the paper: "data that can well be
+// stored in spreadsheets").  The header row provides field names; every
+// data row becomes a <record> whose cells are context/content sections —
+// so a context search for a column name (Context=Division) returns that
+// column's values, exactly the relational-to-context mapping the NASA
+// applications rely on.
+type csvConverter struct{}
+
+func (csvConverter) Name() string         { return "csv" }
+func (csvConverter) Extensions() []string { return []string{"csv", "tsv", "xls"} }
+func (csvConverter) Sniff(data []byte) bool {
+	head := head1k(data)
+	if !looksPrintable(head) {
+		return false
+	}
+	lines := bytes.Split(head, []byte("\n"))
+	if len(lines) < 2 {
+		return false
+	}
+	c0 := bytes.Count(lines[0], []byte(","))
+	c1 := bytes.Count(lines[1], []byte(","))
+	return c0 >= 1 && c0 == c1
+}
+
+func (csvConverter) Convert(name string, data []byte) (*sgml.Node, error) {
+	comma := ','
+	if strings.HasSuffix(strings.ToLower(name), ".tsv") {
+		comma = '\t'
+	}
+	r := csv.NewReader(bytes.NewReader(data))
+	r.Comma = comma
+	r.FieldsPerRecord = -1 // ragged rows tolerated
+	r.LazyQuotes = true
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("docform: csv: %w", err)
+	}
+	doc := newDocument(name)
+	if len(rows) == 0 {
+		section(doc, name, 0)
+		return doc, nil
+	}
+	header := rows[0]
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+	}
+	sheet := sgml.NewElement("sheet")
+	sheet.SetAttr("columns", fmt.Sprintf("%d", len(header)))
+	doc.AppendChild(sheet)
+	for ri, row := range rows[1:] {
+		rec := sgml.NewElement("record")
+		rec.SetAttr("index", fmt.Sprintf("%d", ri+1))
+		sheet.AppendChild(rec)
+		for ci, cell := range row {
+			col := fmt.Sprintf("column%d", ci+1)
+			if ci < len(header) && header[ci] != "" {
+				col = header[ci]
+			}
+			content := section(rec, col, 0)
+			addPara(content, cell)
+		}
+	}
+	return doc, nil
+}

@@ -1,0 +1,185 @@
+// Package docform implements NETMARK's automated "upmark" stage: "We
+// have developed parsers for a wide variety of document formats (such as
+// Word, PDF, HTML, Powerpoint and others) that automatically structure
+// and 'upmark' a document into XML based on the formatting information in
+// the document" (§4).
+//
+// Proprietary binary formats are substituted with open equivalents that
+// carry the same formatting signals the paper's parsers exploit:
+//
+//	HTML        -> heading tags (h1..h6)
+//	RTF subset  -> bold/large-font runs (the Word substitute)
+//	Plain text  -> ALL-CAPS / numbered / underlined headings (the PDF
+//	               text-extraction substitute)
+//	CSV         -> header row + records (the spreadsheet substitute)
+//	Slide text  -> slide-per-heading decks (the PowerPoint substitute)
+//	XML         -> stored as-is (schema-less generic path)
+//
+// Every converter emits the same normalized shape — sections of
+// <context> (the heading) and <content> (what follows it) — which is
+// exactly the structure NETMARK's context/content search operates on.
+package docform
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"netmark/internal/sgml"
+)
+
+// Meta is what the DOC table stores about a converted document.
+type Meta struct {
+	FileName string
+	Format   string
+	Title    string
+	Size     int
+}
+
+// Converter turns one source format into the normalized document tree.
+type Converter interface {
+	// Name is the short format name stored in the DOC table.
+	Name() string
+	// Extensions lists filename extensions (without dot) this converter
+	// claims.
+	Extensions() []string
+	// Sniff reports whether the content looks like this format.
+	Sniff(data []byte) bool
+	// Convert parses data into a document tree.  The returned node is
+	// the <document> element.
+	Convert(name string, data []byte) (*sgml.Node, error)
+}
+
+// converters in registration order; order matters for sniffing
+// (more specific formats first).
+var converters []Converter
+
+// Register appends a converter to the registry.
+func Register(c Converter) { converters = append(converters, c) }
+
+func init() {
+	Register(rtfConverter{})
+	Register(htmlConverter{})
+	Register(xmlConverter{})
+	Register(csvConverter{})
+	Register(slideConverter{})
+	Register(textConverter{}) // fallback: sniffs everything printable
+}
+
+// Formats lists the registered format names.
+func Formats() []string {
+	out := make([]string, len(converters))
+	for i, c := range converters {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// Detect picks the converter for a file by extension, then by sniffing.
+func Detect(name string, data []byte) (Converter, error) {
+	ext := strings.TrimPrefix(strings.ToLower(filepath.Ext(name)), ".")
+	if ext != "" {
+		for _, c := range converters {
+			for _, e := range c.Extensions() {
+				if e == ext {
+					return c, nil
+				}
+			}
+		}
+	}
+	for _, c := range converters {
+		if c.Sniff(data) {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("docform: no converter for %q", name)
+}
+
+// Convert detects the format and converts, returning the normalized
+// document tree and its metadata.
+func Convert(name string, data []byte) (*sgml.Node, Meta, error) {
+	c, err := Detect(name, data)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	doc, err := c.Convert(name, data)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("docform: convert %q as %s: %w", name, c.Name(), err)
+	}
+	meta := Meta{
+		FileName: name,
+		Format:   c.Name(),
+		Title:    documentTitle(doc, name),
+		Size:     len(data),
+	}
+	return doc, meta, nil
+}
+
+// documentTitle extracts the title attribute or falls back to the first
+// context, then the file name.
+func documentTitle(doc *sgml.Node, name string) string {
+	if t, ok := doc.Attr("title"); ok && t != "" {
+		return t
+	}
+	if ctx := doc.Find("context"); ctx != nil {
+		return ctx.Text()
+	}
+	return filepath.Base(name)
+}
+
+// newDocument builds the normalized <document> element.
+func newDocument(title string) *sgml.Node {
+	d := sgml.NewElement("document")
+	if title != "" {
+		d.SetAttr("title", title)
+	}
+	return d
+}
+
+// section appends a <section><context>..</context><content/></section>
+// to parent and returns the content element.
+func section(parent *sgml.Node, heading string, level int) *sgml.Node {
+	sec := sgml.NewElement("section")
+	if level > 0 {
+		sec.SetAttr("level", fmt.Sprintf("%d", level))
+	}
+	ctx := sgml.NewElement("context")
+	ctx.AppendChild(sgml.NewText(heading))
+	sec.AppendChild(ctx)
+	content := sgml.NewElement("content")
+	sec.AppendChild(content)
+	parent.AppendChild(sec)
+	return content
+}
+
+// addPara appends a <para> with text to content, skipping blanks.
+func addPara(content *sgml.Node, text string) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return
+	}
+	p := sgml.NewElement("para")
+	p.AppendChild(sgml.NewText(text))
+	content.AppendChild(p)
+}
+
+// looksPrintable reports whether data is plausibly text.
+func looksPrintable(data []byte) bool {
+	if len(data) == 0 {
+		return true
+	}
+	n := len(data)
+	if n > 1024 {
+		n = 1024
+	}
+	bad := 0
+	for _, b := range data[:n] {
+		if b == 0 {
+			return false
+		}
+		if b < 32 && b != '\n' && b != '\r' && b != '\t' && b != '\f' {
+			bad++
+		}
+	}
+	return bad*20 < n
+}

@@ -1,0 +1,457 @@
+package docform
+
+import (
+	"strings"
+	"testing"
+
+	"netmark/internal/sgml"
+)
+
+// sections returns (context, content-text) pairs from a converted doc.
+func sections(doc *sgml.Node) [][2]string {
+	var out [][2]string
+	for _, sec := range doc.FindAll("section") {
+		ctx := sec.Find("context")
+		content := sec.Find("content")
+		var c, b string
+		if ctx != nil {
+			c = ctx.Text()
+		}
+		if content != nil {
+			b = content.Text()
+		}
+		out = append(out, [2]string{c, b})
+	}
+	return out
+}
+
+func TestHTMLConvertSections(t *testing.T) {
+	html := `<html><head><title>Test Report</title></head><body>
+	<h1>Introduction</h1><p>This paper describes systems.</p>
+	<h2>Budget</h2><p>Total of $4M requested.</p><table><tr><td>q1</td></tr></table>
+	<h2>Conclusions</h2><p>It works.</p>
+	</body></html>`
+	doc, meta, err := Convert("report.html", []byte(html))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != "html" || meta.Title != "Test Report" {
+		t.Fatalf("meta = %+v", meta)
+	}
+	secs := sections(doc)
+	if len(secs) != 3 {
+		t.Fatalf("sections = %v", secs)
+	}
+	if secs[0][0] != "Introduction" || !strings.Contains(secs[0][1], "describes systems") {
+		t.Fatalf("intro = %v", secs[0])
+	}
+	if secs[1][0] != "Budget" || !strings.Contains(secs[1][1], "$4M") {
+		t.Fatalf("budget = %v", secs[1])
+	}
+	// Table markup survives for SIMULATION classification.
+	if doc.Find("table") == nil {
+		t.Fatal("table dropped during upmark")
+	}
+}
+
+func TestHTMLPreambleOnlyWhenContentPrecedesHeading(t *testing.T) {
+	doc, _, err := Convert("x.html", []byte(`<html><body><p>front</p><h1>A</h1><p>body</p></body></html>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := sections(doc)
+	if len(secs) != 2 || secs[0][0] != "Preamble" {
+		t.Fatalf("sections = %v", secs)
+	}
+	doc2, _, err := Convert("y.html", []byte(`<html><body><h1>A</h1><p>body</p></body></html>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs2 := sections(doc2)
+	if len(secs2) != 1 || secs2[0][0] != "A" {
+		t.Fatalf("no-preamble sections = %v", secs2)
+	}
+}
+
+func TestHTMLNestedContainers(t *testing.T) {
+	doc, _, err := Convert("n.html", []byte(
+		`<html><body><div><h2>Inside Div</h2><p>text</p></div></body></html>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := sections(doc)
+	if len(secs) != 1 || secs[0][0] != "Inside Div" {
+		t.Fatalf("sections = %v", secs)
+	}
+}
+
+func TestTextConvertHeadingHeuristics(t *testing.T) {
+	src := `PROPOSAL SUMMARY
+
+This proposal requests funding.
+
+1. Technical Approach
+
+We will build a system.
+
+2.1 Schedule
+
+Six months.
+
+Risk Assessment
+===============
+
+Low overall risk.
+`
+	doc, meta, err := Convert("prop.txt", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != "text" {
+		t.Fatalf("format = %s", meta.Format)
+	}
+	secs := sections(doc)
+	var heads []string
+	for _, s := range secs {
+		heads = append(heads, s[0])
+	}
+	want := []string{"PROPOSAL SUMMARY", "Technical Approach", "Schedule", "Risk Assessment"}
+	if len(heads) != len(want) {
+		t.Fatalf("headings = %v, want %v", heads, want)
+	}
+	for i := range want {
+		if heads[i] != want[i] {
+			t.Fatalf("headings = %v, want %v", heads, want)
+		}
+	}
+	if !strings.Contains(secs[2][1], "Six months") {
+		t.Fatalf("schedule content = %q", secs[2][1])
+	}
+}
+
+func TestTextNumberedHeadingNotSentence(t *testing.T) {
+	src := "INTRO\n\n5 of the 12 engines failed during testing phases across the year.\n"
+	doc, _, err := Convert("r.txt", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := sections(doc)
+	if len(secs) != 1 {
+		t.Fatalf("sentence mistaken for heading: %v", secs)
+	}
+}
+
+func TestRTFConvert(t *testing.T) {
+	rtf := `{\rtf1\ansi
+{\fonttbl{\f0 Times New Roman;}}
+{\b Executive Summary}\par
+This document summarises the {\b key} findings.\par
+{\b Budget Details}\par
+We request \'244M for the program.\par
+}`
+	doc, meta, err := Convert("memo.rtf", []byte(rtf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != "rtf" {
+		t.Fatalf("format = %s", meta.Format)
+	}
+	secs := sections(doc)
+	if len(secs) != 2 {
+		t.Fatalf("sections = %v", secs)
+	}
+	if secs[0][0] != "Executive Summary" || secs[1][0] != "Budget Details" {
+		t.Fatalf("headings = %v", secs)
+	}
+	if !strings.Contains(secs[1][1], "$4M") {
+		t.Fatalf("hex escape lost: %q", secs[1][1])
+	}
+	// Inline bold inside a body paragraph becomes <intense>, not a
+	// heading.
+	if doc.Find("intense") == nil {
+		t.Fatal("inline bold lost")
+	}
+}
+
+func TestRTFFontSizeHeading(t *testing.T) {
+	rtf := `{\rtf1
+{\fs36 Large Title}\par
+\fs24 Body text at normal size here, long enough to dominate the size histogram of the document.\par
+More body text to reinforce the base size calculation.\par
+}`
+	doc, _, err := Convert("m.rtf", []byte(rtf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := sections(doc)
+	if len(secs) == 0 || secs[0][0] != "Large Title" {
+		t.Fatalf("sections = %v", secs)
+	}
+}
+
+func TestRTFDestinationGroupsSkipped(t *testing.T) {
+	rtf := `{\rtf1{\fonttbl{\f0 Helvetica;}}{\info{\author Secret}}Body only.\par}`
+	doc, _, err := Convert("d.rtf", []byte(rtf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := doc.Text()
+	if strings.Contains(text, "Helvetica") || strings.Contains(text, "Secret") {
+		t.Fatalf("destination group leaked: %q", text)
+	}
+	if !strings.Contains(text, "Body only.") {
+		t.Fatalf("body lost: %q", text)
+	}
+}
+
+func TestRTFUnicodeEscape(t *testing.T) {
+	rtf := `{\rtf1 {\b Title}\par Range \u8211 ? is \u176 ?C wide.\par}`
+	doc, _, err := Convert("u.rtf", []byte(rtf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := doc.Text()
+	if !strings.Contains(text, "\u2013") || !strings.Contains(text, "\u00b0C") {
+		t.Fatalf("unicode escapes lost: %q", text)
+	}
+}
+
+func TestSlidesAsteriskBullets(t *testing.T) {
+	deck := "=== Topics\n* first\n* second\n"
+	doc, _, err := Convert("d.slides", []byte(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := doc.FindAll("item")
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+}
+
+func TestTextFormFeedPageBreaks(t *testing.T) {
+	src := "PAGE ONE\n\nbody one\n\fPAGE TWO\n\nbody two\n"
+	doc, _, err := Convert("p.txt", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := sections(doc)
+	if len(secs) != 2 || secs[0][0] != "PAGE ONE" || secs[1][0] != "PAGE TWO" {
+		t.Fatalf("sections = %v", secs)
+	}
+}
+
+func TestCSVConvert(t *testing.T) {
+	csvData := `Title,Division,Amount
+Mars Probe,Science,4000000
+Station Module,Engineering,9500000`
+	doc, meta, err := Convert("proposals.csv", []byte(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != "csv" {
+		t.Fatalf("format = %s", meta.Format)
+	}
+	recs := doc.FindAll("record")
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	secs := sections(doc)
+	if len(secs) != 6 {
+		t.Fatalf("sections = %d (%v)", len(secs), secs)
+	}
+	// Context=Division must pair with the right values.
+	var divisions []string
+	for _, s := range secs {
+		if s[0] == "Division" {
+			divisions = append(divisions, s[1])
+		}
+	}
+	if len(divisions) != 2 || divisions[0] != "Science" || divisions[1] != "Engineering" {
+		t.Fatalf("divisions = %v", divisions)
+	}
+}
+
+func TestCSVRaggedRows(t *testing.T) {
+	csvData := "a,b,c\n1,2\n3,4,5,6\n"
+	doc, _, err := Convert("r.csv", []byte(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := doc.FindAll("record")
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Extra cells get synthesized column names.
+	secs := sections(doc)
+	foundSynth := false
+	for _, s := range secs {
+		if s[0] == "column4" {
+			foundSynth = true
+		}
+	}
+	if !foundSynth {
+		t.Fatalf("ragged extra column lost: %v", secs)
+	}
+}
+
+func TestSlidesConvert(t *testing.T) {
+	deck := `=== Mission Overview
+- Launch in 2027
+- Two year cruise
+Notes on trajectory.
+
+=== Risks
+- Radiation exposure
+- Budget overrun`
+	doc, meta, err := Convert("brief.slides", []byte(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != "slides" {
+		t.Fatalf("format = %s", meta.Format)
+	}
+	secs := sections(doc)
+	if len(secs) != 2 || secs[0][0] != "Mission Overview" || secs[1][0] != "Risks" {
+		t.Fatalf("sections = %v", secs)
+	}
+	if !strings.Contains(secs[0][1], "Launch in 2027") || !strings.Contains(secs[0][1], "trajectory") {
+		t.Fatalf("slide content = %q", secs[0][1])
+	}
+	items := doc.FindAll("item")
+	if len(items) != 4 {
+		t.Fatalf("items = %d", len(items))
+	}
+}
+
+func TestXMLPassThrough(t *testing.T) {
+	src := `<?xml version="1.0"?><inventory><part id="1"><name>Valve</name></part></inventory>`
+	doc, meta, err := Convert("parts.xml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != "xml" {
+		t.Fatalf("format = %s", meta.Format)
+	}
+	if doc.Find("inventory") == nil && doc.Name != "document" {
+		t.Fatal("xml structure lost")
+	}
+	if doc.Find("part") == nil {
+		t.Fatal("part element lost")
+	}
+}
+
+func TestXMLNormalizedPassThrough(t *testing.T) {
+	src := `<document title="Pre"><section><context>A</context><content><para>x</para></content></section></document>`
+	doc, meta, err := Convert("pre.xml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "document" {
+		t.Fatalf("root = %s", doc.Name)
+	}
+	if meta.Title != "Pre" {
+		t.Fatalf("title = %s", meta.Title)
+	}
+	secs := sections(doc)
+	if len(secs) != 1 || secs[0][0] != "A" {
+		t.Fatalf("sections = %v", secs)
+	}
+}
+
+func TestDetectByExtension(t *testing.T) {
+	cases := map[string]string{
+		"a.html":   "html",
+		"b.rtf":    "rtf",
+		"c.csv":    "csv",
+		"d.txt":    "text",
+		"e.slides": "slides",
+		"f.xml":    "xml",
+		"g.doc":    "rtf", // .doc routed to the Word substitute
+	}
+	for name, want := range cases {
+		c, err := Detect(name, []byte("x,y\n1,2\n"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != want {
+			t.Fatalf("Detect(%s) = %s, want %s", name, c.Name(), want)
+		}
+	}
+}
+
+func TestDetectBySniffing(t *testing.T) {
+	cases := []struct {
+		data string
+		want string
+	}{
+		{`{\rtf1 hello}`, "rtf"},
+		{`<!DOCTYPE html><html></html>`, "html"},
+		{`<?xml version="1.0"?><r/>`, "xml"},
+		{"=== Slide\n- b", "slides"},
+		{"col1,col2\nv1,v2\n", "csv"},
+		{"just plain prose with no structure", "text"},
+	}
+	for _, c := range cases {
+		conv, err := Detect("unknown.bin", []byte(c.data))
+		if err != nil {
+			t.Fatalf("%q: %v", c.data, err)
+		}
+		if conv.Name() != c.want {
+			t.Fatalf("Detect(%q) = %s, want %s", c.data, conv.Name(), c.want)
+		}
+	}
+}
+
+func TestDetectRejectsBinary(t *testing.T) {
+	if _, err := Detect("blob.bin", []byte{0, 1, 2, 3, 0xFF, 0, 0}); err == nil {
+		t.Fatal("binary garbage accepted")
+	}
+}
+
+func TestEveryConverterSurvivesEmptyInput(t *testing.T) {
+	for _, name := range []string{"a.html", "a.rtf", "a.csv", "a.txt", "a.slides", "a.xml"} {
+		conv, err := Detect(name, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		doc, err := conv.Convert(name, nil)
+		if name == "a.xml" {
+			// XML requires a root element; error is acceptable.
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if doc == nil {
+			t.Fatalf("%s: nil doc", name)
+		}
+	}
+}
+
+func TestConvertProducesUniformShape(t *testing.T) {
+	// Every upmarking converter must emit <document> with sections
+	// carrying <context> before <content> — the invariant the store's
+	// traversal relies on.
+	inputs := map[string]string{
+		"a.html":   `<html><body><h1>H</h1><p>b</p></body></html>`,
+		"a.txt":    "HEADING\n\nbody\n",
+		"a.rtf":    `{\rtf1 {\b H}\par body\par}`,
+		"a.csv":    "c1,c2\nv1,v2\n",
+		"a.slides": "=== H\n- b\n",
+	}
+	for name, data := range inputs {
+		doc, _, err := Convert(name, []byte(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if doc.Name != "document" {
+			t.Fatalf("%s root = %s", name, doc.Name)
+		}
+		for _, sec := range doc.FindAll("section") {
+			kids := sec.ChildElements()
+			if len(kids) < 2 || kids[0].Name != "context" || kids[1].Name != "content" {
+				t.Fatalf("%s: malformed section %v", name, kids)
+			}
+		}
+	}
+}

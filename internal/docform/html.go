@@ -1,0 +1,111 @@
+package docform
+
+import (
+	"bytes"
+	"strings"
+
+	"netmark/internal/sgml"
+)
+
+// htmlConverter upmarks web documents: each h1..h6 starts a section; the
+// nodes between headings become the section content (tables, lists and
+// emphasis survive as markup so the store can classify them SIMULATION
+// and INTENSE).
+type htmlConverter struct{}
+
+func (htmlConverter) Name() string         { return "html" }
+func (htmlConverter) Extensions() []string { return []string{"html", "htm", "xhtml"} }
+func (htmlConverter) Sniff(data []byte) bool {
+	head := bytes.ToLower(head1k(data))
+	return bytes.Contains(head, []byte("<!doctype html")) ||
+		bytes.Contains(head, []byte("<html")) ||
+		bytes.Contains(head, []byte("<body"))
+}
+
+func head1k(data []byte) []byte {
+	if len(data) > 1024 {
+		return data[:1024]
+	}
+	return data
+}
+
+var headingLevel = map[string]int{
+	"h1": 1, "h2": 2, "h3": 3, "h4": 4, "h5": 5, "h6": 6,
+}
+
+func (htmlConverter) Convert(name string, data []byte) (*sgml.Node, error) {
+	tree, err := sgml.ParseString(string(data), sgml.ModeHTML)
+	if err != nil {
+		return nil, err
+	}
+	title := ""
+	if t := tree.Find("title"); t != nil {
+		title = t.Text()
+	}
+	doc := newDocument(title)
+
+	// The content root is <body> when present, else the whole document.
+	body := tree.Find("body")
+	if body == nil {
+		body = tree
+	}
+
+	// Front matter before the first heading goes into an implicit
+	// "Preamble" section only if non-empty.
+	var content *sgml.Node
+	ensureContent := func() *sgml.Node {
+		if content == nil {
+			content = section(doc, "Preamble", 0)
+		}
+		return content
+	}
+
+	var walk func(n *sgml.Node)
+	walk = func(n *sgml.Node) {
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind == sgml.ElementNode {
+				if lvl, isHeading := headingLevel[c.Name]; isHeading {
+					heading := c.Text()
+					if heading == "" {
+						heading = "(untitled)"
+					}
+					content = section(doc, heading, lvl)
+					continue
+				}
+				switch c.Name {
+				case "script", "style", "head", "title":
+					continue
+				case "div", "span", "main", "article", "header", "footer", "nav":
+					// Transparent containers: recurse so nested headings
+					// still split sections.
+					walk(c)
+					continue
+				}
+				// Content element: clone the subtree into the current
+				// section, dropping empty text.
+				if strings.TrimSpace(c.Text()) == "" && c.Find("img") == nil {
+					continue
+				}
+				ensureContent().AppendChild(c.Clone())
+				continue
+			}
+			if c.Kind == sgml.TextNode && strings.TrimSpace(c.Data) != "" {
+				addPara(ensureContent(), c.Data)
+			}
+		}
+	}
+	walk(body)
+
+	if doc.FirstChild == nil {
+		// A pathological page with no content at all: preserve the title.
+		section(doc, titleOr(title, name), 0)
+	}
+	return doc, nil
+}
+
+func titleOr(title, fallback string) string {
+	if title != "" {
+		return title
+	}
+	return fallback
+}

@@ -1,0 +1,307 @@
+package docform
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+
+	"netmark/internal/sgml"
+)
+
+// rtfConverter upmarks a subset of RTF — the stand-in for the paper's
+// Word parser.  It exploits the same formatting signals a Word parser
+// would: a paragraph rendered entirely bold, or in a font size at least
+// four points above the document base, is a heading; everything else is
+// body text.
+//
+// Supported RTF constructs: groups {...}, \par paragraph breaks, \b/\b0
+// bold toggles, \fsN font size (half-points), \'hh hex escapes, \u N
+// unicode escapes, and the standard destination groups (\fonttbl,
+// \colortbl, \info, \stylesheet) which are skipped.
+type rtfConverter struct{}
+
+func (rtfConverter) Name() string         { return "rtf" }
+func (rtfConverter) Extensions() []string { return []string{"rtf", "doc"} }
+func (rtfConverter) Sniff(data []byte) bool {
+	return bytes.HasPrefix(bytes.TrimSpace(data), []byte(`{\rtf`))
+}
+
+// rtfState is the formatting state stack entry.
+type rtfState struct {
+	bold     bool
+	fontSize int // half-points
+	skip     bool
+}
+
+// rtfRun is a text run with its formatting.
+type rtfRun struct {
+	text     string
+	bold     bool
+	fontSize int
+}
+
+func (rtfConverter) Convert(name string, data []byte) (*sgml.Node, error) {
+	runsByPara := parseRTF(string(data))
+
+	// Base font size = most common size across runs (0 when unspecified).
+	base := baseFontSize(runsByPara)
+
+	doc := newDocument("")
+	var content *sgml.Node
+	for _, runs := range runsByPara {
+		text := strings.TrimSpace(joinRuns(runs))
+		if text == "" {
+			continue
+		}
+		if isRTFHeading(runs, base) && len(text) <= 120 {
+			content = section(doc, text, 1)
+			continue
+		}
+		if content == nil {
+			content = section(doc, "Preamble", 0)
+		}
+		// Preserve bold runs as <intense> for the INTENSE node class.
+		para := sgml.NewElement("para")
+		for _, r := range runs {
+			t := r.text
+			if strings.TrimSpace(t) == "" {
+				if t != "" {
+					para.AppendChild(sgml.NewText(" "))
+				}
+				continue
+			}
+			if r.bold {
+				in := sgml.NewElement("intense")
+				in.AppendChild(sgml.NewText(t))
+				para.AppendChild(in)
+			} else {
+				para.AppendChild(sgml.NewText(t))
+			}
+		}
+		if para.FirstChild != nil {
+			content.AppendChild(para)
+		}
+	}
+	if doc.FirstChild == nil {
+		section(doc, name, 0)
+	}
+	if ctx := doc.Find("context"); ctx != nil {
+		doc.SetAttr("title", ctx.Text())
+	}
+	return doc, nil
+}
+
+func joinRuns(runs []rtfRun) string {
+	var sb strings.Builder
+	for _, r := range runs {
+		sb.WriteString(r.text)
+	}
+	return sb.String()
+}
+
+func baseFontSize(paras [][]rtfRun) int {
+	counts := map[int]int{}
+	for _, runs := range paras {
+		for _, r := range runs {
+			if strings.TrimSpace(r.text) != "" {
+				counts[r.fontSize] += len(r.text)
+			}
+		}
+	}
+	best, bestN := 0, -1
+	for sz, n := range counts {
+		if n > bestN {
+			best, bestN = sz, n
+		}
+	}
+	return best
+}
+
+// isRTFHeading: every non-space run is bold, or the dominant font size is
+// at least 8 half-points above base.
+func isRTFHeading(runs []rtfRun, base int) bool {
+	anyText := false
+	allBold := true
+	maxSize := 0
+	for _, r := range runs {
+		if strings.TrimSpace(r.text) == "" {
+			continue
+		}
+		anyText = true
+		if !r.bold {
+			allBold = false
+		}
+		if r.fontSize > maxSize {
+			maxSize = r.fontSize
+		}
+	}
+	if !anyText {
+		return false
+	}
+	if allBold {
+		return true
+	}
+	return base > 0 && maxSize >= base+8
+}
+
+// rtfDestinations are groups whose content is metadata, not text.
+var rtfDestinations = map[string]bool{
+	"fonttbl": true, "colortbl": true, "stylesheet": true, "info": true,
+	"pict": true, "header": true, "footer": true, "generator": true,
+}
+
+// parseRTF tokenizes the RTF source into paragraphs of formatted runs.
+func parseRTF(src string) [][]rtfRun {
+	var paras [][]rtfRun
+	var cur []rtfRun
+	var text strings.Builder
+
+	state := rtfState{fontSize: 24} // RTF default: 12pt = 24 half-points
+	var stack []rtfState
+
+	flushRun := func() {
+		if text.Len() == 0 {
+			return
+		}
+		cur = append(cur, rtfRun{text: text.String(), bold: state.bold, fontSize: state.fontSize})
+		text.Reset()
+	}
+	flushPara := func() {
+		flushRun()
+		if len(cur) > 0 {
+			paras = append(paras, cur)
+			cur = nil
+		}
+	}
+
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch c {
+		case '{':
+			flushRun()
+			stack = append(stack, state)
+			i++
+			// Destination group? peek for \word or \*\word.
+			j := i
+			if j < len(src) && src[j] == '\\' {
+				k := j + 1
+				if k < len(src) && src[k] == '*' {
+					k++
+					if k < len(src) && src[k] == '\\' {
+						k++
+					}
+				}
+				w := readWord(src, k)
+				if rtfDestinations[w] || (j+1 < len(src) && src[j+1] == '*') {
+					state.skip = true
+				}
+			}
+		case '}':
+			flushRun()
+			if len(stack) > 0 {
+				state = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			}
+			i++
+		case '\\':
+			i++
+			if i >= len(src) {
+				break
+			}
+			switch src[i] {
+			case '\\', '{', '}':
+				if !state.skip {
+					text.WriteByte(src[i])
+				}
+				i++
+			case '\'':
+				// \'hh hex escape
+				if i+2 < len(src) {
+					if v, err := strconv.ParseUint(src[i+1:i+3], 16, 8); err == nil && !state.skip {
+						text.WriteByte(byte(v))
+					}
+					i += 3
+				} else {
+					i = len(src)
+				}
+			case '~':
+				if !state.skip {
+					text.WriteByte(' ')
+				}
+				i++
+			default:
+				word := readWord(src, i)
+				i += len(word)
+				// Optional numeric parameter.
+				num, numLen, hasNum := readNum(src, i)
+				i += numLen
+				// A single space after a control word is part of it.
+				if i < len(src) && src[i] == ' ' {
+					i++
+				}
+				switch word {
+				case "par", "line":
+					if !state.skip {
+						flushPara()
+					}
+				case "b":
+					flushRun()
+					state.bold = !hasNum || num != 0
+				case "fs":
+					flushRun()
+					if hasNum {
+						state.fontSize = int(num)
+					}
+				case "u":
+					if hasNum && !state.skip {
+						text.WriteRune(rune(num))
+					}
+					// RTF \u is followed by a fallback char; skip one.
+					if i < len(src) && src[i] != '\\' && src[i] != '{' && src[i] != '}' {
+						i++
+					}
+				case "tab":
+					if !state.skip {
+						text.WriteByte(' ')
+					}
+				}
+			}
+		case '\r', '\n':
+			i++
+		default:
+			if !state.skip {
+				text.WriteByte(c)
+			}
+			i++
+		}
+	}
+	flushPara()
+	return paras
+}
+
+func readWord(src string, i int) string {
+	start := i
+	for i < len(src) && ((src[i] >= 'a' && src[i] <= 'z') || (src[i] >= 'A' && src[i] <= 'Z')) {
+		i++
+	}
+	return src[start:i]
+}
+
+func readNum(src string, i int) (int64, int, bool) {
+	start := i
+	if i < len(src) && src[i] == '-' {
+		i++
+	}
+	for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+		i++
+	}
+	if i == start || (i == start+1 && src[start] == '-') {
+		return 0, 0, false
+	}
+	v, err := strconv.ParseInt(src[start:i], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return v, i - start, true
+}

@@ -1,0 +1,88 @@
+package docform
+
+import (
+	"bytes"
+	"strings"
+
+	"netmark/internal/sgml"
+)
+
+// slideConverter upmarks slide decks — the PowerPoint substitute.  The
+// format is the widely used plain-text deck convention:
+//
+//	=== Slide Title
+//	- bullet one
+//	- bullet two
+//	  free text
+//	=== Next Slide
+//
+// Each slide title is a CONTEXT; bullets and notes are its content.
+type slideConverter struct{}
+
+func (slideConverter) Name() string         { return "slides" }
+func (slideConverter) Extensions() []string { return []string{"slides", "ppt", "deck"} }
+func (slideConverter) Sniff(data []byte) bool {
+	return bytes.HasPrefix(bytes.TrimSpace(head1k(data)), []byte("==="))
+}
+
+func (slideConverter) Convert(name string, data []byte) (*sgml.Node, error) {
+	doc := newDocument("")
+	var content *sgml.Node
+	var list *sgml.Node
+	slideNo := 0
+	for _, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "==="):
+			title := strings.TrimSpace(strings.TrimLeft(trimmed, "= "))
+			if title == "" {
+				title = "(untitled slide)"
+			}
+			slideNo++
+			content = section(doc, title, 1)
+			content.Parent.SetAttr("slide", itoa(slideNo))
+			list = nil
+		case strings.HasPrefix(trimmed, "- "), strings.HasPrefix(trimmed, "* "):
+			if content == nil {
+				content = section(doc, "Preamble", 0)
+			}
+			if list == nil {
+				list = sgml.NewElement("list")
+				content.AppendChild(list)
+			}
+			item := sgml.NewElement("item")
+			item.AppendChild(sgml.NewText(strings.TrimSpace(trimmed[2:])))
+			list.AppendChild(item)
+		case trimmed == "":
+			list = nil
+		default:
+			if content == nil {
+				content = section(doc, "Preamble", 0)
+			}
+			list = nil
+			addPara(content, trimmed)
+		}
+	}
+	if doc.FirstChild == nil {
+		section(doc, name, 0)
+	}
+	if ctx := doc.Find("context"); ctx != nil {
+		doc.SetAttr("title", ctx.Text())
+	}
+	return doc, nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,143 @@
+package docform
+
+import (
+	"strings"
+
+	"netmark/internal/sgml"
+)
+
+// textConverter upmarks plain-text reports — the substitute for the
+// paper's PDF text extraction.  It recognises the heading conventions of
+// enterprise reports:
+//
+//	ALL-CAPS LINES
+//	1. Numbered headings      (also 2.3, 4.1.2 Heading)
+//	Underlined headings
+//	=====================
+//
+// Form feeds are treated as page breaks and dropped.
+type textConverter struct{}
+
+func (textConverter) Name() string           { return "text" }
+func (textConverter) Extensions() []string   { return []string{"txt", "text", "rpt", "report"} }
+func (textConverter) Sniff(data []byte) bool { return looksPrintable(data) }
+
+func (textConverter) Convert(name string, data []byte) (*sgml.Node, error) {
+	text := strings.ReplaceAll(string(data), "\f", "\n")
+	lines := strings.Split(text, "\n")
+	doc := newDocument("")
+
+	var content *sgml.Node
+	var para []string
+	flushPara := func() {
+		if len(para) == 0 {
+			return
+		}
+		if content == nil {
+			content = section(doc, "Preamble", 0)
+		}
+		addPara(content, strings.Join(para, " "))
+		para = para[:0]
+	}
+
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimRight(lines[i], " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			flushPara()
+			continue
+		}
+		// Underlined heading: a line followed by ==== or ----.
+		if i+1 < len(lines) {
+			u := strings.TrimSpace(lines[i+1])
+			if len(u) >= 3 && (strings.Trim(u, "=") == "" || strings.Trim(u, "-") == "") && len(trimmed) <= 100 {
+				flushPara()
+				content = section(doc, trimmed, 1)
+				i++ // skip underline
+				continue
+			}
+		}
+		if h, lvl := headingFromLine(trimmed); h != "" {
+			flushPara()
+			content = section(doc, h, lvl)
+			continue
+		}
+		para = append(para, trimmed)
+	}
+	flushPara()
+	if doc.FirstChild == nil {
+		section(doc, name, 0)
+	}
+	// Title: first section heading.
+	if ctx := doc.Find("context"); ctx != nil {
+		doc.SetAttr("title", ctx.Text())
+	}
+	return doc, nil
+}
+
+// headingFromLine returns the heading text and level when the line looks
+// like a heading, or "".
+func headingFromLine(line string) (string, int) {
+	// Numbered: "3. Title", "2.1 Title", "4.1.2. Title".
+	if h, depth := splitNumberedHeading(line); h != "" {
+		return h, depth
+	}
+	// ALL CAPS (at least 3 letters, no lowercase, not too long).
+	if len(line) <= 80 {
+		letters, lower := 0, 0
+		for _, r := range line {
+			switch {
+			case r >= 'a' && r <= 'z':
+				lower++
+			case r >= 'A' && r <= 'Z':
+				letters++
+			}
+		}
+		if letters >= 3 && lower == 0 {
+			return strings.TrimSpace(line), 1
+		}
+	}
+	return "", 0
+}
+
+func splitNumberedHeading(line string) (string, int) {
+	i := 0
+	depth := 0
+	for i < len(line) {
+		// A run of digits...
+		start := i
+		for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+			i++
+		}
+		if i == start {
+			return "", 0
+		}
+		depth++
+		// ...optionally followed by a dot and either more digits or the
+		// heading text.
+		if i < len(line) && line[i] == '.' {
+			i++
+			if i < len(line) && line[i] >= '0' && line[i] <= '9' {
+				continue
+			}
+		}
+		break
+	}
+	rest := strings.TrimSpace(line[i:])
+	// The remainder must look like a title: non-empty, reasonably short,
+	// starts with a letter.
+	if rest == "" || len(rest) > 100 {
+		return "", 0
+	}
+	r := rune(rest[0])
+	if !(r >= 'A' && r <= 'Z') && !(r >= 'a' && r <= 'z') {
+		return "", 0
+	}
+	// Reject sentences that merely start with a number ("5 of the 12
+	// engines..."): require either the dot form ("1. Title") or a
+	// capitalised short phrase.
+	if !strings.Contains(line[:i], ".") && (len(strings.Fields(rest)) > 8 || !(r >= 'A' && r <= 'Z')) {
+		return "", 0
+	}
+	return rest, depth
+}

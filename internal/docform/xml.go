@@ -1,0 +1,61 @@
+package docform
+
+import (
+	"bytes"
+	"fmt"
+
+	"netmark/internal/sgml"
+)
+
+// xmlConverter is the generic schema-less path: arbitrary XML is stored
+// as-is with no upmarking — "a means to generically store any XML or
+// HTML document without requiring a new schema for a new document
+// (type)" (§2.1.1).  Already-normalized documents pass through.
+type xmlConverter struct{}
+
+func (xmlConverter) Name() string         { return "xml" }
+func (xmlConverter) Extensions() []string { return []string{"xml"} }
+func (xmlConverter) Sniff(data []byte) bool {
+	head := bytes.TrimSpace(head1k(data))
+	return bytes.HasPrefix(head, []byte("<?xml")) ||
+		(bytes.HasPrefix(head, []byte("<")) && !bytes.HasPrefix(bytes.ToLower(head), []byte("<!doctype html")))
+}
+
+func (xmlConverter) Convert(name string, data []byte) (*sgml.Node, error) {
+	tree, err := sgml.ParseString(string(data), sgml.ModeXML)
+	if err != nil {
+		return nil, err
+	}
+	// Find the root element (skip prolog).
+	var root *sgml.Node
+	for c := tree.FirstChild; c != nil; c = c.NextSibling {
+		if c.Kind == sgml.ElementNode {
+			root = c
+			break
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("docform: %s: no root element", name)
+	}
+	if root.Name == "document" {
+		// Already normalized.
+		detach(root)
+		return root, nil
+	}
+	// Wrap the arbitrary tree so downstream code always sees <document>.
+	doc := newDocument("")
+	if t := root.Find("title"); t != nil {
+		doc.SetAttr("title", t.Text())
+	} else if t, ok := root.Attr("title"); ok {
+		doc.SetAttr("title", t)
+	}
+	detach(root)
+	doc.AppendChild(root)
+	return doc, nil
+}
+
+func detach(n *sgml.Node) {
+	if n.Parent != nil {
+		n.Parent.RemoveChild(n)
+	}
+}

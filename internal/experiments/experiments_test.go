@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1Report(t *testing.T) {
+	out, err := Fig1([]int{1, 4, 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig 1") || !strings.Contains(out, "ratio") {
+		t.Fatalf("report: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %s", out)
+	}
+}
+
+func TestTable1AllAppsAssemble(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus assembly in -short mode")
+	}
+	rows, report, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FirstQueryHits == 0 {
+			t.Fatalf("%s: first query returned nothing", r.App)
+		}
+		if r.NetmarkSteps >= r.MediatorSteps {
+			t.Fatalf("%s: netmark %d steps vs mediator %d — claim inverted",
+				r.App, r.NetmarkSteps, r.MediatorSteps)
+		}
+	}
+	if !strings.Contains(report, "Proposal Financial Management") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestFig6ScalesAndFindsAllSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus assembly in -short mode")
+	}
+	pts, report, err := Fig6([]int{20, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Sections != p.Docs {
+			t.Fatalf("%d docs but %d Budget sections", p.Docs, p.Sections)
+		}
+	}
+	if !strings.Contains(report, "median-latency") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestFig7Pipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus assembly in -short mode")
+	}
+	out, err := Fig7(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "search + XSLT composition") {
+		t.Fatalf("report: %s", out)
+	}
+}
+
+func TestFig8ParallelBeatsOrMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus assembly in -short mode")
+	}
+	pts, report, err := Fig8([]int{2, 6}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Results == 0 {
+			t.Fatalf("%d sources returned nothing", p.Sources)
+		}
+	}
+	if !strings.Contains(report, "speedup") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus assembly in -short mode")
+	}
+	for name, fn := range map[string]func(int) (string, error){
+		"rowid": AblationRowidTraversal,
+		"shred": AblationUniversalVsShred,
+		"index": AblationTextIndexVsScan,
+	} {
+		out, err := fn(30)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, "Ablation") {
+			t.Fatalf("%s report: %s", name, out)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package mediator
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"netmark/internal/ordbms"
+	"netmark/internal/xdb"
+	"netmark/internal/xmlstore"
+)
+
+func newEngine(t testing.TB) *xdb.Engine {
+	t.Helper()
+	db, err := ordbms.Open(ordbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := xmlstore.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xdb.NewEngine(s)
+}
+
+func loadDoc(t testing.TB, e *xdb.Engine, name, data string) {
+	t.Helper()
+	if _, err := e.Store().StoreRaw(name, []byte(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// amesEngine: employee performance documents with a "Rating" heading.
+func amesEngine(t testing.TB) *xdb.Engine {
+	e := newEngine(t)
+	for i, r := range []string{"excellent", "good", "excellent"} {
+		loadDoc(t, e, fmt.Sprintf("ames-emp%d.html", i), fmt.Sprintf(
+			`<html><body><h2>Employee</h2><p>Ames Person %d</p><h2>Rating</h2><p>%s</p></body></html>`, i, r))
+	}
+	return e
+}
+
+// johnsonEngine: different heading vocabulary ("Score" instead of
+// "Rating") — the schema heterogeneity GAV mappings reconcile.
+func johnsonEngine(t testing.TB) *xdb.Engine {
+	e := newEngine(t)
+	for i, s := range []string{"1", "4", "2"} {
+		loadDoc(t, e, fmt.Sprintf("jsc-emp%d.html", i), fmt.Sprintf(
+			`<html><body><h2>Name</h2><p>Johnson Person %d</p><h2>Score</h2><p>%s</p></body></html>`, i, s))
+	}
+	return e
+}
+
+func TestDocAdapterExtract(t *testing.T) {
+	a := NewDocAdapter("ames", amesEngine(t))
+	tuples, err := a.Extract(context.Background(), SourceRelation{
+		Name: "employees", Attrs: []string{"Employee", "Rating"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 3 {
+		t.Fatalf("tuples = %v", tuples)
+	}
+	if tuples[0]["Employee"] != "Ames Person 0" || tuples[0]["Rating"] != "excellent" {
+		t.Fatalf("tuple = %v", tuples[0])
+	}
+}
+
+// buildTopEmployees sets up the paper's §4 "Top Employees of NASA"
+// virtual view over two centers with different schemas and per-source
+// qualification rules.
+func buildTopEmployees(t testing.TB, ames, jsc *xdb.Engine) *Mediator {
+	m := New()
+	if err := m.RegisterSource(&SourceSchema{
+		Source: "ames",
+		Relations: []SourceRelation{
+			{Name: "employees", Attrs: []string{"Employee", "Rating"}},
+		},
+	}, NewDocAdapter("ames", ames)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSource(&SourceSchema{
+		Source: "johnson",
+		Relations: []SourceRelation{
+			{Name: "personnel", Attrs: []string{"Name", "Score"}},
+		},
+	}, NewDocAdapter("johnson", jsc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DefineView(&GlobalView{
+		Name: "TopEmployees", Attrs: []string{"name", "merit"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Ames: rating of excellent qualifies.
+	if err := m.AddMapping(Mapping{
+		View: "TopEmployees", Source: "ames", Relation: "employees",
+		AttrMap: map[string]string{"name": "Employee", "merit": "Rating"},
+		Filter:  func(t Tuple) bool { return t["Rating"] == "excellent" },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Johnson: score of 2 or better qualifies.
+	if err := m.AddMapping(Mapping{
+		View: "TopEmployees", Source: "johnson", Relation: "personnel",
+		AttrMap: map[string]string{"name": "Name", "merit": "Score"},
+		Filter:  func(t Tuple) bool { return t["Score"] == "1" || t["Score"] == "2" },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTopEmployeesViewUnfolding(t *testing.T) {
+	m := buildTopEmployees(t, amesEngine(t), johnsonEngine(t))
+	tuples, err := m.Query(context.Background(), "TopEmployees", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 excellent at Ames + 2 with score <=2 at Johnson.
+	if len(tuples) != 4 {
+		t.Fatalf("tuples = %v", tuples)
+	}
+	bySource := map[string]int{}
+	for _, tp := range tuples {
+		bySource[tp["_source"]]++
+		if tp["name"] == "" || tp["merit"] == "" {
+			t.Fatalf("unmapped attribute in %v", tp)
+		}
+	}
+	if bySource["ames"] != 2 || bySource["johnson"] != 2 {
+		t.Fatalf("per source = %v", bySource)
+	}
+}
+
+func TestQueryPredicates(t *testing.T) {
+	m := buildTopEmployees(t, amesEngine(t), johnsonEngine(t))
+	tuples, err := m.Query(context.Background(), "TopEmployees", []Predicate{
+		{Attr: "name", Op: "contains", Value: "johnson"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("filtered = %v", tuples)
+	}
+	tuples, err = m.Query(context.Background(), "TopEmployees", []Predicate{
+		{Attr: "merit", Op: "eq", Value: "EXCELLENT"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("eq filter = %v", tuples)
+	}
+}
+
+func TestMappingValidation(t *testing.T) {
+	m := New()
+	ames := amesEngine(t)
+	if err := m.RegisterSource(&SourceSchema{
+		Source:    "ames",
+		Relations: []SourceRelation{{Name: "employees", Attrs: []string{"Employee", "Rating"}}},
+	}, NewDocAdapter("ames", ames)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DefineView(&GlobalView{Name: "V", Attrs: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown view.
+	if err := m.AddMapping(Mapping{View: "nope", Source: "ames", Relation: "employees",
+		AttrMap: map[string]string{"a": "Employee"}}); err == nil {
+		t.Fatal("unknown view accepted")
+	}
+	// Unknown source.
+	if err := m.AddMapping(Mapping{View: "V", Source: "nope", Relation: "employees",
+		AttrMap: map[string]string{"a": "Employee"}}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	// Unknown relation.
+	if err := m.AddMapping(Mapping{View: "V", Source: "ames", Relation: "nope",
+		AttrMap: map[string]string{"a": "Employee"}}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	// Unmapped view attribute.
+	if err := m.AddMapping(Mapping{View: "V", Source: "ames", Relation: "employees",
+		AttrMap: map[string]string{}}); err == nil {
+		t.Fatal("unmapped attribute accepted")
+	}
+	// Mapping to a nonexistent source attribute.
+	if err := m.AddMapping(Mapping{View: "V", Source: "ames", Relation: "employees",
+		AttrMap: map[string]string{"a": "Ghost"}}); err == nil {
+		t.Fatal("bad source attribute accepted")
+	}
+	// A correct one.
+	if err := m.AddMapping(Mapping{View: "V", Source: "ames", Relation: "employees",
+		AttrMap: map[string]string{"a": "Employee"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateRegistrations(t *testing.T) {
+	m := New()
+	ames := amesEngine(t)
+	schema := &SourceSchema{Source: "ames",
+		Relations: []SourceRelation{{Name: "r", Attrs: []string{"Employee"}}}}
+	if err := m.RegisterSource(schema, NewDocAdapter("ames", ames)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterSource(schema, NewDocAdapter("ames", ames)); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+	v := &GlobalView{Name: "V", Attrs: []string{"a"}}
+	if err := m.DefineView(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DefineView(v); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+}
+
+// TestArtifactCountGrowsLinearly demonstrates the Fig 1 claim: mediator
+// artifacts grow with sources x views, the databank's stay at 1+N.
+func TestArtifactCountGrowsLinearly(t *testing.T) {
+	counts := []int{}
+	for _, n := range []int{1, 2, 4, 8} {
+		m := New()
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("src%d", i)
+			e := amesEngine(t)
+			if err := m.RegisterSource(&SourceSchema{
+				Source:    name,
+				Relations: []SourceRelation{{Name: "employees", Attrs: []string{"Employee", "Rating"}}},
+			}, NewDocAdapter(name, e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.DefineView(&GlobalView{Name: "V", Attrs: []string{"name"}}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := m.AddMapping(Mapping{View: "V", Source: fmt.Sprintf("src%d", i),
+				Relation: "employees", AttrMap: map[string]string{"name": "Employee"}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts = append(counts, m.ArtifactCount())
+	}
+	// Strictly increasing, and the increment per source is at least 2
+	// (schema + mapping).
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Fatalf("artifact counts not increasing: %v", counts)
+		}
+	}
+	if counts[3]-counts[2] < 8 { // 4 more sources x (schema+mapping)
+		t.Fatalf("mediator cost increment too small: %v", counts)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	m := New()
+	if _, err := m.Query(context.Background(), "ghost", nil); err == nil {
+		t.Fatal("unknown view query accepted")
+	}
+	if err := m.DefineView(&GlobalView{Name: "V", Attrs: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(context.Background(), "V", nil); err == nil {
+		t.Fatal("mappingless view query accepted")
+	}
+}

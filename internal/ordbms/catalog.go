@@ -1,0 +1,95 @@
+package ordbms
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The catalog records table metadata: schemas, heap page lists, and which
+// indexes to rebuild on open.  It is persisted as JSON next to the data
+// file at every checkpoint — the simple, inspectable choice for a
+// reproduction (a production engine would self-host it in pages).
+
+type catalogFile struct {
+	Tables []catalogTable `json:"tables"`
+}
+
+type catalogTable struct {
+	Name    string          `json:"name"`
+	Columns []catalogColumn `json:"columns"`
+	Pages   []uint32        `json:"pages"`
+	Indexes []string        `json:"indexes"`
+}
+
+type catalogColumn struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+const catalogName = "catalog.json"
+
+func (db *DB) saveCatalogLocked() error {
+	if db.dir == "" {
+		return nil
+	}
+	var cf catalogFile
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[name]
+		ct := catalogTable{Name: t.name, Pages: t.heap.Pages()}
+		for _, c := range t.schema.Columns {
+			ct.Columns = append(ct.Columns, catalogColumn{Name: c.Name, Type: uint8(c.Type)})
+		}
+		for col := range t.indexes {
+			ct.Indexes = append(ct.Indexes, col)
+		}
+		cf.Tables = append(cf.Tables, ct)
+	}
+	b, err := json.MarshalIndent(&cf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(db.dir, catalogName+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, catalogName))
+}
+
+func (db *DB) loadCatalog() error {
+	path := filepath.Join(db.dir, catalogName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // fresh store
+		}
+		return err
+	}
+	var cf catalogFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return fmt.Errorf("ordbms: corrupt catalog: %w", err)
+	}
+	for _, ct := range cf.Tables {
+		cols := make([]Column, len(ct.Columns))
+		for i, c := range ct.Columns {
+			cols[i] = Column{Name: c.Name, Type: Type(c.Type)}
+		}
+		schema, err := NewSchema(cols...)
+		if err != nil {
+			return err
+		}
+		heap, err := OpenHeapFile(db.pool, db.wal, ct.Pages)
+		if err != nil {
+			return err
+		}
+		t := &Table{db: db, name: ct.Name, schema: schema, heap: heap, indexes: make(map[string]*Index)}
+		for _, col := range ct.Indexes {
+			if err := t.buildIndex(col); err != nil {
+				return err
+			}
+		}
+		db.tables[ct.Name] = t
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package ordbms
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Dir is the directory holding the data file, WAL and catalog.
+	// Empty means a volatile in-memory store with no logging.
+	Dir string
+	// PoolPages caps the buffer pool (default 4096 pages = 32 MiB).
+	PoolPages int
+	// SyncOnCommit forces an fsync of the WAL on every Commit call.
+	// Defaults to true for durable stores.
+	NoSyncOnCommit bool
+}
+
+// DB is the database engine facade: a disk manager, buffer pool, WAL and a
+// set of tables.
+type DB struct {
+	mu   sync.RWMutex
+	opts Options
+	dir  string
+	disk DiskManager
+	pool *BufferPool
+	wal  *WAL
+
+	tables map[string]*Table
+
+	// Replayed reports how many WAL records crash recovery applied when
+	// the store was opened (0 for clean shutdowns and fresh stores).
+	Replayed int
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*DB, error) {
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 4096
+	}
+	db := &DB{opts: opts, dir: opts.Dir, tables: make(map[string]*Table)}
+	if opts.Dir == "" {
+		db.disk = NewMemDisk()
+		db.pool = NewBufferPool(db.disk, opts.PoolPages)
+		return db, nil
+	}
+	disk, err := OpenFileDisk(filepath.Join(opts.Dir, "data.nmdb"))
+	if err != nil {
+		return nil, err
+	}
+	wal, err := OpenWAL(filepath.Join(opts.Dir, "wal.nmlog"))
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	db.disk = disk
+	db.wal = wal
+	db.pool = NewBufferPool(disk, opts.PoolPages)
+	wal.AttachTo(db.pool)
+	replayed, err := Recover(disk, db.pool, wal)
+	if err != nil {
+		wal.Close()
+		disk.Close()
+		return nil, fmt.Errorf("ordbms: recovery failed: %w", err)
+	}
+	db.Replayed = replayed
+	if err := db.loadCatalog(); err != nil {
+		wal.Close()
+		disk.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// InMemory reports whether the store is volatile.
+func (db *DB) InMemory() bool { return db.dir == "" }
+
+// Pool exposes the buffer pool for stats.
+func (db *DB) Pool() *BufferPool { return db.pool }
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("ordbms: empty table name")
+	}
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("ordbms: table %q already exists", name)
+	}
+	t := &Table{
+		db:      db,
+		name:    name,
+		schema:  schema,
+		heap:    NewHeapFile(db.pool, db.wal),
+		indexes: make(map[string]*Index),
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// DropTable removes a table.  Its pages are abandoned (vacuum is a
+// non-goal for the reproduction).
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("ordbms: no table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableNamesLocked()
+}
+
+func (db *DB) tableNamesLocked() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Commit makes all mutations so far durable: the WAL is flushed (and
+// fsynced unless disabled).  In-memory stores are a no-op.
+func (db *DB) Commit() error {
+	if db.wal == nil {
+		return nil
+	}
+	if db.opts.NoSyncOnCommit {
+		return db.wal.Flush(db.wal.NextLSN())
+	}
+	return db.wal.Sync()
+}
+
+// Checkpoint flushes all pages, persists the catalog, and truncates the
+// WAL.  After a checkpoint, reopening replays nothing.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		if err := db.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.saveCatalogLocked(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.wal.Checkpoint()
+	}
+	return nil
+}
+
+// Close checkpoints and releases all resources.
+func (db *DB) Close() error {
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+	}
+	return db.disk.Close()
+}
+
+// Table is a heap of rows plus secondary indexes.  Reads take a shared
+// lock; mutations take an exclusive lock (table-level locking, which is
+// what the paper's insert-heavy document workload needs — documents are
+// written once and queried many times).
+type Table struct {
+	db   *DB
+	name string
+
+	mu      sync.RWMutex
+	schema  Schema
+	heap    *HeapFile
+	indexes map[string]*Index
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Rows returns the live row count.
+func (t *Table) Rows() int64 { return t.heap.Rows() }
+
+// Insert validates and stores a row, returning its physical RowID.
+func (t *Table) Insert(row Row) (RowID, error) {
+	if err := t.schema.Validate(row); err != nil {
+		return ZeroRowID, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, err := t.heap.Insert(EncodeRow(row))
+	if err != nil {
+		return ZeroRowID, err
+	}
+	for _, ix := range t.indexes {
+		ix.insert(row, rid)
+	}
+	return rid, nil
+}
+
+// Fetch returns the row at rid.
+func (t *Table) Fetch(rid RowID) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rec, err := t.heap.Fetch(rid)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRow(rec)
+}
+
+// Delete removes the row at rid and its index entries.
+func (t *Table) Delete(rid RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, err := t.heap.Fetch(rid)
+	if err != nil {
+		return err
+	}
+	row, err := DecodeRow(rec)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	for _, ix := range t.indexes {
+		ix.remove(row, rid)
+	}
+	return nil
+}
+
+// Update rewrites the row at rid in place.  The encoded row must not be
+// larger than the stored record (link patches in the XML store keep
+// fixed-width columns first, so this holds in practice).
+func (t *Table) Update(rid RowID, row Row) error {
+	if err := t.schema.Validate(row); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldRec, err := t.heap.Fetch(rid)
+	if err != nil {
+		return err
+	}
+	oldRow, err := DecodeRow(oldRec)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Update(rid, EncodeRow(row)); err != nil {
+		return err
+	}
+	for _, ix := range t.indexes {
+		if !oldRow[ix.colIdx].Equal(row[ix.colIdx]) {
+			ix.remove(oldRow, rid)
+			ix.insert(row, rid)
+		}
+	}
+	return nil
+}
+
+// Scan iterates all rows in physical order.
+func (t *Table) Scan(fn func(rid RowID, row Row) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var derr error
+	err := t.heap.Scan(func(rid RowID, rec []byte) bool {
+		row, e := DecodeRow(rec)
+		if e != nil {
+			derr = e
+			return false
+		}
+		return fn(rid, row)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// CreateIndex builds a secondary index on the named column.
+func (t *Table) CreateIndex(column string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buildIndex(column)
+}
+
+// buildIndex creates and populates an index.  Caller holds t.mu.
+func (t *Table) buildIndex(column string) error {
+	if _, dup := t.indexes[column]; dup {
+		return fmt.Errorf("ordbms: index on %s.%s already exists", t.name, column)
+	}
+	ci := t.schema.ColIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("ordbms: no column %q in table %s", column, t.name)
+	}
+	ix := newIndex(column, ci)
+	var derr error
+	err := t.heap.Scan(func(rid RowID, rec []byte) bool {
+		row, e := DecodeRow(rec)
+		if e != nil {
+			derr = e
+			return false
+		}
+		ix.insert(row, rid)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	t.indexes[column] = ix
+	return nil
+}
+
+// Index returns the index on column, or nil.
+func (t *Table) Index(column string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[column]
+}
+
+// Lookup uses the index on column for an equality probe, fetching rows.
+func (t *Table) Lookup(column string, v Value) ([]RowID, error) {
+	ix := t.Index(column)
+	if ix == nil {
+		return nil, fmt.Errorf("ordbms: no index on %s.%s", t.name, column)
+	}
+	return ix.Lookup(v), nil
+}

@@ -1,0 +1,161 @@
+package ordbms
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DiskManager provides page-granular storage.  Two implementations exist:
+// a file-backed manager for durable stores and an in-memory manager for
+// tests and benchmarks.
+type DiskManager interface {
+	// AllocatePage reserves a new page and returns its number.  Page 0 is
+	// never allocated; it is reserved so that RowID{0,0} can act as nil.
+	AllocatePage() (uint32, error)
+	ReadPage(no uint32, buf []byte) error
+	WritePage(no uint32, buf []byte) error
+	NumPages() uint32
+	Sync() error
+	Close() error
+}
+
+// memDisk is the in-memory DiskManager.
+type memDisk struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemDisk returns an in-memory disk manager.
+func NewMemDisk() DiskManager {
+	// Index 0 is the reserved never-allocated page.
+	return &memDisk{pages: make([][]byte, 1)}
+}
+
+func (d *memDisk) AllocatePage() (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	no := uint32(len(d.pages))
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return no, nil
+}
+
+func (d *memDisk) ReadPage(no uint32, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(no) >= len(d.pages) || no == 0 {
+		return fmt.Errorf("ordbms: read of unallocated page %d", no)
+	}
+	copy(buf, d.pages[no])
+	return nil
+}
+
+func (d *memDisk) WritePage(no uint32, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(no) >= len(d.pages) || no == 0 {
+		return fmt.Errorf("ordbms: write of unallocated page %d", no)
+	}
+	copy(d.pages[no], buf)
+	return nil
+}
+
+func (d *memDisk) NumPages() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint32(len(d.pages))
+}
+
+func (d *memDisk) Sync() error  { return nil }
+func (d *memDisk) Close() error { return nil }
+
+// fileDisk is the file-backed DiskManager.  Page n lives at byte offset
+// n*PageSize.  Page 0 is reserved and holds a magic header.
+type fileDisk struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages uint32
+}
+
+const diskMagic = "NETMARKDB v1\x00\x00\x00\x00"
+
+// OpenFileDisk opens (or creates) a file-backed disk manager.
+func OpenFileDisk(path string) (DiskManager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ordbms: open data file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d := &fileDisk{f: f}
+	if st.Size() == 0 {
+		hdr := make([]byte, PageSize)
+		copy(hdr, diskMagic)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ordbms: init data file: %w", err)
+		}
+		d.pages = 1
+		return d, nil
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("ordbms: data file size %d not page aligned", st.Size())
+	}
+	hdr := make([]byte, len(diskMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr) != diskMagic {
+		f.Close()
+		return nil, fmt.Errorf("ordbms: %s is not a netmark data file", path)
+	}
+	d.pages = uint32(st.Size() / PageSize)
+	return d, nil
+}
+
+func (d *fileDisk) AllocatePage() (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	no := d.pages
+	zero := make([]byte, PageSize)
+	if _, err := d.f.WriteAt(zero, int64(no)*PageSize); err != nil {
+		return 0, fmt.Errorf("ordbms: extend data file: %w", err)
+	}
+	d.pages++
+	return no, nil
+}
+
+func (d *fileDisk) ReadPage(no uint32, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if no == 0 || no >= d.pages {
+		return fmt.Errorf("ordbms: read of unallocated page %d", no)
+	}
+	_, err := d.f.ReadAt(buf[:PageSize], int64(no)*PageSize)
+	return err
+}
+
+func (d *fileDisk) WritePage(no uint32, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if no == 0 || no >= d.pages {
+		return fmt.Errorf("ordbms: write of unallocated page %d", no)
+	}
+	_, err := d.f.WriteAt(buf[:PageSize], int64(no)*PageSize)
+	return err
+}
+
+func (d *fileDisk) NumPages() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pages
+}
+
+func (d *fileDisk) Sync() error { return d.f.Sync() }
+
+func (d *fileDisk) Close() error { return d.f.Close() }

@@ -1,0 +1,252 @@
+package ordbms
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HeapFile is an unordered collection of records addressed by RowID.
+// Each table owns one heap file.  Records larger than MaxRecordSize are
+// rejected (the XML store keeps node payloads well under a page).
+//
+// The heap keeps an in-memory free-space map so inserts do not scan; the
+// map is rebuilt when a store is reopened.
+type HeapFile struct {
+	mu    sync.Mutex
+	pool  *BufferPool
+	wal   *WAL // may be nil for unlogged heaps
+	pages []uint32
+	// freeHint maps pageNo -> approximate free bytes, only for pages with
+	// meaningful free space.
+	freeHint map[uint32]int
+	rows     int64
+}
+
+// NewHeapFile creates an empty heap backed by the pool.
+func NewHeapFile(pool *BufferPool, wal *WAL) *HeapFile {
+	return &HeapFile{pool: pool, wal: wal, freeHint: make(map[uint32]int)}
+}
+
+// OpenHeapFile reattaches a heap to an existing page list (from the
+// catalog) and rebuilds the free-space map and row count.
+func OpenHeapFile(pool *BufferPool, wal *WAL, pages []uint32) (*HeapFile, error) {
+	h := &HeapFile{pool: pool, wal: wal, pages: append([]uint32(nil), pages...), freeHint: make(map[uint32]int)}
+	for _, no := range pages {
+		f, err := pool.Fetch(no)
+		if err != nil {
+			return nil, err
+		}
+		f.Latch.RLock()
+		free := f.Page.FreeSpace()
+		live := 0
+		f.Page.LiveRecords(func(int, []byte) bool { live++; return true })
+		f.Latch.RUnlock()
+		pool.Unpin(f, false)
+		if free > 64 {
+			h.freeHint[no] = free
+		}
+		h.rows += int64(live)
+	}
+	return h, nil
+}
+
+// Pages returns the page numbers owned by this heap (for the catalog).
+func (h *HeapFile) Pages() []uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint32(nil), h.pages...)
+}
+
+// Rows returns the live record count.
+func (h *HeapFile) Rows() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rows
+}
+
+// Insert stores a record and returns its physical RowID.
+func (h *HeapFile) Insert(rec []byte) (RowID, error) {
+	if len(rec) > MaxRecordSize {
+		return ZeroRowID, fmt.Errorf("ordbms: record of %d bytes exceeds page capacity", len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	// Try pages with known free space first.
+	for no, free := range h.freeHint {
+		if free < len(rec)+slotSize {
+			continue
+		}
+		rid, ok, err := h.tryInsert(no, rec)
+		if err != nil {
+			return ZeroRowID, err
+		}
+		if ok {
+			return rid, nil
+		}
+		delete(h.freeHint, no) // hint was stale
+	}
+	// Try the last page (append locality).
+	if n := len(h.pages); n > 0 {
+		no := h.pages[n-1]
+		rid, ok, err := h.tryInsert(no, rec)
+		if err != nil {
+			return ZeroRowID, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	// Allocate a fresh page.
+	f, err := h.pool.NewPage()
+	if err != nil {
+		return ZeroRowID, err
+	}
+	h.pages = append(h.pages, f.PageNo)
+	f.Latch.Lock()
+	slot, err := f.Page.Insert(rec)
+	if err == nil && h.wal != nil {
+		lsn := h.wal.LogInsert(f.PageNo, uint16(slot), rec)
+		f.Page.SetLSN(lsn)
+	}
+	free := f.Page.FreeSpace()
+	f.Latch.Unlock()
+	h.pool.Unpin(f, true)
+	if err != nil {
+		return ZeroRowID, err
+	}
+	if free > 64 {
+		h.freeHint[f.PageNo] = free
+	}
+	h.rows++
+	return RowID{Page: f.PageNo, Slot: uint16(slot)}, nil
+}
+
+// tryInsert attempts an insert into page no.  Caller holds h.mu.
+func (h *HeapFile) tryInsert(no uint32, rec []byte) (RowID, bool, error) {
+	f, err := h.pool.Fetch(no)
+	if err != nil {
+		return ZeroRowID, false, err
+	}
+	f.Latch.Lock()
+	slot, ierr := f.Page.Insert(rec)
+	var lsn uint64
+	if ierr == nil && h.wal != nil {
+		lsn = h.wal.LogInsert(no, uint16(slot), rec)
+		f.Page.SetLSN(lsn)
+	}
+	free := f.Page.FreeSpace()
+	f.Latch.Unlock()
+	h.pool.Unpin(f, ierr == nil)
+	if ierr != nil {
+		if ierr == errPageFull {
+			return ZeroRowID, false, nil
+		}
+		return ZeroRowID, false, ierr
+	}
+	if free > 64 {
+		h.freeHint[no] = free
+	} else {
+		delete(h.freeHint, no)
+	}
+	h.rows++
+	return RowID{Page: no, Slot: uint16(slot)}, true, nil
+}
+
+// Fetch returns a copy of the record at rid.
+func (h *HeapFile) Fetch(rid RowID) ([]byte, error) {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	f.Latch.RLock()
+	rec, gerr := f.Page.Get(int(rid.Slot))
+	var cp []byte
+	if gerr == nil {
+		cp = make([]byte, len(rec))
+		copy(cp, rec)
+	}
+	f.Latch.RUnlock()
+	h.pool.Unpin(f, false)
+	if gerr != nil {
+		return nil, gerr
+	}
+	return cp, nil
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RowID) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	derr := f.Page.Delete(int(rid.Slot))
+	if derr == nil && h.wal != nil {
+		lsn := h.wal.LogDelete(rid.Page, rid.Slot)
+		f.Page.SetLSN(lsn)
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, derr == nil)
+	if derr != nil {
+		return derr
+	}
+	h.mu.Lock()
+	h.rows--
+	h.mu.Unlock()
+	return nil
+}
+
+// Update rewrites the record at rid in place.  The caller must ensure the
+// new record is not larger than the original (the XML store only performs
+// same-size link patches); larger payloads return an error.
+func (h *HeapFile) Update(rid RowID, rec []byte) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	ok, uerr := f.Page.UpdateInPlace(int(rid.Slot), rec)
+	if uerr == nil && ok && h.wal != nil {
+		lsn := h.wal.LogUpdate(rid.Page, rid.Slot, rec)
+		f.Page.SetLSN(lsn)
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, uerr == nil && ok)
+	if uerr != nil {
+		return uerr
+	}
+	if !ok {
+		return fmt.Errorf("ordbms: update at %v does not fit in place (%d bytes)", rid, len(rec))
+	}
+	return nil
+}
+
+// Scan calls fn for every live record in physical order.  fn must copy the
+// record if it retains it.  Returning false stops the scan.
+func (h *HeapFile) Scan(fn func(rid RowID, rec []byte) bool) error {
+	h.mu.Lock()
+	pages := append([]uint32(nil), h.pages...)
+	h.mu.Unlock()
+	for _, no := range pages {
+		f, err := h.pool.Fetch(no)
+		if err != nil {
+			return err
+		}
+		stop := false
+		f.Latch.RLock()
+		f.Page.LiveRecords(func(slot int, rec []byte) bool {
+			if !fn(RowID{Page: no, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		f.Latch.RUnlock()
+		h.pool.Unpin(f, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

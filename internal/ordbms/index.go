@@ -1,0 +1,92 @@
+package ordbms
+
+import (
+	"strings"
+	"sync"
+
+	"netmark/internal/btree"
+)
+
+// Index is a secondary B-tree index on one column of a table.  Indexes are
+// maintained synchronously with table mutations and rebuilt from the heap
+// when a store is reopened (they are not logged — the heap is the durable
+// truth, the index is derived state).
+type Index struct {
+	Column string
+	colIdx int
+
+	mu   sync.RWMutex
+	tree *btree.Tree[Value, RowID]
+}
+
+func newIndex(column string, colIdx int) *Index {
+	return &Index{
+		Column: column,
+		colIdx: colIdx,
+		tree:   btree.New[Value, RowID](func(a, b Value) int { return a.Compare(b) }),
+	}
+}
+
+func (ix *Index) insert(row Row, rid RowID) {
+	v := row[ix.colIdx]
+	ix.mu.Lock()
+	ix.tree.Insert(v, rid)
+	ix.mu.Unlock()
+}
+
+func (ix *Index) remove(row Row, rid RowID) {
+	v := row[ix.colIdx]
+	ix.mu.Lock()
+	ix.tree.Delete(v, func(r RowID) bool { return r == rid })
+	ix.mu.Unlock()
+}
+
+// Lookup returns the RowIDs stored under exactly v.
+func (ix *Index) Lookup(v Value) []RowID {
+	ix.mu.RLock()
+	got := ix.tree.Get(v)
+	out := append([]RowID(nil), got...)
+	ix.mu.RUnlock()
+	return out
+}
+
+// Range returns RowIDs for keys in [lo, hi] inclusive.
+func (ix *Index) Range(lo, hi Value) []RowID {
+	var out []RowID
+	ix.mu.RLock()
+	ix.tree.AscendRange(lo, hi, func(_ Value, vals []RowID) bool {
+		out = append(out, vals...)
+		return true
+	})
+	ix.mu.RUnlock()
+	return out
+}
+
+// Prefix returns RowIDs for string keys beginning with p.
+func (ix *Index) Prefix(p string) []RowID {
+	var out []RowID
+	lo := S(p)
+	ix.mu.RLock()
+	ix.tree.AscendPrefixFunc(lo,
+		func(k Value) bool { return k.Type == TypeString && strings.HasPrefix(k.Str, p) },
+		func(_ Value, vals []RowID) bool {
+			out = append(out, vals...)
+			return true
+		})
+	ix.mu.RUnlock()
+	return out
+}
+
+// Keys returns the number of distinct keys in the index.
+func (ix *Index) Keys() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Keys()
+}
+
+// Len returns the number of entries in the index.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}

@@ -1,0 +1,236 @@
+package ordbms
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page in the database, matching the
+// common ORDBMS default of 8 KiB.
+const PageSize = 8192
+
+// Page header layout (bytes):
+//
+//	0..1   number of slots (uint16)
+//	2..3   free-space lower bound: first byte past the slot directory
+//	4..5   free-space upper bound: first byte of the record area
+//	6..7   flags (unused, reserved)
+//	8..15  page LSN (uint64) — the WAL position that last touched the page
+//
+// The slot directory grows upward from byte 16; record data grows downward
+// from the end of the page.  Each slot entry is 4 bytes: record offset
+// (uint16) and record length (uint16).  offset==0 marks a dead (deleted)
+// slot; offsets are always >= headerSize for live records.
+const (
+	pageHeaderSize = 16
+	slotSize       = 4
+)
+
+// slotDead marks a deleted slot's offset.
+const slotDead = 0
+
+// Page is a fixed-size slotted page.  It is not safe for concurrent use;
+// the buffer pool serialises access via per-frame latches.
+type Page struct {
+	data [PageSize]byte
+}
+
+// NewPage returns an initialised empty page.
+func NewPage() *Page {
+	p := &Page{}
+	p.Reset()
+	return p
+}
+
+// Reset reinitialises the page to empty.
+func (p *Page) Reset() {
+	for i := range p.data {
+		p.data[i] = 0
+	}
+	p.setNumSlots(0)
+	p.setFreeLower(pageHeaderSize)
+	p.setFreeUpper(PageSize)
+}
+
+// Data exposes the raw page bytes for I/O.
+func (p *Page) Data() []byte { return p.data[:] }
+
+// LoadFrom copies raw bytes into the page.
+func (p *Page) LoadFrom(b []byte) {
+	copy(p.data[:], b)
+}
+
+func (p *Page) numSlots() int      { return int(binary.LittleEndian.Uint16(p.data[0:2])) }
+func (p *Page) setNumSlots(n int)  { binary.LittleEndian.PutUint16(p.data[0:2], uint16(n)) }
+func (p *Page) freeLower() int     { return int(binary.LittleEndian.Uint16(p.data[2:4])) }
+func (p *Page) setFreeLower(n int) { binary.LittleEndian.PutUint16(p.data[2:4], uint16(n)) }
+func (p *Page) freeUpper() int {
+	v := int(binary.LittleEndian.Uint16(p.data[4:6]))
+	if v == 0 {
+		return PageSize // uint16 wraps at 65536; PageSize fits but 0 means "end"
+	}
+	return v
+}
+func (p *Page) setFreeUpper(n int) { binary.LittleEndian.PutUint16(p.data[4:6], uint16(n%65536)) }
+
+// LSN returns the page's last-writer WAL position.
+func (p *Page) LSN() uint64 { return binary.LittleEndian.Uint64(p.data[8:16]) }
+
+// SetLSN records the WAL position of the latest change to this page.
+func (p *Page) SetLSN(lsn uint64) { binary.LittleEndian.PutUint64(p.data[8:16], lsn) }
+
+func (p *Page) slotAt(i int) (off, length int) {
+	base := pageHeaderSize + i*slotSize
+	off = int(binary.LittleEndian.Uint16(p.data[base : base+2]))
+	length = int(binary.LittleEndian.Uint16(p.data[base+2 : base+4]))
+	return
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.data[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.data[base+2:base+4], uint16(length))
+}
+
+// FreeSpace returns the bytes available for a new record including its
+// slot directory entry.
+func (p *Page) FreeSpace() int {
+	free := p.freeUpper() - p.freeLower() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// NumSlots returns the size of the slot directory, including dead slots.
+func (p *Page) NumSlots() int { return p.numSlots() }
+
+// CanFit reports whether a record of n bytes fits in this page.
+func (p *Page) CanFit(n int) bool { return p.FreeSpace() >= n }
+
+// Insert places a record in the page and returns its slot number.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) == 0 {
+		return 0, fmt.Errorf("ordbms: empty record")
+	}
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("ordbms: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	// Reuse a dead slot when possible so slot numbers stay dense.
+	slot := -1
+	for i := 0; i < p.numSlots(); i++ {
+		if off, _ := p.slotAt(i); off == slotDead {
+			slot = i
+			break
+		}
+	}
+	needSlot := 0
+	if slot == -1 {
+		needSlot = slotSize
+	}
+	if p.freeUpper()-p.freeLower()-needSlot < len(rec) {
+		return 0, errPageFull
+	}
+	newUpper := p.freeUpper() - len(rec)
+	copy(p.data[newUpper:], rec)
+	p.setFreeUpper(newUpper)
+	if slot == -1 {
+		slot = p.numSlots()
+		p.setNumSlots(slot + 1)
+		p.setFreeLower(p.freeLower() + slotSize)
+	}
+	p.setSlot(slot, newUpper, len(rec))
+	return slot, nil
+}
+
+var errPageFull = fmt.Errorf("ordbms: page full")
+
+// Get returns the record stored in the given slot.  The returned slice
+// aliases page memory and must be copied if retained.
+func (p *Page) Get(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.numSlots() {
+		return nil, fmt.Errorf("ordbms: slot %d out of range (have %d)", slot, p.numSlots())
+	}
+	off, length := p.slotAt(slot)
+	if off == slotDead {
+		return nil, ErrRecordDeleted
+	}
+	return p.data[off : off+length], nil
+}
+
+// ErrRecordDeleted is returned when fetching a slot whose record was deleted.
+var ErrRecordDeleted = fmt.Errorf("ordbms: record deleted")
+
+// Delete tombstones a slot.  Space is reclaimed by Compact.
+func (p *Page) Delete(slot int) error {
+	if slot < 0 || slot >= p.numSlots() {
+		return fmt.Errorf("ordbms: slot %d out of range", slot)
+	}
+	off, _ := p.slotAt(slot)
+	if off == slotDead {
+		return ErrRecordDeleted
+	}
+	p.setSlot(slot, slotDead, 0)
+	return nil
+}
+
+// UpdateInPlace overwrites a record when the new payload is not larger
+// than the old one.  Returns false when it does not fit in place.
+func (p *Page) UpdateInPlace(slot int, rec []byte) (bool, error) {
+	if slot < 0 || slot >= p.numSlots() {
+		return false, fmt.Errorf("ordbms: slot %d out of range", slot)
+	}
+	off, length := p.slotAt(slot)
+	if off == slotDead {
+		return false, ErrRecordDeleted
+	}
+	if len(rec) > length {
+		return false, nil
+	}
+	copy(p.data[off:], rec)
+	p.setSlot(slot, off, len(rec))
+	return true, nil
+}
+
+// Compact rewrites the record area to squeeze out holes left by deletes,
+// preserving slot numbers (and therefore RowIDs).
+func (p *Page) Compact() {
+	type live struct {
+		slot, length int
+		data         []byte
+	}
+	var lives []live
+	for i := 0; i < p.numSlots(); i++ {
+		off, length := p.slotAt(i)
+		if off == slotDead {
+			continue
+		}
+		cp := make([]byte, length)
+		copy(cp, p.data[off:off+length])
+		lives = append(lives, live{i, length, cp})
+	}
+	upper := PageSize
+	for _, l := range lives {
+		upper -= l.length
+		copy(p.data[upper:], l.data)
+		p.setSlot(l.slot, upper, l.length)
+	}
+	p.setFreeUpper(upper)
+}
+
+// LiveRecords calls fn for every live slot in slot order.
+func (p *Page) LiveRecords(fn func(slot int, rec []byte) bool) {
+	for i := 0; i < p.numSlots(); i++ {
+		off, length := p.slotAt(i)
+		if off == slotDead {
+			continue
+		}
+		if !fn(i, p.data[off:off+length]) {
+			return
+		}
+	}
+}
+
+// MaxRecordSize is the largest record a page accepts.  Larger payloads are
+// chunked by the heap layer.
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize

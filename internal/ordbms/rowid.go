@@ -1,0 +1,39 @@
+package ordbms
+
+import "fmt"
+
+// RowID is a physical row address: page number and slot within the page.
+// It is the direct analogue of an Oracle ROWID, which the paper exploits
+// "for very fast traversal between nodes that are related": following a
+// RowID is a single buffer-pool fetch, no index involved.
+//
+// RowIDs are stable for the lifetime of a record: deletes tombstone the
+// slot and page compaction preserves slot numbers.
+type RowID struct {
+	Page uint32
+	Slot uint16
+}
+
+// ZeroRowID is the invalid RowID used as a null link.
+var ZeroRowID = RowID{}
+
+// IsZero reports whether the RowID is the null link.
+func (r RowID) IsZero() bool { return r == ZeroRowID }
+
+// Uint64 packs the RowID into a single integer for storage in a column.
+func (r RowID) Uint64() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// RowIDFromUint64 unpacks a RowID previously packed with Uint64.
+func RowIDFromUint64(v uint64) RowID {
+	return RowID{Page: uint32(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+func (r RowID) String() string { return fmt.Sprintf("rid(%d.%d)", r.Page, r.Slot) }
+
+// Less orders RowIDs in physical (page, slot) order.
+func (r RowID) Less(o RowID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}

@@ -1,0 +1,312 @@
+// Package ordbms implements the storage substrate that the paper assumes:
+// an object-relational database engine with slotted pages, a buffer pool,
+// heap files addressed by physical row identifiers, write-ahead logging,
+// and crash recovery.
+//
+// The NETMARK paper stores every document in two universal tables (XML and
+// DOC) inside an Oracle ORDBMS and leans on Oracle's physical ROWIDs for
+// fast parent/sibling traversal between nodes.  This package reproduces
+// those properties: a RowID here is a physical (page, slot) address, so a
+// traversal hop is one buffer-pool fetch rather than an index lookup.
+package ordbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Type identifies the dynamic type of a Value.
+type Type uint8
+
+// Value types supported by the engine.
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBytes
+	TypeBool
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "STRING"
+	case TypeBytes:
+		return "BYTES"
+	case TypeBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Value is a single column value.  The zero Value is NULL.
+type Value struct {
+	Type  Type
+	Int   int64
+	Float float64
+	Str   string
+	Bytes []byte
+	Bool  bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{Type: TypeNull} }
+
+// I builds an integer value.
+func I(v int64) Value { return Value{Type: TypeInt, Int: v} }
+
+// F builds a float value.
+func F(v float64) Value { return Value{Type: TypeFloat, Float: v} }
+
+// S builds a string value.
+func S(v string) Value { return Value{Type: TypeString, Str: v} }
+
+// B builds a bytes value.
+func B(v []byte) Value { return Value{Type: TypeBytes, Bytes: v} }
+
+// Bl builds a boolean value.
+func Bl(v bool) Value { return Value{Type: TypeBool, Bool: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Type == TypeNull }
+
+// String renders the value for debugging and CLI output.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return fmt.Sprintf("%d", v.Int)
+	case TypeFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case TypeString:
+		return v.Str
+	case TypeBytes:
+		return fmt.Sprintf("%x", v.Bytes)
+	case TypeBool:
+		return fmt.Sprintf("%t", v.Bool)
+	}
+	return "?"
+}
+
+// Compare orders two values.  NULL sorts before everything; mixed numeric
+// comparisons promote ints to floats; otherwise mismatched types compare
+// by type tag so that sorting is total.
+func (v Value) Compare(o Value) int {
+	if v.Type == TypeNull || o.Type == TypeNull {
+		switch {
+		case v.Type == TypeNull && o.Type == TypeNull:
+			return 0
+		case v.Type == TypeNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.Type != o.Type {
+		if (v.Type == TypeInt && o.Type == TypeFloat) || (v.Type == TypeFloat && o.Type == TypeInt) {
+			a, b := v.asFloat(), o.asFloat()
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}
+		if v.Type < o.Type {
+			return -1
+		}
+		return 1
+	}
+	switch v.Type {
+	case TypeInt:
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+		return 0
+	case TypeFloat:
+		switch {
+		case v.Float < o.Float:
+			return -1
+		case v.Float > o.Float:
+			return 1
+		}
+		return 0
+	case TypeString:
+		switch {
+		case v.Str < o.Str:
+			return -1
+		case v.Str > o.Str:
+			return 1
+		}
+		return 0
+	case TypeBytes:
+		a, b := v.Bytes, o.Bytes
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				if a[i] < b[i] {
+					return -1
+				}
+				return 1
+			}
+		}
+		switch {
+		case len(a) < len(b):
+			return -1
+		case len(a) > len(b):
+			return 1
+		}
+		return 0
+	case TypeBool:
+		switch {
+		case !v.Bool && o.Bool:
+			return -1
+		case v.Bool && !o.Bool:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports value equality under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+func (v Value) asFloat() float64 {
+	if v.Type == TypeInt {
+		return float64(v.Int)
+	}
+	return v.Float
+}
+
+// Row is an ordered tuple of values matching a table schema.
+type Row []Value
+
+// Clone deep-copies a row, including byte slices.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	for i := range out {
+		if out[i].Type == TypeBytes {
+			b := make([]byte, len(out[i].Bytes))
+			copy(b, out[i].Bytes)
+			out[i].Bytes = b
+		}
+	}
+	return out
+}
+
+// EncodeRow serialises a row into a compact binary record.
+// Layout: varint column count, then per column one type byte followed by a
+// type-specific payload (zigzag varints for ints, 8-byte IEEE for floats,
+// length-prefixed bytes for strings).
+func EncodeRow(r Row) []byte {
+	buf := make([]byte, 0, 16+len(r)*8)
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, v := range r {
+		buf = append(buf, byte(v.Type))
+		switch v.Type {
+		case TypeNull:
+		case TypeInt:
+			buf = binary.AppendVarint(buf, v.Int)
+		case TypeFloat:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.Float))
+			buf = append(buf, tmp[:]...)
+		case TypeString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+			buf = append(buf, v.Str...)
+		case TypeBytes:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Bytes)))
+			buf = append(buf, v.Bytes...)
+		case TypeBool:
+			if v.Bool {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeRow parses a record previously produced by EncodeRow.
+func DecodeRow(b []byte) (Row, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, fmt.Errorf("ordbms: corrupt record header")
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("ordbms: implausible column count %d", n)
+	}
+	row := make(Row, 0, n)
+	pos := off
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(b) {
+			return nil, fmt.Errorf("ordbms: truncated record at column %d", i)
+		}
+		t := Type(b[pos])
+		pos++
+		var v Value
+		v.Type = t
+		switch t {
+		case TypeNull:
+		case TypeInt:
+			x, m := binary.Varint(b[pos:])
+			if m <= 0 {
+				return nil, fmt.Errorf("ordbms: corrupt int at column %d", i)
+			}
+			v.Int = x
+			pos += m
+		case TypeFloat:
+			if pos+8 > len(b) {
+				return nil, fmt.Errorf("ordbms: corrupt float at column %d", i)
+			}
+			v.Float = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
+			pos += 8
+		case TypeString:
+			l, m := binary.Uvarint(b[pos:])
+			if m <= 0 || pos+m+int(l) > len(b) {
+				return nil, fmt.Errorf("ordbms: corrupt string at column %d", i)
+			}
+			pos += m
+			v.Str = string(b[pos : pos+int(l)])
+			pos += int(l)
+		case TypeBytes:
+			l, m := binary.Uvarint(b[pos:])
+			if m <= 0 || pos+m+int(l) > len(b) {
+				return nil, fmt.Errorf("ordbms: corrupt bytes at column %d", i)
+			}
+			pos += m
+			v.Bytes = append([]byte(nil), b[pos:pos+int(l)]...)
+			pos += int(l)
+		case TypeBool:
+			if pos >= len(b) {
+				return nil, fmt.Errorf("ordbms: corrupt bool at column %d", i)
+			}
+			v.Bool = b[pos] == 1
+			pos++
+		default:
+			return nil, fmt.Errorf("ordbms: unknown value type %d at column %d", t, i)
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}

@@ -1,0 +1,217 @@
+// Package sgml implements the "NETMARK SGML parser" of the paper: a
+// permissive SGML/XML/HTML parser that decomposes documents into their
+// constituent nodes for schema-less storage.  Unlike schema-centric XML
+// mappings, the parser "models the document itself (similar to the DOM),
+// and its object tree structure is the same for all XML documents"
+// (§2.1.1) — any document parses into the same Node shape.
+//
+// The package also implements the paper's five-way node classification
+// (ELEMENT, TEXT, CONTEXT, INTENSE, SIMULATION), driven by configuration
+// equivalent to "the HTML or XML configuration files passed by the
+// daemon".
+package sgml
+
+import "strings"
+
+// NodeKind is the structural kind of a parse node.
+type NodeKind uint8
+
+// Structural node kinds.
+const (
+	DocumentNode NodeKind = iota
+	ElementNode
+	TextNode
+	CommentNode
+	DoctypeNode
+	ProcInstNode
+)
+
+// Attr is one attribute of an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is one node of a parsed document tree.
+type Node struct {
+	Kind  NodeKind
+	Name  string // element name (lowercased in HTML mode), PI target
+	Data  string // text, comment or doctype content
+	Attrs []Attr
+
+	Parent      *Node
+	FirstChild  *Node
+	LastChild   *Node
+	PrevSibling *Node
+	NextSibling *Node
+}
+
+// NewElement creates a detached element node.
+func NewElement(name string, attrs ...Attr) *Node {
+	return &Node{Kind: ElementNode, Name: name, Attrs: attrs}
+}
+
+// NewText creates a detached text node.
+func NewText(data string) *Node {
+	return &Node{Kind: TextNode, Data: data}
+}
+
+// AppendChild attaches c as the last child of n.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	c.PrevSibling = n.LastChild
+	c.NextSibling = nil
+	if n.LastChild != nil {
+		n.LastChild.NextSibling = c
+	} else {
+		n.FirstChild = c
+	}
+	n.LastChild = c
+	return c
+}
+
+// RemoveChild detaches c from n.
+func (n *Node) RemoveChild(c *Node) {
+	if c.Parent != n {
+		return
+	}
+	if c.PrevSibling != nil {
+		c.PrevSibling.NextSibling = c.NextSibling
+	} else {
+		n.FirstChild = c.NextSibling
+	}
+	if c.NextSibling != nil {
+		c.NextSibling.PrevSibling = c.PrevSibling
+	} else {
+		n.LastChild = c.PrevSibling
+	}
+	c.Parent, c.PrevSibling, c.NextSibling = nil, nil, nil
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets or replaces an attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{name, value})
+}
+
+// Text returns the concatenated text content of the subtree, with
+// fragments separated by single spaces where element boundaries fall.
+func (n *Node) Text() string {
+	var sb strings.Builder
+	n.collectText(&sb)
+	return strings.Join(strings.Fields(sb.String()), " ")
+}
+
+func (n *Node) collectText(sb *strings.Builder) {
+	if n.Kind == TextNode {
+		sb.WriteString(n.Data)
+		sb.WriteByte(' ')
+		return
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		c.collectText(sb)
+	}
+}
+
+// Walk visits the subtree in document (pre-) order.  Returning false from
+// fn prunes descent into the node's children.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		c.Walk(fn)
+	}
+}
+
+// Find returns the first descendant element with the given name.
+func (n *Node) Find(name string) *Node {
+	var found *Node
+	n.Walk(func(x *Node) bool {
+		if found != nil {
+			return false
+		}
+		if x != n && x.Kind == ElementNode && x.Name == name {
+			found = x
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns all descendant elements with the given name in document
+// order.
+func (n *Node) FindAll(name string) []*Node {
+	var out []*Node
+	n.Walk(func(x *Node) bool {
+		if x != n && x.Kind == ElementNode && x.Name == name {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Children returns the direct child nodes as a slice.
+func (n *Node) Children() []*Node {
+	var out []*Node
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ChildElements returns the direct element children.
+func (n *Node) ChildElements() []*Node {
+	var out []*Node
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if c.Kind == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CountNodes returns the number of nodes in the subtree including n.
+func (n *Node) CountNodes() int {
+	count := 0
+	n.Walk(func(*Node) bool { count++; return true })
+	return count
+}
+
+// Root walks up to the topmost ancestor.
+func (n *Node) Root() *Node {
+	r := n
+	for r.Parent != nil {
+		r = r.Parent
+	}
+	return r
+}
+
+// Clone deep-copies the subtree (detached).
+func (n *Node) Clone() *Node {
+	cp := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	if n.Attrs != nil {
+		cp.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		cp.AppendChild(c.Clone())
+	}
+	return cp
+}

@@ -1,0 +1,172 @@
+package sgml
+
+import (
+	"io"
+	"strings"
+)
+
+// Mode selects parsing dialect.
+type Mode uint8
+
+// Parsing modes.
+const (
+	// ModeXML parses well-formed-ish XML: names keep their case, all
+	// elements require explicit closing (but the parser still recovers
+	// from unclosed elements at EOF rather than failing).
+	ModeXML Mode = iota
+	// ModeHTML parses permissive HTML: names are lowercased, void
+	// elements never take children, and implied end tags are inserted
+	// (</p> before a new <p>, </li> before a new <li>, and so on).
+	ModeHTML
+)
+
+// voidElements are HTML elements that never have content.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// impliedEnd maps an opening element to the set of open elements it
+// implicitly closes, per the HTML parsing conventions that matter for
+// document upmarking.
+var impliedEnd = map[string]map[string]bool{
+	"p":     {"p": true},
+	"li":    {"li": true},
+	"dt":    {"dt": true, "dd": true},
+	"dd":    {"dt": true, "dd": true},
+	"tr":    {"tr": true, "td": true, "th": true},
+	"td":    {"td": true, "th": true},
+	"th":    {"td": true, "th": true},
+	"thead": {"tbody": true},
+	"tbody": {"thead": true},
+	"option": {
+		"option": true,
+	},
+	"h1": {"p": true}, "h2": {"p": true}, "h3": {"p": true},
+	"h4": {"p": true}, "h5": {"p": true}, "h6": {"p": true},
+}
+
+// headingCloses lists block elements whose start also closes an open <p>.
+var blockClosesP = map[string]bool{
+	"div": true, "table": true, "ul": true, "ol": true, "pre": true,
+	"blockquote": true, "section": true, "article": true,
+}
+
+// Parse reads the full input and parses it.
+func Parse(r io.Reader, mode Mode) (*Node, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(string(b), mode)
+}
+
+// ParseString parses a document held in memory.  The returned node is a
+// DocumentNode whose children are the top-level constructs.  The parser
+// is recovering: real-world enterprise documents are frequently malformed
+// and the NETMARK ingest path must accept them, so errors are reserved
+// for genuinely unusable input.
+func ParseString(src string, mode Mode) (*Node, error) {
+	html := mode == ModeHTML
+	lx := newLexer(src, html)
+	doc := &Node{Kind: DocumentNode, Name: "#document"}
+	cur := doc
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		switch tok.kind {
+		case tokEOF:
+			return doc, nil
+		case tokText:
+			if strings.TrimSpace(tok.data) == "" {
+				// Preserve a single space between inline content, drop
+				// pure layout whitespace between block elements.
+				if cur.LastChild != nil && cur.LastChild.Kind == TextNode {
+					continue
+				}
+				continue
+			}
+			// Merge adjacent text nodes.
+			if cur.LastChild != nil && cur.LastChild.Kind == TextNode {
+				cur.LastChild.Data += tok.data
+			} else {
+				cur.AppendChild(NewText(tok.data))
+			}
+		case tokCDATA:
+			if cur.LastChild != nil && cur.LastChild.Kind == TextNode {
+				cur.LastChild.Data += tok.data
+			} else {
+				cur.AppendChild(NewText(tok.data))
+			}
+		case tokComment:
+			cur.AppendChild(&Node{Kind: CommentNode, Data: tok.data})
+		case tokDoctype:
+			cur.AppendChild(&Node{Kind: DoctypeNode, Data: tok.data})
+		case tokProcInst:
+			cur.AppendChild(&Node{Kind: ProcInstNode, Name: tok.name, Data: tok.data})
+		case tokSelfClose:
+			el := NewElement(tok.name, tok.attrs...)
+			cur.AppendChild(el)
+		case tokStartTag:
+			if html {
+				cur = htmlImplyEnds(cur, tok.name)
+			}
+			el := NewElement(tok.name, tok.attrs...)
+			cur.AppendChild(el)
+			if html && voidElements[tok.name] {
+				// void: do not descend
+			} else {
+				cur = el
+			}
+		case tokEndTag:
+			// Pop to the matching open element; ignore unmatched closers.
+			target := cur
+			for target != nil && target.Kind != DocumentNode && target.Name != tok.name {
+				target = target.Parent
+			}
+			if target != nil && target.Kind == ElementNode {
+				cur = target.Parent
+			}
+		}
+	}
+}
+
+// htmlImplyEnds pops elements that an opening tag implicitly closes.
+func htmlImplyEnds(cur *Node, opening string) *Node {
+	for cur.Kind == ElementNode {
+		closes := impliedEnd[opening]
+		if closes != nil && closes[cur.Name] {
+			cur = cur.Parent
+			continue
+		}
+		if blockClosesP[opening] && cur.Name == "p" {
+			cur = cur.Parent
+			continue
+		}
+		break
+	}
+	return cur
+}
+
+// SniffMode guesses the parse mode from content: documents that look like
+// HTML (doctype html, <html>, or unclosed-tag conventions) parse in HTML
+// mode; everything else as XML.
+func SniffMode(src string) Mode {
+	head := src
+	if len(head) > 1024 {
+		head = head[:1024]
+	}
+	lower := strings.ToLower(head)
+	switch {
+	case strings.Contains(lower, "<!doctype html"),
+		strings.Contains(lower, "<html"),
+		strings.Contains(lower, "<body"),
+		strings.Contains(lower, "<br>"),
+		strings.Contains(lower, "<p>"):
+		return ModeHTML
+	}
+	return ModeXML
+}

@@ -1,0 +1,250 @@
+// Package shred implements the storage baseline NETMARK's universal
+// schema is compared against: schema-aware XML shredding in the style of
+// Shanmugasundaram et al. [10], where "any XML documents to be stored are
+// 'shredded' into relational tables" with **different relations for
+// different XML element types**.
+//
+// The consequence the paper attacks is reproduced faithfully: storing a
+// document whose element vocabulary has not been seen before requires
+// DDL (new tables), so the table count grows with the corpus's element
+// diversity, while NETMARK's XML/DOC pair stays at two.
+package shred
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"netmark/internal/ordbms"
+	"netmark/internal/sgml"
+)
+
+// Store shreds documents into per-element-type relations.
+type Store struct {
+	db *ordbms.DB
+
+	mu     sync.Mutex
+	tables map[string]*ordbms.Table // element name -> relation
+	docs   *ordbms.Table
+	nextID uint64
+	ddl    int // DDL statements issued (the schema-maintenance cost)
+}
+
+var shredDocSchema = ordbms.MustSchema(
+	ordbms.Column{Name: "docid", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "filename", Type: ordbms.TypeString},
+	ordbms.Column{Name: "rootelem", Type: ordbms.TypeString},
+)
+
+// elemSchema is the relation shape for one element type: identity,
+// document, parent linkage by (element table, id), ordinal and text.
+var elemSchema = ordbms.MustSchema(
+	ordbms.Column{Name: "id", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "docid", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "parentelem", Type: ordbms.TypeString},
+	ordbms.Column{Name: "parentid", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "ordinal", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "text", Type: ordbms.TypeString},
+	ordbms.Column{Name: "attrs", Type: ordbms.TypeString},
+)
+
+// Open attaches a shredding store to a database.
+func Open(db *ordbms.DB) (*Store, error) {
+	s := &Store{db: db, tables: make(map[string]*ordbms.Table), nextID: 1}
+	if s.docs = db.Table("SHRED_DOCS"); s.docs == nil {
+		t, err := db.CreateTable("SHRED_DOCS", shredDocSchema)
+		if err != nil {
+			return nil, err
+		}
+		s.docs = t
+		s.ddl++
+	}
+	// Reattach existing element tables.
+	for _, name := range db.TableNames() {
+		if strings.HasPrefix(name, "SHRED_ELEM_") {
+			s.tables[strings.TrimPrefix(name, "SHRED_ELEM_")] = db.Table(name)
+		}
+	}
+	return s, nil
+}
+
+// DDLCount returns how many CREATE TABLE statements the store has issued
+// — the Fig 1 schema-cost counter for the baseline.
+func (s *Store) DDLCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ddl
+}
+
+// TableCount returns the number of element relations.
+func (s *Store) TableCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tables)
+}
+
+// tableFor returns (creating if needed) the relation for an element type.
+func (s *Store) tableFor(elem string) (*ordbms.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[elem]; ok {
+		return t, nil
+	}
+	t, err := s.db.CreateTable("SHRED_ELEM_"+elem, elemSchema)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.CreateIndex("docid"); err != nil {
+		return nil, err
+	}
+	if err := t.CreateIndex("text"); err != nil {
+		return nil, err
+	}
+	s.tables[elem] = t
+	s.ddl += 3 // CREATE TABLE + two CREATE INDEX
+	return t, nil
+}
+
+// StoreDocument shreds a parsed tree.  Element names are sanitised to
+// table-name-safe form; text content is concatenated per element.
+func (s *Store) StoreDocument(name string, tree *sgml.Node) (uint64, error) {
+	root := tree
+	if root.Kind == sgml.DocumentNode {
+		for c := root.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind == sgml.ElementNode {
+				root = c
+				break
+			}
+		}
+	}
+	if root.Kind != sgml.ElementNode {
+		return 0, fmt.Errorf("shred: no root element in %q", name)
+	}
+	s.mu.Lock()
+	docID := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	var walk func(n *sgml.Node, parentElem string, parentID uint64, ord int) error
+	walk = func(n *sgml.Node, parentElem string, parentID uint64, ord int) error {
+		elem := sanitize(n.Name)
+		t, err := s.tableFor(elem)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		id := s.nextID
+		s.nextID++
+		s.mu.Unlock()
+		text := directText(n)
+		var attrs []string
+		for _, a := range n.Attrs {
+			attrs = append(attrs, a.Name+"="+a.Value)
+		}
+		_, err = t.Insert(ordbms.Row{
+			ordbms.I(int64(id)),
+			ordbms.I(int64(docID)),
+			ordbms.S(parentElem),
+			ordbms.I(int64(parentID)),
+			ordbms.I(int64(ord)),
+			ordbms.S(text),
+			ordbms.S(strings.Join(attrs, " ")),
+		})
+		if err != nil {
+			return err
+		}
+		cord := 0
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind != sgml.ElementNode {
+				continue
+			}
+			if err := walk(c, elem, id, cord); err != nil {
+				return err
+			}
+			cord++
+		}
+		return nil
+	}
+	if err := walk(root, "", 0, 0); err != nil {
+		return 0, err
+	}
+	_, err := s.docs.Insert(ordbms.Row{
+		ordbms.I(int64(docID)),
+		ordbms.S(name),
+		ordbms.S(sanitize(root.Name)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return docID, nil
+}
+
+// FindByText scans one element relation for rows whose text contains the
+// needle (the baseline has no cross-relation text index; a query that
+// does not know the element type must visit every relation — the cost
+// the universal table avoids).
+func (s *Store) FindByText(elem, needle string) (int, error) {
+	s.mu.Lock()
+	t, ok := s.tables[sanitize(elem)]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("shred: no relation for element %q", elem)
+	}
+	needle = strings.ToLower(needle)
+	count := 0
+	err := t.Scan(func(_ ordbms.RowID, row ordbms.Row) bool {
+		if strings.Contains(strings.ToLower(row[5].Str), needle) {
+			count++
+		}
+		return true
+	})
+	return count, err
+}
+
+// FindByTextAnywhere searches every element relation (the schema-unaware
+// query path).
+func (s *Store) FindByTextAnywhere(needle string) (int, error) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	total := 0
+	for _, n := range names {
+		c, err := s.FindByText(n, needle)
+		if err != nil {
+			return total, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// directText concatenates the immediate text children of an element.
+func directText(n *sgml.Node) string {
+	var parts []string
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if c.Kind == sgml.TextNode && strings.TrimSpace(c.Data) != "" {
+			parts = append(parts, strings.TrimSpace(c.Data))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// sanitize maps an element name to a table-name-safe identifier.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_anon"
+	}
+	return sb.String()
+}

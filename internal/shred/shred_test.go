@@ -1,0 +1,133 @@
+package shred
+
+import (
+	"fmt"
+	"testing"
+
+	"netmark/internal/ordbms"
+	"netmark/internal/sgml"
+)
+
+func newStore(t testing.TB) *Store {
+	t.Helper()
+	db, err := ordbms.Open(ordbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func parse(t testing.TB, src string) *sgml.Node {
+	t.Helper()
+	doc, err := sgml.ParseString(src, sgml.ModeXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestShredCreatesPerElementTables(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.StoreDocument("a.xml", parse(t,
+		`<report><title>T</title><body>B</body></report>`)); err != nil {
+		t.Fatal(err)
+	}
+	if s.TableCount() != 3 { // report, title, body
+		t.Fatalf("tables = %d", s.TableCount())
+	}
+	// Same vocabulary: no new tables.
+	ddl := s.DDLCount()
+	if _, err := s.StoreDocument("b.xml", parse(t,
+		`<report><title>T2</title><body>B2</body></report>`)); err != nil {
+		t.Fatal(err)
+	}
+	if s.DDLCount() != ddl {
+		t.Fatal("repeat vocabulary caused DDL")
+	}
+	// New vocabulary: DDL required — the schema-dependence NETMARK avoids.
+	if _, err := s.StoreDocument("c.xml", parse(t,
+		`<memo><heading>H</heading></memo>`)); err != nil {
+		t.Fatal(err)
+	}
+	if s.DDLCount() <= ddl {
+		t.Fatal("new vocabulary did not cause DDL")
+	}
+	if s.TableCount() != 5 {
+		t.Fatalf("tables = %d", s.TableCount())
+	}
+}
+
+func TestShredFindByText(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 5; i++ {
+		src := fmt.Sprintf(`<doc><para>common text %d</para><note>other</note></doc>`, i)
+		if _, err := s.StoreDocument(fmt.Sprintf("d%d.xml", i), parse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.FindByText("para", "common")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("para hits = %d", n)
+	}
+	n, err = s.FindByTextAnywhere("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("anywhere hits = %d", n)
+	}
+	if _, err := s.FindByText("ghost", "x"); err == nil {
+		t.Fatal("unknown element accepted")
+	}
+}
+
+func TestShredSanitize(t *testing.T) {
+	cases := map[string]string{
+		"Para":     "para",
+		"ns:tag":   "ns_tag",
+		"weird-1":  "weird_1",
+		"":         "_anon",
+		"UPPER_A9": "upper_a9",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestShredAttrsAndStructure(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.StoreDocument("a.xml", parse(t,
+		`<r><child k="v">text</child></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.db.Table("SHRED_ELEM_child")
+	if tbl == nil {
+		t.Fatal("child relation missing")
+	}
+	found := false
+	tbl.Scan(func(_ ordbms.RowID, row ordbms.Row) bool {
+		if row[5].Str == "text" && row[6].Str == "k=v" && row[2].Str == "r" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("shredded row incomplete")
+	}
+}
+
+func TestShredRejectsNoRoot(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.StoreDocument("x.xml", parse(t, `<!-- only a comment -->`)); err == nil {
+		t.Fatal("rootless document accepted")
+	}
+}

@@ -1,0 +1,633 @@
+package sqlx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netmark/internal/ordbms"
+)
+
+// DB executes SQL against an ordbms engine.
+type DB struct {
+	eng *ordbms.DB
+}
+
+// New wraps an engine.
+func New(eng *ordbms.DB) *DB { return &DB{eng: eng} }
+
+// Result is a statement's outcome.
+type Result struct {
+	// Columns of the result set (SELECT only).
+	Columns []string
+	// Rows of the result set (SELECT only).
+	Rows []ordbms.Row
+	// Affected rows (INSERT/DELETE).
+	Affected int64
+	// Plan describes the access path chosen ("index-eq(name)",
+	// "index-range(id)", "scan", "join-index", "join-scan").
+	Plan string
+}
+
+// Exec parses and executes one statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *CreateTableStmt:
+		schema, err := ordbms.NewSchema(st.Columns...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.eng.CreateTable(st.Table, schema); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		t := db.eng.Table(st.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sqlx: no table %q", st.Table)
+		}
+		if err := t.CreateIndex(st.Column); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *InsertStmt:
+		return db.execInsert(st)
+	case *SelectStmt:
+		return db.execSelect(st)
+	case *DeleteStmt:
+		return db.execDelete(st)
+	}
+	return nil, fmt.Errorf("sqlx: unhandled statement %T", stmt)
+}
+
+func (db *DB) execInsert(st *InsertStmt) (*Result, error) {
+	t := db.eng.Table(st.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlx: no table %q", st.Table)
+	}
+	n := int64(0)
+	for _, row := range st.Rows {
+		// Coerce int literals into float columns.
+		coerced := make(ordbms.Row, len(row))
+		copy(coerced, row)
+		schema := t.Schema()
+		if len(row) == schema.Arity() {
+			for i := range coerced {
+				if coerced[i].Type == ordbms.TypeInt && schema.Columns[i].Type == ordbms.TypeFloat {
+					coerced[i] = ordbms.F(float64(coerced[i].Int))
+				}
+			}
+		}
+		if _, err := t.Insert(coerced); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// boundRow is a row with its provenance for name resolution.
+type boundRow struct {
+	tables []string     // table name per segment
+	rows   []ordbms.Row // row per segment
+}
+
+// resolve finds a column value across the bound tables.
+func (db *DB) resolve(br boundRow, ref ColRef) (ordbms.Value, error) {
+	for i, tn := range br.tables {
+		if ref.Table != "" && ref.Table != tn {
+			continue
+		}
+		t := db.eng.Table(tn)
+		ci := t.Schema().ColIndex(ref.Column)
+		if ci >= 0 {
+			return br.rows[i][ci], nil
+		}
+		if ref.Table != "" {
+			return ordbms.Null(), fmt.Errorf("sqlx: no column %q in table %q", ref.Column, ref.Table)
+		}
+	}
+	return ordbms.Null(), fmt.Errorf("sqlx: unknown column %q", ref)
+}
+
+// evalExpr evaluates a filter against a bound row.
+func (db *DB) evalExpr(e Expr, br boundRow) (bool, error) {
+	switch e := e.(type) {
+	case *CmpExpr:
+		v, err := db.resolve(br, e.Col)
+		if err != nil {
+			return false, err
+		}
+		return cmpValues(v, e.Op, e.Val)
+	case *LogicExpr:
+		l, err := db.evalExpr(e.Left, br)
+		if err != nil {
+			return false, err
+		}
+		if e.Op == "AND" && !l {
+			return false, nil
+		}
+		if e.Op == "OR" && l {
+			return true, nil
+		}
+		return db.evalExpr(e.Right, br)
+	case *NotExpr:
+		v, err := db.evalExpr(e.Inner, br)
+		return !v, err
+	}
+	return false, fmt.Errorf("sqlx: unhandled expression %T", e)
+}
+
+func cmpValues(v ordbms.Value, op string, lit ordbms.Value) (bool, error) {
+	if op == "LIKE" {
+		if v.Type != ordbms.TypeString {
+			return false, nil
+		}
+		return likeMatch(strings.ToLower(v.Str), strings.ToLower(lit.Str)), nil
+	}
+	if v.IsNull() || lit.IsNull() {
+		return false, nil // SQL three-valued logic collapsed to false
+	}
+	c := v.Compare(lit)
+	switch op {
+	case "=":
+		return c == 0, nil
+	case "!=":
+		return c != 0, nil
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("sqlx: unknown operator %q", op)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming match.
+	n, m := len(s), len(pattern)
+	dp := make([]bool, n+1)
+	dp[0] = true
+	for j := 0; j < m; j++ {
+		pc := pattern[j]
+		prevDiag := dp[0]
+		if pc == '%' {
+			for i := 1; i <= n; i++ {
+				dp[i] = dp[i] || dp[i-1]
+			}
+			continue
+		}
+		dp0 := dp[0]
+		dp[0] = false
+		for i := 1; i <= n; i++ {
+			cur := dp[i]
+			match := prevDiag && (pc == '_' || s[i-1] == pc)
+			dp[i] = match
+			prevDiag = cur
+		}
+		_ = dp0
+	}
+	return dp[n]
+}
+
+// indexablePred extracts an index-usable predicate from the top-level
+// AND chain: (column, op, literal) where column is unqualified or
+// belongs to `table`.
+func indexablePred(e Expr, table string, db *DB) *CmpExpr {
+	switch e := e.(type) {
+	case *CmpExpr:
+		if e.Op == "LIKE" || e.Op == "!=" {
+			return nil
+		}
+		if e.Col.Table != "" && e.Col.Table != table {
+			return nil
+		}
+		t := db.eng.Table(table)
+		if t == nil || t.Index(e.Col.Column) == nil {
+			return nil
+		}
+		return e
+	case *LogicExpr:
+		if e.Op != "AND" {
+			return nil
+		}
+		if p := indexablePred(e.Left, table, db); p != nil {
+			return p
+		}
+		return indexablePred(e.Right, table, db)
+	}
+	return nil
+}
+
+// scanCandidates yields base-table rows via the best access path.
+func (db *DB) scanCandidates(table string, where Expr) ([]ordbms.Row, string, error) {
+	t := db.eng.Table(table)
+	if t == nil {
+		return nil, "", fmt.Errorf("sqlx: no table %q", table)
+	}
+	if pred := indexablePred(where, table, db); pred != nil {
+		ix := t.Index(pred.Col.Column)
+		var rids []ordbms.RowID
+		var plan string
+		switch pred.Op {
+		case "=":
+			rids = ix.Lookup(pred.Val)
+			plan = "index-eq(" + pred.Col.Column + ")"
+		case "<", "<=":
+			lo := minValueFor(pred.Val.Type)
+			rids = ix.Range(lo, pred.Val)
+			plan = "index-range(" + pred.Col.Column + ")"
+		case ">", ">=":
+			hi := maxValueFor(pred.Val.Type)
+			rids = ix.Range(pred.Val, hi)
+			plan = "index-range(" + pred.Col.Column + ")"
+		}
+		if plan != "" {
+			rows := make([]ordbms.Row, 0, len(rids))
+			for _, rid := range rids {
+				row, err := t.Fetch(rid)
+				if err != nil {
+					if err == ordbms.ErrRecordDeleted {
+						continue
+					}
+					return nil, "", err
+				}
+				rows = append(rows, row)
+			}
+			return rows, plan, nil
+		}
+	}
+	var rows []ordbms.Row
+	err := t.Scan(func(_ ordbms.RowID, row ordbms.Row) bool {
+		rows = append(rows, row.Clone())
+		return true
+	})
+	return rows, "scan", err
+}
+
+func minValueFor(t ordbms.Type) ordbms.Value {
+	switch t {
+	case ordbms.TypeInt:
+		return ordbms.I(-1 << 62)
+	case ordbms.TypeFloat:
+		return ordbms.F(-1e308)
+	case ordbms.TypeString:
+		return ordbms.S("")
+	default:
+		return ordbms.Null()
+	}
+}
+
+func maxValueFor(t ordbms.Type) ordbms.Value {
+	switch t {
+	case ordbms.TypeInt:
+		return ordbms.I(1<<62 - 1)
+	case ordbms.TypeFloat:
+		return ordbms.F(1e308)
+	case ordbms.TypeString:
+		return ordbms.S("￿￿￿￿")
+	default:
+		return ordbms.Null()
+	}
+}
+
+func (db *DB) execSelect(st *SelectStmt) (*Result, error) {
+	// Bind base rows (with optional join).
+	baseRows, plan, err := db.scanCandidates(st.From, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	var bound []boundRow
+	if st.Join == nil {
+		for _, r := range baseRows {
+			bound = append(bound, boundRow{tables: []string{st.From}, rows: []ordbms.Row{r}})
+		}
+	} else {
+		joined, jplan, err := db.joinRows(st, baseRows)
+		if err != nil {
+			return nil, err
+		}
+		bound = joined
+		plan += "+" + jplan
+	}
+	// Filter.
+	if st.Where != nil {
+		kept := bound[:0]
+		for _, br := range bound {
+			ok, err := db.evalExpr(st.Where, br)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, br)
+			}
+		}
+		bound = kept
+	}
+
+	hasAgg := false
+	for _, it := range st.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	var res *Result
+	if hasAgg || !st.GroupBy.IsZero() {
+		res, err = db.aggregate(st, bound)
+	} else {
+		res, err = db.project(st, bound)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+
+	// ORDER BY over the projected result when the column is in the
+	// output; otherwise order pre-projection is unsupported for
+	// simplicity.
+	if !st.OrderBy.IsZero() {
+		oi := -1
+		for i, c := range res.Columns {
+			if c == st.OrderBy.Column || c == st.OrderBy.String() {
+				oi = i
+				break
+			}
+		}
+		if oi < 0 {
+			return nil, fmt.Errorf("sqlx: ORDER BY column %q must appear in SELECT list", st.OrderBy)
+		}
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			c := res.Rows[i][oi].Compare(res.Rows[j][oi])
+			if st.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if st.Limit > 0 && len(res.Rows) > st.Limit {
+		res.Rows = res.Rows[:st.Limit]
+	}
+	return res, nil
+}
+
+// joinRows performs the inner equi-join, probing the inner table's index
+// when available.
+func (db *DB) joinRows(st *SelectStmt, baseRows []ordbms.Row) ([]boundRow, string, error) {
+	inner := db.eng.Table(st.Join.Table)
+	if inner == nil {
+		return nil, "", fmt.Errorf("sqlx: no table %q", st.Join.Table)
+	}
+	// Determine which side of ON belongs to the outer table.
+	outerRef, innerRef := st.Join.Left, st.Join.Right
+	if outerRef.Table == st.Join.Table || innerRef.Table == st.From {
+		outerRef, innerRef = innerRef, outerRef
+	}
+	outer := db.eng.Table(st.From)
+	oi := outer.Schema().ColIndex(outerRef.Column)
+	if oi < 0 {
+		return nil, "", fmt.Errorf("sqlx: join column %q not in %q", outerRef.Column, st.From)
+	}
+	ii := inner.Schema().ColIndex(innerRef.Column)
+	if ii < 0 {
+		return nil, "", fmt.Errorf("sqlx: join column %q not in %q", innerRef.Column, st.Join.Table)
+	}
+
+	var out []boundRow
+	if ix := inner.Index(innerRef.Column); ix != nil {
+		for _, orow := range baseRows {
+			for _, rid := range ix.Lookup(orow[oi]) {
+				irow, err := inner.Fetch(rid)
+				if err != nil {
+					if err == ordbms.ErrRecordDeleted {
+						continue
+					}
+					return nil, "", err
+				}
+				out = append(out, boundRow{
+					tables: []string{st.From, st.Join.Table},
+					rows:   []ordbms.Row{orow, irow},
+				})
+			}
+		}
+		return out, "join-index(" + innerRef.Column + ")", nil
+	}
+	// Nested loop with an in-memory hash of the inner table.
+	type key string
+	hash := make(map[key][]ordbms.Row)
+	err := inner.Scan(func(_ ordbms.RowID, row ordbms.Row) bool {
+		hash[key(row[ii].String())] = append(hash[key(row[ii].String())], row.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for _, orow := range baseRows {
+		for _, irow := range hash[key(orow[oi].String())] {
+			out = append(out, boundRow{
+				tables: []string{st.From, st.Join.Table},
+				rows:   []ordbms.Row{orow, irow},
+			})
+		}
+	}
+	return out, "join-hash", nil
+}
+
+func (db *DB) project(st *SelectStmt, bound []boundRow) (*Result, error) {
+	res := &Result{}
+	// Column headers.
+	for _, it := range st.Items {
+		switch {
+		case it.Star:
+			for _, tn := range tablesOf(st) {
+				for _, c := range db.eng.Table(tn).Schema().Columns {
+					res.Columns = append(res.Columns, c.Name)
+				}
+			}
+		case it.Alias != "":
+			res.Columns = append(res.Columns, it.Alias)
+		default:
+			res.Columns = append(res.Columns, it.Col.String())
+		}
+	}
+	for _, br := range bound {
+		var row ordbms.Row
+		for _, it := range st.Items {
+			if it.Star {
+				for _, r := range br.rows {
+					row = append(row, r...)
+				}
+				continue
+			}
+			v, err := db.resolve(br, it.Col)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func tablesOf(st *SelectStmt) []string {
+	if st.Join != nil {
+		return []string{st.From, st.Join.Table}
+	}
+	return []string{st.From}
+}
+
+func (db *DB) aggregate(st *SelectStmt, bound []boundRow) (*Result, error) {
+	type acc struct {
+		count int64
+		sum   float64
+		min   ordbms.Value
+		max   ordbms.Value
+		key   ordbms.Value
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, br := range bound {
+		gk := ""
+		var kv ordbms.Value
+		if !st.GroupBy.IsZero() {
+			v, err := db.resolve(br, st.GroupBy)
+			if err != nil {
+				return nil, err
+			}
+			gk = v.String()
+			kv = v
+		}
+		a, ok := groups[gk]
+		if !ok {
+			a = &acc{min: ordbms.Null(), max: ordbms.Null(), key: kv}
+			groups[gk] = a
+			order = append(order, gk)
+		}
+		a.count++
+		// For SUM/AVG/MIN/MAX we need the aggregated column per item;
+		// handled below per item, so stash the boundRow rows by group.
+		_ = a
+	}
+	// Re-walk per item to compute value aggregates.
+	perGroupRows := map[string][]boundRow{}
+	for _, br := range bound {
+		gk := ""
+		if !st.GroupBy.IsZero() {
+			v, err := db.resolve(br, st.GroupBy)
+			if err != nil {
+				return nil, err
+			}
+			gk = v.String()
+		}
+		perGroupRows[gk] = append(perGroupRows[gk], br)
+	}
+
+	res := &Result{}
+	for _, it := range st.Items {
+		switch {
+		case it.Alias != "":
+			res.Columns = append(res.Columns, it.Alias)
+		case it.Agg != "":
+			if it.Col.IsZero() {
+				res.Columns = append(res.Columns, "count")
+			} else {
+				res.Columns = append(res.Columns, strings.ToLower(it.Agg)+"("+it.Col.String()+")")
+			}
+		default:
+			res.Columns = append(res.Columns, it.Col.String())
+		}
+	}
+	for _, gk := range order {
+		a := groups[gk]
+		var row ordbms.Row
+		for _, it := range st.Items {
+			if it.Agg == "" {
+				if st.GroupBy.IsZero() || it.Col.String() != st.GroupBy.String() && it.Col.Column != st.GroupBy.Column {
+					return nil, fmt.Errorf("sqlx: non-aggregated column %q requires GROUP BY it", it.Col)
+				}
+				row = append(row, a.key)
+				continue
+			}
+			if it.Agg == "COUNT" {
+				row = append(row, ordbms.I(a.count))
+				continue
+			}
+			// Value aggregates over the group's rows.
+			var sum float64
+			n := int64(0)
+			mn, mx := ordbms.Null(), ordbms.Null()
+			for _, br := range perGroupRows[gk] {
+				v, err := db.resolve(br, it.Col)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				f := v.Float
+				if v.Type == ordbms.TypeInt {
+					f = float64(v.Int)
+				}
+				sum += f
+				n++
+				if mn.IsNull() || v.Compare(mn) < 0 {
+					mn = v
+				}
+				if mx.IsNull() || v.Compare(mx) > 0 {
+					mx = v
+				}
+			}
+			switch it.Agg {
+			case "SUM":
+				row = append(row, ordbms.F(sum))
+			case "AVG":
+				if n == 0 {
+					row = append(row, ordbms.Null())
+				} else {
+					row = append(row, ordbms.F(sum/float64(n)))
+				}
+			case "MIN":
+				row = append(row, mn)
+			case "MAX":
+				row = append(row, mx)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (db *DB) execDelete(st *DeleteStmt) (*Result, error) {
+	t := db.eng.Table(st.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlx: no table %q", st.Table)
+	}
+	var victims []ordbms.RowID
+	err := t.Scan(func(rid ordbms.RowID, row ordbms.Row) bool {
+		if st.Where != nil {
+			ok, e := db.evalExpr(st.Where, boundRow{tables: []string{st.Table}, rows: []ordbms.Row{row}})
+			if e != nil || !ok {
+				return true
+			}
+		}
+		victims = append(victims, rid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range victims {
+		if err := t.Delete(rid); err != nil && err != ordbms.ErrRecordDeleted {
+			return nil, err
+		}
+	}
+	return &Result{Affected: int64(len(victims))}, nil
+}

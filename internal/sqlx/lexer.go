@@ -1,0 +1,132 @@
+// Package sqlx provides a SQL subset over the ordbms engine — the
+// administrative face of the "intelligent storage" component.  NETMARK
+// itself never needs SQL (the XML store drives the heaps directly), but
+// the paper's substrate is an ORDBMS, and inspection tooling, the
+// shredding baseline and downstream users do:
+//
+//	CREATE TABLE t (id INT, name TEXT, score FLOAT, ok BOOL)
+//	CREATE INDEX ON t (name)
+//	INSERT INTO t VALUES (1, 'ada', 99.5, TRUE), (2, 'bob', 7, FALSE)
+//	SELECT name, score FROM t WHERE score >= 50 ORDER BY score DESC LIMIT 10
+//	SELECT d.name, COUNT(*) FROM t JOIN d ON t.id = d.id GROUP BY d.name
+//	DELETE FROM t WHERE ok = FALSE
+//
+// The planner uses a B-tree index for equality and range predicates on
+// indexed columns and falls back to heap scans otherwise.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol // ( ) , . * = != < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "ORDER": true, "BY": true,
+	"DESC": true, "ASC": true, "LIMIT": true, "JOIN": true,
+	"GROUP": true, "AND": true, "OR": true, "NOT": true, "LIKE": true,
+	"DELETE": true, "UPDATE": true, "SET": true,
+	"INT": true, "FLOAT": true, "TEXT": true, "BOOL": true, "BYTES": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"AS": true,
+}
+
+// lex tokenizes a statement.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			i++
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tkNumber, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlx: unterminated string at %d", start)
+			}
+			toks = append(toks, token{tkString, sb.String(), start})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tkKeyword, up, start})
+			} else {
+				toks = append(toks, token{tkIdent, word, start})
+			}
+		case c == '!' || c == '<' || c == '>':
+			start := i
+			i++
+			if i < len(src) && src[i] == '=' {
+				i++
+			}
+			toks = append(toks, token{tkSymbol, src[start:i], start})
+		case strings.IndexByte("(),.*=;", c) >= 0:
+			if c == ';' {
+				i++
+				continue
+			}
+			toks = append(toks, token{tkSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlx: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tkEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

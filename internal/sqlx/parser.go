@@ -1,0 +1,591 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"netmark/internal/ordbms"
+)
+
+// ---- AST ------------------------------------------------------------
+
+// Stmt is a parsed statement.
+type Stmt interface{ isStmt() }
+
+// CreateTableStmt declares a table.
+type CreateTableStmt struct {
+	Table   string
+	Columns []ordbms.Column
+}
+
+// CreateIndexStmt declares a secondary index.
+type CreateIndexStmt struct {
+	Table  string
+	Column string
+}
+
+// InsertStmt inserts literal rows.
+type InsertStmt struct {
+	Table string
+	Rows  [][]ordbms.Value
+}
+
+// SelectStmt is a (optionally joined, grouped) query.
+type SelectStmt struct {
+	// Items are output expressions: column refs or aggregates.
+	Items []SelectItem
+	From  string
+	// Join, when set, adds one inner join.
+	Join *JoinClause
+	// Where is the optional filter.
+	Where Expr
+	// GroupBy column reference ("" = none).
+	GroupBy ColRef
+	// OrderBy column reference; Desc reverses.
+	OrderBy ColRef
+	Desc    bool
+	// Limit caps output rows (0 = unlimited).
+	Limit int
+}
+
+// SelectItem is one output expression.
+type SelectItem struct {
+	// Star marks SELECT *.
+	Star bool
+	// Col is a column reference when Agg == "".
+	Col ColRef
+	// Agg is COUNT/SUM/AVG/MIN/MAX; COUNT may have Star arg.
+	Agg string
+	// Alias from AS.
+	Alias string
+}
+
+// ColRef is a (possibly table-qualified) column name.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// IsZero reports an unset reference.
+func (c ColRef) IsZero() bool { return c.Column == "" }
+
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// JoinClause is an inner equi-join.
+type JoinClause struct {
+	Table string
+	Left  ColRef
+	Right ColRef
+}
+
+// DeleteStmt removes rows.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTableStmt) isStmt() {}
+func (*CreateIndexStmt) isStmt() {}
+func (*InsertStmt) isStmt()      {}
+func (*SelectStmt) isStmt()      {}
+func (*DeleteStmt) isStmt()      {}
+
+// Expr is a boolean filter expression.
+type Expr interface{ isExpr() }
+
+// CmpExpr compares a column to a literal.
+type CmpExpr struct {
+	Col ColRef
+	Op  string // = != < <= > >= LIKE
+	Val ordbms.Value
+}
+
+// LogicExpr combines two expressions.
+type LogicExpr struct {
+	Op          string // AND OR
+	Left, Right Expr
+}
+
+// NotExpr negates.
+type NotExpr struct{ Inner Expr }
+
+func (*CmpExpr) isExpr()   {}
+func (*LogicExpr) isExpr() {}
+func (*NotExpr) isExpr()   {}
+
+// ---- Parser ---------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses one statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlx: %s (near offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.accept(tkKeyword, "CREATE"):
+		if p.accept(tkKeyword, "TABLE") {
+			return p.parseCreateTable()
+		}
+		if p.accept(tkKeyword, "INDEX") {
+			return p.parseCreateIndex()
+		}
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	case p.accept(tkKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.accept(tkKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.accept(tkKeyword, "DELETE"):
+		return p.parseDelete()
+	}
+	return nil, p.errf("expected CREATE, INSERT, SELECT or DELETE")
+}
+
+func (p *parser) ident() (string, error) {
+	if p.at(tkIdent, "") {
+		return p.next().text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.cur().text)
+}
+
+func (p *parser) parseCreateTable() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []ordbms.Column
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var typ ordbms.Type
+		switch {
+		case p.accept(tkKeyword, "INT"):
+			typ = ordbms.TypeInt
+		case p.accept(tkKeyword, "FLOAT"):
+			typ = ordbms.TypeFloat
+		case p.accept(tkKeyword, "TEXT"):
+			typ = ordbms.TypeString
+		case p.accept(tkKeyword, "BOOL"):
+			typ = ordbms.TypeBool
+		case p.accept(tkKeyword, "BYTES"):
+			typ = ordbms.TypeBytes
+		default:
+			return nil, p.errf("expected column type, found %q", p.cur().text)
+		}
+		cols = append(cols, ordbms.Column{Name: cname, Type: typ})
+		if p.accept(tkSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateTableStmt{Table: name, Columns: cols}, nil
+}
+
+func (p *parser) parseCreateIndex() (Stmt, error) {
+	if _, err := p.expect(tkKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Table: table, Column: col}, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if _, err := p.expect(tkKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	for {
+		if _, err := p.expect(tkSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []ordbms.Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.accept(tkSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.accept(tkSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) literal() (ordbms.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return ordbms.Null(), p.errf("bad number %q", t.text)
+			}
+			return ordbms.F(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return ordbms.Null(), p.errf("bad number %q", t.text)
+		}
+		return ordbms.I(n), nil
+	case t.kind == tkString:
+		p.next()
+		return ordbms.S(t.text), nil
+	case t.kind == tkKeyword && t.text == "TRUE":
+		p.next()
+		return ordbms.Bl(true), nil
+	case t.kind == tkKeyword && t.text == "FALSE":
+		p.next()
+		return ordbms.Bl(false), nil
+	case t.kind == tkKeyword && t.text == "NULL":
+		p.next()
+		return ordbms.Null(), nil
+	}
+	return ordbms.Null(), p.errf("expected literal, found %q", t.text)
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.accept(tkSymbol, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Column: second}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	st := &SelectStmt{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if p.accept(tkSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.From = from
+	if p.accept(tkKeyword, "JOIN") {
+		jt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkSymbol, "="); err != nil {
+			return nil, err
+		}
+		right, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		st.Join = &JoinClause{Table: jt, Left: left, Right: right}
+	}
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.accept(tkKeyword, "GROUP") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		st.GroupBy = c
+	}
+	if p.accept(tkKeyword, "ORDER") {
+		if _, err := p.expect(tkKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		st.OrderBy = c
+		if p.accept(tkKeyword, "DESC") {
+			st.Desc = true
+		} else {
+			p.accept(tkKeyword, "ASC")
+		}
+	}
+	if p.accept(tkKeyword, "LIMIT") {
+		t := p.cur()
+		if t.kind != tkNumber {
+			return nil, p.errf("expected LIMIT count")
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(tkSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	t := p.cur()
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if _, err := p.expect(tkSymbol, "("); err != nil {
+				return SelectItem{}, err
+			}
+			item := SelectItem{Agg: t.text}
+			if p.accept(tkSymbol, "*") {
+				if t.text != "COUNT" {
+					return SelectItem{}, p.errf("%s(*) is not valid", t.text)
+				}
+				item.Col = ColRef{}
+			} else {
+				c, err := p.colRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Col = c
+			}
+			if _, err := p.expect(tkSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = p.optAlias()
+			return item, nil
+		}
+	}
+	c, err := p.colRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: c, Alias: p.optAlias()}, nil
+}
+
+func (p *parser) optAlias() string {
+	if p.accept(tkKeyword, "AS") {
+		if p.at(tkIdent, "") {
+			return p.next().text
+		}
+	}
+	return ""
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	if _, err := p.expect(tkKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// parseExpr parses OR-level expressions (lowest precedence).
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &LogicExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "AND") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &LogicExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tkKeyword, "NOT") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	if p.accept(tkSymbol, "(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	col, err := p.colRef()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch {
+	case p.accept(tkSymbol, "="):
+		op = "="
+	case p.accept(tkSymbol, "!="):
+		op = "!="
+	case p.accept(tkSymbol, "<="):
+		op = "<="
+	case p.accept(tkSymbol, "<"):
+		op = "<"
+	case p.accept(tkSymbol, ">="):
+		op = ">="
+	case p.accept(tkSymbol, ">"):
+		op = ">"
+	case p.accept(tkKeyword, "LIKE"):
+		op = "LIKE"
+	default:
+		return nil, p.errf("expected comparison operator, found %q", p.cur().text)
+	}
+	val, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	if op == "LIKE" && val.Type != ordbms.TypeString {
+		return nil, p.errf("LIKE needs a string pattern")
+	}
+	return &CmpExpr{Col: col, Op: op, Val: val}, nil
+}

@@ -1,0 +1,364 @@
+package sqlx
+
+import (
+	"strings"
+	"testing"
+
+	"netmark/internal/ordbms"
+)
+
+func newDB(t testing.TB) *DB {
+	t.Helper()
+	eng, err := ordbms.Open(ordbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng)
+}
+
+func mustExec(t testing.TB, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+func seeded(t testing.TB) *DB {
+	db := newDB(t)
+	mustExec(t, db, `CREATE TABLE people (id INT, name TEXT, score FLOAT, active BOOL)`)
+	mustExec(t, db, `INSERT INTO people VALUES
+		(1, 'ada', 99.5, TRUE),
+		(2, 'bob', 42, TRUE),
+		(3, 'cyd', 77.25, FALSE),
+		(4, 'dee', 42, TRUE),
+		(5, 'eve', 10, FALSE)`)
+	return db
+}
+
+func TestCreateInsertSelectAll(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `SELECT * FROM people`)
+	if len(res.Rows) != 5 || len(res.Columns) != 4 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+	if res.Plan != "scan" {
+		t.Fatalf("plan = %s", res.Plan)
+	}
+}
+
+func TestSelectProjectionAndWhere(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `SELECT name, score FROM people WHERE score > 50`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[1].Float <= 50 {
+			t.Fatalf("filter failed: %v", r)
+		}
+	}
+	if res.Columns[0] != "name" || res.Columns[1] != "score" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestWhereLogicAndNot(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `SELECT id FROM people WHERE active = TRUE AND score = 42`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("AND rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT id FROM people WHERE score = 99.5 OR name = 'eve'`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("OR rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT id FROM people WHERE NOT (active = TRUE)`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("NOT rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT id FROM people WHERE name != 'ada' AND (score < 42 OR score > 90)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 5 {
+		t.Fatalf("nested rows = %v", res.Rows)
+	}
+}
+
+func TestLike(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `SELECT name FROM people WHERE name LIKE 'a%'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "ada" {
+		t.Fatalf("LIKE prefix = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT name FROM people WHERE name LIKE '%e%'`)
+	if len(res.Rows) != 2 { // dee, eve
+		t.Fatalf("LIKE contains = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT name FROM people WHERE name LIKE '_o_'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "bob" {
+		t.Fatalf("LIKE underscore = %v", res.Rows)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `SELECT name, score FROM people ORDER BY score DESC LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str != "ada" || res.Rows[1][0].Str != "cyd" {
+		t.Fatalf("order = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT name FROM people ORDER BY name LIMIT 3`)
+	if res.Rows[0][0].Str != "ada" || res.Rows[2][0].Str != "cyd" {
+		t.Fatalf("asc order = %v", res.Rows)
+	}
+}
+
+func TestIndexPlans(t *testing.T) {
+	db := seeded(t)
+	mustExec(t, db, `CREATE INDEX ON people (name)`)
+	mustExec(t, db, `CREATE INDEX ON people (score)`)
+	res := mustExec(t, db, `SELECT id FROM people WHERE name = 'bob'`)
+	if res.Plan != "index-eq(name)" {
+		t.Fatalf("plan = %s", res.Plan)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT id FROM people WHERE score >= 77`)
+	if res.Plan != "index-range(score)" {
+		t.Fatalf("plan = %s", res.Plan)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("range rows = %v", res.Rows)
+	}
+	// Index plan and scan plan agree.
+	scan := mustExec(t, db, `SELECT id FROM people WHERE active = TRUE AND score >= 77`)
+	if len(scan.Rows) != 1 {
+		t.Fatalf("residual filter over index: %v", scan.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM people`)
+	if res.Rows[0][0].Int != 5 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT SUM(score), AVG(score), MIN(score), MAX(score) FROM people`)
+	r := res.Rows[0]
+	if r[0].Float != 270.75 {
+		t.Fatalf("sum = %v", r[0])
+	}
+	if r[1].Float != 54.15 {
+		t.Fatalf("avg = %v", r[1])
+	}
+	if r[2].Float != 10 || r[3].Float != 99.5 {
+		t.Fatalf("min/max = %v %v", r[2], r[3])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `SELECT active, COUNT(*), SUM(score) FROM people GROUP BY active`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	byActive := map[bool][2]float64{}
+	for _, r := range res.Rows {
+		byActive[r[0].Bool] = [2]float64{float64(r[1].Int), r[2].Float}
+	}
+	if byActive[true][0] != 3 || byActive[true][1] != 183.5 {
+		t.Fatalf("active group = %v", byActive[true])
+	}
+	if byActive[false][0] != 2 || byActive[false][1] != 87.25 {
+		t.Fatalf("inactive group = %v", byActive[false])
+	}
+}
+
+func TestGroupByRejectsBareColumns(t *testing.T) {
+	db := seeded(t)
+	if _, err := db.Exec(`SELECT name, COUNT(*) FROM people GROUP BY active`); err == nil {
+		t.Fatal("bare non-grouped column accepted")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := seeded(t)
+	mustExec(t, db, `CREATE TABLE grades (pid INT, grade TEXT)`)
+	mustExec(t, db, `INSERT INTO grades VALUES (1, 'A'), (2, 'B'), (2, 'B+'), (9, 'X')`)
+	res := mustExec(t, db, `SELECT people.name, grades.grade FROM people JOIN grades ON people.id = grades.pid`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("join rows = %v", res.Rows)
+	}
+	if !strings.Contains(res.Plan, "join-hash") {
+		t.Fatalf("plan = %s", res.Plan)
+	}
+	// With an index on the inner join column, the plan switches.
+	mustExec(t, db, `CREATE INDEX ON grades (pid)`)
+	res = mustExec(t, db, `SELECT people.name, grades.grade FROM people JOIN grades ON people.id = grades.pid`)
+	if !strings.Contains(res.Plan, "join-index(pid)") {
+		t.Fatalf("plan = %s", res.Plan)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("indexed join rows = %v", res.Rows)
+	}
+	// Join + where + order.
+	res = mustExec(t, db, `SELECT people.name, grades.grade FROM people JOIN grades ON people.id = grades.pid WHERE grades.grade LIKE 'B%' ORDER BY grades.grade`)
+	if len(res.Rows) != 2 || res.Rows[0][1].Str != "B" {
+		t.Fatalf("join filter = %v", res.Rows)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := seeded(t)
+	res := mustExec(t, db, `DELETE FROM people WHERE active = FALSE`)
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	left := mustExec(t, db, `SELECT COUNT(*) FROM people`)
+	if left.Rows[0][0].Int != 3 {
+		t.Fatalf("remaining = %v", left.Rows)
+	}
+	// Unconditional delete.
+	res = mustExec(t, db, `DELETE FROM people`)
+	if res.Affected != 3 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+}
+
+func TestInsertCoercesIntToFloat(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `CREATE TABLE m (v FLOAT)`)
+	mustExec(t, db, `INSERT INTO m VALUES (42)`)
+	res := mustExec(t, db, `SELECT v FROM m`)
+	if res.Rows[0][0].Type != ordbms.TypeFloat || res.Rows[0][0].Float != 42 {
+		t.Fatalf("coercion = %v", res.Rows[0][0])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `CREATE TABLE s (v TEXT)`)
+	mustExec(t, db, `INSERT INTO s VALUES ('it''s quoted')`)
+	res := mustExec(t, db, `SELECT v FROM s`)
+	if res.Rows[0][0].Str != "it's quoted" {
+		t.Fatalf("escape = %q", res.Rows[0][0].Str)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := seeded(t)
+	bad := []string{
+		``,
+		`SELEKT * FROM people`,
+		`SELECT FROM people`,
+		`SELECT * FROM`,
+		`SELECT * FROM people WHERE`,
+		`SELECT * FROM people WHERE name`,
+		`SELECT * FROM people LIMIT -1`,
+		`SELECT * FROM people ORDER BY`,
+		`INSERT INTO people`,
+		`INSERT INTO people VALUES 1, 2`,
+		`CREATE TABLE t (x WIBBLE)`,
+		`SELECT * FROM people WHERE name LIKE 5`,
+		`SELECT SUM(*) FROM people`,
+		`SELECT * FROM people extra`,
+		`SELECT * FROM people WHERE name = 'unterminated`,
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Fatalf("accepted: %s", sql)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	db := seeded(t)
+	for _, sql := range []string{
+		`SELECT * FROM ghost`,
+		`SELECT ghostcol FROM people`,
+		`SELECT * FROM people WHERE ghost = 1`,
+		`INSERT INTO ghost VALUES (1)`,
+		`DELETE FROM ghost`,
+		`CREATE INDEX ON ghost (x)`,
+		`SELECT people.name FROM people JOIN ghost ON people.id = ghost.id`,
+		`SELECT name FROM people ORDER BY score`,
+	} {
+		if _, err := db.Exec(sql); err == nil {
+			t.Fatalf("accepted: %s", sql)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `CREATE TABLE n (id INT, v TEXT)`)
+	mustExec(t, db, `INSERT INTO n VALUES (1, 'x'), (2, NULL)`)
+	// NULL never matches comparisons.
+	res := mustExec(t, db, `SELECT id FROM n WHERE v = 'x'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT id FROM n WHERE v != 'x'`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("null compared equal: %v", res.Rows)
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "hell", false},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"abc", "a%c", true},
+		{"abc", "a%b", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Fatalf("likeMatch(%q,%q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func BenchmarkSelectIndexEq(b *testing.B) {
+	db := newDB(b)
+	mustExec(b, db, `CREATE TABLE t (id INT, name TEXT)`)
+	mustExec(b, db, `CREATE INDEX ON t (id)`)
+	for i := 0; i < 200; i++ {
+		mustExec(b, db, `INSERT INTO t VALUES (`+itoa(i)+`, 'row')`)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(`SELECT name FROM t WHERE id = 57`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,360 @@
+// Package textindex implements the inverted full-text index that fronts
+// NETMARK's keyword search (§2.1.4 of the paper: "the keyword-based
+// context and content search is performed by first querying the text
+// index for the search key").  It substitutes for Oracle Text in the
+// original system.
+//
+// The index maps lowercased terms to posting lists of document/node IDs
+// with token positions, supporting boolean AND/OR, phrase and prefix
+// queries.  IDs are opaque uint64s; the XML store uses packed physical
+// RowIDs so a text hit leads directly to the page holding the node.
+package textindex
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+
+	"netmark/internal/btree"
+)
+
+// Token is one term occurrence produced by the tokenizer.
+type Token struct {
+	Term string
+	Pos  uint32
+}
+
+// Tokenize splits text into lowercase terms of letters and digits.
+// Position counts tokens, not bytes, so phrase queries can check
+// adjacency.
+func Tokenize(text string) []Token {
+	var out []Token
+	var b strings.Builder
+	pos := uint32(0)
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, Token{Term: b.String(), Pos: pos})
+			pos++
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// postingList stores, for one term, the sorted IDs that contain it and
+// per-ID token positions.
+type postingList struct {
+	ids []uint64
+	pos map[uint64][]uint32
+}
+
+func (pl *postingList) add(id uint64, p uint32) {
+	if pl.pos == nil {
+		pl.pos = make(map[uint64][]uint32)
+	}
+	if _, seen := pl.pos[id]; !seen {
+		// IDs almost always arrive in ascending order (sequential node
+		// inserts); fall back to sorted insert otherwise.
+		if n := len(pl.ids); n == 0 || pl.ids[n-1] < id {
+			pl.ids = append(pl.ids, id)
+		} else {
+			i := sort.Search(n, func(i int) bool { return pl.ids[i] >= id })
+			pl.ids = append(pl.ids, 0)
+			copy(pl.ids[i+1:], pl.ids[i:])
+			pl.ids[i] = id
+		}
+	}
+	pl.pos[id] = append(pl.pos[id], p)
+}
+
+func (pl *postingList) remove(id uint64) {
+	if pl.pos == nil {
+		return
+	}
+	if _, ok := pl.pos[id]; !ok {
+		return
+	}
+	delete(pl.pos, id)
+	i := sort.Search(len(pl.ids), func(i int) bool { return pl.ids[i] >= id })
+	if i < len(pl.ids) && pl.ids[i] == id {
+		copy(pl.ids[i:], pl.ids[i+1:])
+		pl.ids = pl.ids[:len(pl.ids)-1]
+	}
+}
+
+// Index is the inverted index.  Safe for concurrent use.
+type Index struct {
+	mu    sync.RWMutex
+	terms *btree.Tree[string, *postingList] // term -> single posting list
+	byID  map[uint64][]string               // reverse map for Remove
+	docs  int
+}
+
+// New creates an empty index.
+func New() *Index {
+	return &Index{
+		terms: btree.New[string, *postingList](strings.Compare),
+		byID:  make(map[uint64][]string),
+	}
+}
+
+// Add indexes text under id.  Calling Add twice with the same id extends
+// the entry (positions continue from zero per call; use one call per id
+// for phrase correctness).
+func (ix *Index) Add(id uint64, text string) {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, seen := ix.byID[id]; !seen {
+		ix.docs++
+	}
+	for _, tok := range toks {
+		pl := ix.getOrCreateLocked(tok.Term)
+		if pl.pos == nil {
+			pl.pos = make(map[uint64][]uint32)
+		}
+		if _, exists := pl.pos[id]; !exists {
+			ix.byID[id] = append(ix.byID[id], tok.Term)
+		}
+		pl.add(id, tok.Pos)
+	}
+}
+
+func (ix *Index) getOrCreateLocked(term string) *postingList {
+	if got := ix.terms.Get(term); len(got) > 0 {
+		return got[0]
+	}
+	pl := &postingList{}
+	ix.terms.Insert(term, pl)
+	return pl
+}
+
+// Remove deletes every posting for id.
+func (ix *Index) Remove(id uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	terms, ok := ix.byID[id]
+	if !ok {
+		return
+	}
+	for _, t := range terms {
+		if got := ix.terms.Get(t); len(got) > 0 {
+			got[0].remove(id)
+			if len(got[0].ids) == 0 {
+				ix.terms.DeleteKey(t)
+			}
+		}
+	}
+	delete(ix.byID, id)
+	ix.docs--
+}
+
+// Docs returns the number of distinct indexed IDs.
+func (ix *Index) Docs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docs
+}
+
+// Terms returns the number of distinct terms.
+func (ix *Index) Terms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.terms.Keys()
+}
+
+// DF returns the document frequency of term (how many IDs contain it).
+func (ix *Index) DF(term string) int {
+	term = normTerm(term)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if got := ix.terms.Get(term); len(got) > 0 {
+		return len(got[0].ids)
+	}
+	return 0
+}
+
+func normTerm(t string) string {
+	toks := Tokenize(t)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[0].Term
+}
+
+// Lookup returns the sorted IDs containing term.
+func (ix *Index) Lookup(term string) []uint64 {
+	term = normTerm(term)
+	if term == "" {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if got := ix.terms.Get(term); len(got) > 0 {
+		return append([]uint64(nil), got[0].ids...)
+	}
+	return nil
+}
+
+// And returns IDs containing every term.  The query string is tokenized,
+// so And("space shuttle") intersects the two terms.
+func (ix *Index) And(query string) []uint64 {
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	lists := make([][]uint64, 0, len(toks))
+	ix.mu.RLock()
+	for _, tok := range toks {
+		got := ix.terms.Get(tok.Term)
+		if len(got) == 0 {
+			ix.mu.RUnlock()
+			return nil
+		}
+		lists = append(lists, got[0].ids)
+	}
+	// Intersect smallest-first.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	res := append([]uint64(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		res = intersect(res, l)
+		if len(res) == 0 {
+			break
+		}
+	}
+	ix.mu.RUnlock()
+	return res
+}
+
+// Or returns IDs containing any term of the query.
+func (ix *Index) Or(query string) []uint64 {
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	seen := make(map[uint64]bool)
+	var res []uint64
+	ix.mu.RLock()
+	for _, tok := range toks {
+		if got := ix.terms.Get(tok.Term); len(got) > 0 {
+			for _, id := range got[0].ids {
+				if !seen[id] {
+					seen[id] = true
+					res = append(res, id)
+				}
+			}
+		}
+	}
+	ix.mu.RUnlock()
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res
+}
+
+// Phrase returns IDs where the query terms occur adjacently in order.
+func (ix *Index) Phrase(query string) []uint64 {
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	if len(toks) == 1 {
+		return ix.Lookup(toks[0].Term)
+	}
+	candidates := ix.And(query)
+	if len(candidates) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	plists := make([]*postingList, len(toks))
+	for i, tok := range toks {
+		got := ix.terms.Get(tok.Term)
+		if len(got) == 0 {
+			return nil
+		}
+		plists[i] = got[0]
+	}
+	var res []uint64
+	for _, id := range candidates {
+		first := plists[0].pos[id]
+		for _, start := range first {
+			ok := true
+			for i := 1; i < len(plists); i++ {
+				if !containsPos(plists[i].pos[id], start+uint32(i)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				res = append(res, id)
+				break
+			}
+		}
+	}
+	return res
+}
+
+// Prefix returns IDs containing any term starting with p.
+func (ix *Index) Prefix(p string) []uint64 {
+	p = strings.ToLower(strings.TrimSpace(p))
+	if p == "" {
+		return nil
+	}
+	seen := make(map[uint64]bool)
+	var res []uint64
+	ix.mu.RLock()
+	ix.terms.AscendPrefixFunc(p,
+		func(k string) bool { return strings.HasPrefix(k, p) },
+		func(_ string, vals []*postingList) bool {
+			for _, pl := range vals {
+				for _, id := range pl.ids {
+					if !seen[id] {
+						seen[id] = true
+						res = append(res, id)
+					}
+				}
+			}
+			return true
+		})
+	ix.mu.RUnlock()
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	return res
+}
+
+func intersect(a, b []uint64) []uint64 {
+	var out []uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func containsPos(ps []uint32, want uint32) bool {
+	for _, p := range ps {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}

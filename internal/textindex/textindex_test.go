@@ -1,0 +1,311 @@
+package textindex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"hello", []string{"hello"}},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"space-shuttle v2.0", []string{"space", "shuttle", "v2", "0"}},
+		{"  multiple   spaces  ", []string{"multiple", "spaces"}},
+		{"ÜBER café", []string{"über", "café"}},
+		{"123 456", []string{"123", "456"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		var terms []string
+		for _, tok := range got {
+			terms = append(terms, tok.Term)
+		}
+		if len(terms) != len(c.want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", c.in, terms, c.want)
+		}
+		for i := range terms {
+			if terms[i] != c.want[i] {
+				t.Fatalf("Tokenize(%q) = %v, want %v", c.in, terms, c.want)
+			}
+		}
+	}
+}
+
+func TestTokenizePositionsAreSequential(t *testing.T) {
+	toks := Tokenize("one two three four")
+	for i, tok := range toks {
+		if tok.Pos != uint32(i) {
+			t.Fatalf("token %d has pos %d", i, tok.Pos)
+		}
+	}
+}
+
+func TestLookupBasic(t *testing.T) {
+	ix := New()
+	ix.Add(1, "the space shuttle launched")
+	ix.Add(2, "budget report for the shuttle program")
+	ix.Add(3, "unrelated document about parsers")
+
+	got := ix.Lookup("shuttle")
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Lookup(shuttle) = %v", got)
+	}
+	if got := ix.Lookup("SHUTTLE"); len(got) != 2 {
+		t.Fatalf("case-insensitive lookup failed: %v", got)
+	}
+	if got := ix.Lookup("absent"); got != nil {
+		t.Fatalf("Lookup(absent) = %v", got)
+	}
+	if got := ix.Lookup(""); got != nil {
+		t.Fatalf("Lookup(empty) = %v", got)
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	ix := New()
+	ix.Add(1, "engine anomaly detected")
+	ix.Add(2, "engine nominal")
+	ix.Add(3, "anomaly in the guidance system")
+
+	and := ix.And("engine anomaly")
+	if len(and) != 1 || and[0] != 1 {
+		t.Fatalf("And = %v", and)
+	}
+	or := ix.Or("engine anomaly")
+	if len(or) != 3 {
+		t.Fatalf("Or = %v", or)
+	}
+	if got := ix.And("engine missing"); got != nil {
+		t.Fatalf("And with absent term = %v", got)
+	}
+}
+
+func TestPhrase(t *testing.T) {
+	ix := New()
+	ix.Add(1, "the technology gap is shrinking")
+	ix.Add(2, "gap in technology assessments") // both words, wrong order
+	ix.Add(3, "technology gap widening")
+
+	got := ix.Phrase("technology gap")
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Phrase = %v", got)
+	}
+	if got := ix.Phrase("shrinking"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("single-term phrase = %v", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	ix := New()
+	ix.Add(1, "propulsion")
+	ix.Add(2, "proposal")
+	ix.Add(3, "protocol")
+	ix.Add(4, "budget")
+
+	got := ix.Prefix("prop")
+	if len(got) != 2 {
+		t.Fatalf("Prefix(prop) = %v", got)
+	}
+	if got := ix.Prefix("pro"); len(got) != 3 {
+		t.Fatalf("Prefix(pro) = %v", got)
+	}
+	if got := ix.Prefix("z"); got != nil {
+		t.Fatalf("Prefix(z) = %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New()
+	ix.Add(1, "alpha beta")
+	ix.Add(2, "beta gamma")
+	ix.Remove(1)
+	if got := ix.Lookup("alpha"); got != nil {
+		t.Fatalf("alpha survives remove: %v", got)
+	}
+	if got := ix.Lookup("beta"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("beta postings wrong after remove: %v", got)
+	}
+	if ix.Docs() != 1 {
+		t.Fatalf("docs = %d", ix.Docs())
+	}
+	// Removing again is a no-op.
+	ix.Remove(1)
+	if ix.Docs() != 1 {
+		t.Fatalf("double remove changed docs: %d", ix.Docs())
+	}
+}
+
+func TestDFAndStats(t *testing.T) {
+	ix := New()
+	ix.Add(1, "x y")
+	ix.Add(2, "x")
+	ix.Add(3, "x y z")
+	if ix.DF("x") != 3 || ix.DF("y") != 2 || ix.DF("z") != 1 || ix.DF("w") != 0 {
+		t.Fatalf("DF: x=%d y=%d z=%d w=%d", ix.DF("x"), ix.DF("y"), ix.DF("z"), ix.DF("w"))
+	}
+	if ix.Terms() != 3 {
+		t.Fatalf("terms = %d", ix.Terms())
+	}
+	if ix.Docs() != 3 {
+		t.Fatalf("docs = %d", ix.Docs())
+	}
+}
+
+func TestIDsSortedEvenWithOutOfOrderAdds(t *testing.T) {
+	ix := New()
+	ids := []uint64{50, 10, 90, 30, 70, 20}
+	for _, id := range ids {
+		ix.Add(id, "common")
+	}
+	got := ix.Lookup("common")
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("postings unsorted: %v", got)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("lost postings: %v", got)
+	}
+}
+
+// Property: Lookup agrees with a naive reference implementation over
+// random tiny corpora.
+func TestQuickAgainstNaiveSearch(t *testing.T) {
+	words := []string{"engine", "budget", "shuttle", "anomaly", "gap", "risk", "plan"}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := make(map[uint64]string)
+		ix := New()
+		for id := uint64(1); id <= uint64(n%20)+2; id++ {
+			k := r.Intn(5) + 1
+			var sb strings.Builder
+			for i := 0; i < k; i++ {
+				sb.WriteString(words[r.Intn(len(words))])
+				sb.WriteByte(' ')
+			}
+			docs[id] = sb.String()
+			ix.Add(id, docs[id])
+		}
+		for _, w := range words {
+			var want []uint64
+			for id, text := range docs {
+				if strings.Contains(text, w) {
+					want = append(want, id)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := ix.Lookup(w)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And(a b) == intersection of Lookup(a) and Lookup(b).
+func TestQuickAndIsIntersection(t *testing.T) {
+	f := func(assign []uint8) bool {
+		ix := New()
+		for i, mask := range assign {
+			id := uint64(i + 1)
+			var parts []string
+			if mask&1 != 0 {
+				parts = append(parts, "aterm")
+			}
+			if mask&2 != 0 {
+				parts = append(parts, "bterm")
+			}
+			if len(parts) > 0 {
+				ix.Add(id, strings.Join(parts, " "))
+			}
+		}
+		a, b := ix.Lookup("aterm"), ix.Lookup("bterm")
+		inA := make(map[uint64]bool)
+		for _, id := range a {
+			inA[id] = true
+		}
+		var want []uint64
+		for _, id := range b {
+			if inA[id] {
+				want = append(want, id)
+			}
+		}
+		got := ix.And("aterm bterm")
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAddLookup(t *testing.T) {
+	ix := New()
+	done := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 200; i++ {
+				ix.Add(uint64(w*1000+i), fmt.Sprintf("worker %d doc %d shared", w, i))
+			}
+			done <- nil
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				ix.Lookup("shared")
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(ix.Lookup("shared")); got != 800 {
+		t.Fatalf("shared postings = %d", got)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	ix := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Add(uint64(i), "the quick brown fox jumps over the lazy dog near the riverbank")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	ix := New()
+	for i := 0; i < 50000; i++ {
+		ix.Add(uint64(i), fmt.Sprintf("document %d mentions shuttle and engine terms", i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup("shuttle")
+	}
+}

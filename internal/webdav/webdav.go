@@ -1,0 +1,388 @@
+// Package webdav implements NETMARK's network face: the HTTP query
+// endpoint ("HTTP provides an extremely simple yet powerful mechanism for
+// users and clients to access NETMARK", §2.1.2 — XDB queries are appended
+// to a URL) and the WebDAV subset used for drop-folder ingestion
+// ("Communication between the user folders and the NETMARK server is done
+// using WebDAV [12]").
+//
+// Endpoints:
+//
+//	GET  /xdb?context=...&content=...&xslt=...   query the local store
+//	GET  /capabilities                           capability discovery
+//	GET  /bank/{name}?...                        databank fan-out query
+//	GET  /docs                                   list stored documents
+//	GET  /doc/{id}                               reconstructed document
+//	     /dav/...                                WebDAV: OPTIONS, GET,
+//	                                             PUT, DELETE, MKCOL,
+//	                                             PROPFIND (depth 0/1)
+package webdav
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netmark/internal/databank"
+	"netmark/internal/sgml"
+	"netmark/internal/xdb"
+)
+
+// Server is the NETMARK HTTP server.
+type Server struct {
+	engine *xdb.Engine
+	banks  *databank.Registry
+	davDir string
+	mux    *http.ServeMux
+}
+
+// NewServer builds a server.  davDir is the drop-folder root exposed over
+// WebDAV (created if missing); empty disables the DAV tree.
+func NewServer(engine *xdb.Engine, banks *databank.Registry, davDir string) (*Server, error) {
+	s := &Server{engine: engine, banks: banks, davDir: davDir, mux: http.NewServeMux()}
+	if davDir != "" {
+		if err := os.MkdirAll(davDir, 0o755); err != nil {
+			return nil, fmt.Errorf("webdav: create dav root: %w", err)
+		}
+	}
+	s.mux.HandleFunc("/xdb", s.handleXDB)
+	s.mux.HandleFunc("/capabilities", s.handleCapabilities)
+	s.mux.HandleFunc("/bank/", s.handleBank)
+	s.mux.HandleFunc("/docs", s.handleDocs)
+	s.mux.HandleFunc("/doc/", s.handleDoc)
+	s.mux.HandleFunc("/xslt/", s.handleStylesheet)
+	if davDir != "" {
+		s.mux.HandleFunc("/dav/", s.handleDAV)
+	}
+	return s, nil
+}
+
+// Handler returns the http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleXDB(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := xdb.Parse(r.URL.RawQuery)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.engine.Execute(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	if res.Transformed != nil {
+		io.WriteString(w, sgml.SerializeIndent(res.Transformed))
+		return
+	}
+	io.WriteString(w, sgml.SerializeIndent(res.XML()))
+}
+
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, databank.Full.String())
+}
+
+func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/bank/")
+	if name == "" || s.banks == nil {
+		http.Error(w, "no such databank", http.StatusNotFound)
+		return
+	}
+	bank := s.banks.Get(name)
+	if bank == nil {
+		http.Error(w, "no such databank", http.StatusNotFound)
+		return
+	}
+	q, err := xdb.Parse(r.URL.RawQuery)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := bank.Query(r.Context(), q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	io.WriteString(w, sgml.SerializeIndent(MergedXML(m)))
+}
+
+// MergedXML renders a databank result with per-source attribution.
+func MergedXML(m *databank.Merged) *sgml.Node {
+	root := sgml.NewElement("results")
+	root.SetAttr("databank-elapsed", m.Elapsed.String())
+	n := 0
+	for _, sr := range m.PerSource {
+		if sr.Err != nil {
+			el := sgml.NewElement("source-error")
+			el.SetAttr("source", sr.Source)
+			el.AppendChild(sgml.NewText(sr.Err.Error()))
+			root.AppendChild(el)
+			continue
+		}
+		for _, sec := range sr.Sections {
+			el := sgml.NewElement("result")
+			el.SetAttr("source", sr.Source)
+			el.SetAttr("doc", sec.DocName)
+			el.SetAttr("doc-title", sec.DocTitle)
+			ctx := sgml.NewElement("context")
+			ctx.AppendChild(sgml.NewText(sec.Context))
+			el.AppendChild(ctx)
+			content := sgml.NewElement("content")
+			content.AppendChild(sgml.NewText(sec.Content))
+			el.AppendChild(content)
+			root.AppendChild(el)
+			n++
+		}
+		for _, d := range sr.Docs {
+			el := sgml.NewElement("document")
+			el.SetAttr("source", sr.Source)
+			el.SetAttr("name", d.FileName)
+			el.SetAttr("title", d.Title)
+			root.AppendChild(el)
+			n++
+		}
+	}
+	root.SetAttr("count", strconv.Itoa(n))
+	return root
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	docs, err := s.engine.Store().Documents()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].DocID < docs[j].DocID })
+	root := sgml.NewElement("documents")
+	root.SetAttr("count", strconv.Itoa(len(docs)))
+	for _, d := range docs {
+		el := sgml.NewElement("document")
+		el.SetAttr("id", strconv.FormatUint(d.DocID, 10))
+		el.SetAttr("name", d.FileName)
+		el.SetAttr("title", d.Title)
+		el.SetAttr("format", d.Format)
+		el.SetAttr("nodes", strconv.FormatInt(d.NNodes, 10))
+		root.AppendChild(el)
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	io.WriteString(w, sgml.SerializeIndent(root))
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/doc/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad document id", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		tree, err := s.engine.Store().Reconstruct(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		io.WriteString(w, sgml.SerializeIndent(tree))
+	case http.MethodDelete:
+		if err := s.engine.Store().DeleteDocument(id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleStylesheet lets clients register result-composition stylesheets
+// over HTTP (PUT /xslt/{name}), completing the Fig 7 loop: upload a
+// sheet, then query with xslt={name}.
+func (s *Server) handleStylesheet(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/xslt/")
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		http.Error(w, "bad stylesheet name", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.engine.RegisterStylesheet(name, string(body)); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodGet:
+		if s.engine.Stylesheet(name) == nil {
+			http.Error(w, "no such stylesheet", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "registered")
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// davPath maps a /dav/ URL to a filesystem path, rejecting traversal.
+func (s *Server) davPath(urlPath string) (string, error) {
+	rel := strings.TrimPrefix(urlPath, "/dav/")
+	rel = path.Clean("/" + rel)[1:] // normalise, strip leading /
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("webdav: path escapes root")
+	}
+	return filepath.Join(s.davDir, filepath.FromSlash(rel)), nil
+}
+
+func (s *Server) handleDAV(w http.ResponseWriter, r *http.Request) {
+	fsPath, err := s.davPath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	switch r.Method {
+	case http.MethodOptions:
+		w.Header().Set("DAV", "1")
+		w.Header().Set("Allow", "OPTIONS, GET, PUT, DELETE, MKCOL, PROPFIND")
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		b, err := os.ReadFile(fsPath)
+		if err != nil {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.Write(b)
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := os.MkdirAll(filepath.Dir(fsPath), 0o755); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := os.WriteFile(fsPath, body, 0o644); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		if err := os.Remove(fsPath); err != nil {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case "MKCOL":
+		if err := os.MkdirAll(fsPath, 0o755); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case "PROPFIND":
+		s.handlePropfind(w, r, fsPath)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handlePropfind implements depth 0/1 PROPFIND with the core properties
+// (displayname, getcontentlength, resourcetype).
+func (s *Server) handlePropfind(w http.ResponseWriter, r *http.Request, fsPath string) {
+	st, err := os.Stat(fsPath)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	depth := r.Header.Get("Depth")
+	if depth == "" {
+		depth = "1"
+	}
+	type entry struct {
+		href string
+		st   os.FileInfo
+	}
+	entries := []entry{{href: r.URL.Path, st: st}}
+	if depth != "0" && st.IsDir() {
+		files, err := os.ReadDir(fsPath)
+		if err == nil {
+			for _, f := range files {
+				fi, err := f.Info()
+				if err != nil {
+					continue
+				}
+				entries = append(entries, entry{
+					href: path.Join(r.URL.Path, f.Name()),
+					st:   fi,
+				})
+			}
+		}
+	}
+	ms := sgml.NewElement("D:multistatus")
+	ms.SetAttr("xmlns:D", "DAV:")
+	for _, e := range entries {
+		resp := sgml.NewElement("D:response")
+		href := sgml.NewElement("D:href")
+		href.AppendChild(sgml.NewText(e.href))
+		resp.AppendChild(href)
+		prop := sgml.NewElement("D:prop")
+		dn := sgml.NewElement("D:displayname")
+		dn.AppendChild(sgml.NewText(e.st.Name()))
+		prop.AppendChild(dn)
+		rt := sgml.NewElement("D:resourcetype")
+		if e.st.IsDir() {
+			rt.AppendChild(sgml.NewElement("D:collection"))
+		}
+		prop.AppendChild(rt)
+		if !e.st.IsDir() {
+			cl := sgml.NewElement("D:getcontentlength")
+			cl.AppendChild(sgml.NewText(strconv.FormatInt(e.st.Size(), 10)))
+			prop.AppendChild(cl)
+		}
+		stat := sgml.NewElement("D:propstat")
+		stat.AppendChild(prop)
+		status := sgml.NewElement("D:status")
+		status.AppendChild(sgml.NewText("HTTP/1.1 200 OK"))
+		stat.AppendChild(status)
+		resp.AppendChild(stat)
+		ms.AppendChild(resp)
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(207) // Multi-Status
+	io.WriteString(w, `<?xml version="1.0" encoding="utf-8"?>`+"\n")
+	io.WriteString(w, sgml.SerializeIndent(ms))
+}
+
+// Serve runs the server until ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		return srv.Close()
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,0 +1,319 @@
+package webdav
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"netmark/internal/databank"
+	"netmark/internal/ordbms"
+	"netmark/internal/xdb"
+	"netmark/internal/xmlstore"
+)
+
+func newEngine(t testing.TB) *xdb.Engine {
+	t.Helper()
+	db, err := ordbms.Open(ordbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := xmlstore.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xdb.NewEngine(s)
+}
+
+func testServer(t *testing.T) (*Server, *httptest.Server, *xdb.Engine) {
+	t.Helper()
+	e := newEngine(t)
+	if _, err := e.Store().StoreRaw("r.html", []byte(
+		`<html><head><title>R</title></head><body><h1>Budget</h1><p>Costs $9M total.</p></body></html>`)); err != nil {
+		t.Fatal(err)
+	}
+	banks := databank.NewRegistry()
+	bank := databank.New("app")
+	bank.AddSource(databank.NewLocalSource("local", e))
+	if err := banks.Add(bank); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(e, banks, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, e
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestXDBEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, body := get(t, ts.URL+"/xdb?context=Budget")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if !strings.Contains(body, "Costs $9M") || !strings.Contains(body, `doc="r.html"`) {
+		t.Fatalf("body: %s", body)
+	}
+	// Bad query.
+	code, _ = get(t, ts.URL+"/xdb?bogus=1")
+	if code != 400 {
+		t.Fatalf("bad query status = %d", code)
+	}
+}
+
+func TestCapabilitiesEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, body := get(t, ts.URL+"/capabilities")
+	if code != 200 || body != "context+content+phrase+prefix" {
+		t.Fatalf("capabilities: %d %q", code, body)
+	}
+}
+
+func TestBankEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, body := get(t, ts.URL+"/bank/app?context=Budget")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if !strings.Contains(body, `source="local"`) {
+		t.Fatalf("missing attribution: %s", body)
+	}
+	code, _ = get(t, ts.URL+"/bank/ghost?context=Budget")
+	if code != 404 {
+		t.Fatalf("ghost bank = %d", code)
+	}
+}
+
+func TestDocsAndDocEndpoints(t *testing.T) {
+	_, ts, e := testServer(t)
+	code, body := get(t, ts.URL+"/docs")
+	if code != 200 || !strings.Contains(body, `name="r.html"`) {
+		t.Fatalf("/docs: %d %s", code, body)
+	}
+	info, err := e.Store().DocumentByName("r.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, ts.URL+"/doc/"+itoa(info.DocID))
+	if code != 200 || !strings.Contains(body, "Costs $9M") {
+		t.Fatalf("/doc: %d %s", code, body)
+	}
+	code, _ = get(t, ts.URL+"/doc/99999")
+	if code != 404 {
+		t.Fatalf("missing doc = %d", code)
+	}
+	// DELETE removes it.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/doc/"+itoa(info.DocID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 204 {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	if e.Store().NumDocuments() != 0 {
+		t.Fatal("document not deleted")
+	}
+}
+
+func itoa(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func davReq(t *testing.T, method, url, body string, hdr map[string]string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func TestDAVPutGetDelete(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, _ := davReq(t, http.MethodPut, ts.URL+"/dav/drop/report.txt", "HEADING\n\nbody\n", nil)
+	if code != 201 {
+		t.Fatalf("PUT = %d", code)
+	}
+	code, body := davReq(t, http.MethodGet, ts.URL+"/dav/drop/report.txt", "", nil)
+	if code != 200 || body != "HEADING\n\nbody\n" {
+		t.Fatalf("GET = %d %q", code, body)
+	}
+	code, _ = davReq(t, http.MethodDelete, ts.URL+"/dav/drop/report.txt", "", nil)
+	if code != 204 {
+		t.Fatalf("DELETE = %d", code)
+	}
+	code, _ = davReq(t, http.MethodGet, ts.URL+"/dav/drop/report.txt", "", nil)
+	if code != 404 {
+		t.Fatalf("GET after delete = %d", code)
+	}
+}
+
+func TestDAVOptionsAndMkcol(t *testing.T) {
+	_, ts, _ := testServer(t)
+	req, _ := http.NewRequest(http.MethodOptions, ts.URL+"/dav/", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("DAV") != "1" {
+		t.Fatalf("DAV header = %q", resp.Header.Get("DAV"))
+	}
+	code, _ := davReq(t, "MKCOL", ts.URL+"/dav/newdir", "", nil)
+	if code != 201 {
+		t.Fatalf("MKCOL = %d", code)
+	}
+}
+
+func TestDAVPropfind(t *testing.T) {
+	_, ts, _ := testServer(t)
+	davReq(t, http.MethodPut, ts.URL+"/dav/a.txt", "xx", nil)
+	davReq(t, http.MethodPut, ts.URL+"/dav/b.txt", "yyy", nil)
+	code, body := davReq(t, "PROPFIND", ts.URL+"/dav/", "", map[string]string{"Depth": "1"})
+	if code != 207 {
+		t.Fatalf("PROPFIND = %d", code)
+	}
+	if !strings.Contains(body, "a.txt") || !strings.Contains(body, "b.txt") {
+		t.Fatalf("multistatus missing entries: %s", body)
+	}
+	if !strings.Contains(body, "D:collection") {
+		t.Fatalf("root not marked collection: %s", body)
+	}
+	// Depth 0 excludes children.
+	_, body0 := davReq(t, "PROPFIND", ts.URL+"/dav/", "", map[string]string{"Depth": "0"})
+	if strings.Contains(body0, "a.txt") {
+		t.Fatalf("depth 0 leaked children: %s", body0)
+	}
+}
+
+func TestDAVPathTraversalBlocked(t *testing.T) {
+	s, _, _ := testServer(t)
+	// Direct unit check of the mapper (the HTTP layer cleans the URL
+	// before our handler sees it, so exercise davPath itself).
+	if _, err := s.davPath("/dav/../../etc/passwd"); err == nil {
+		p, _ := s.davPath("/dav/../../etc/passwd")
+		if !strings.HasPrefix(p, s.davDir) {
+			t.Fatalf("traversal escaped root: %s", p)
+		}
+	}
+}
+
+func TestMergedXMLReportsSourceErrors(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Store().StoreRaw("ok.html", []byte(
+		`<html><body><h1>S</h1><p>fine</p></body></html>`)); err != nil {
+		t.Fatal(err)
+	}
+	bank := databank.New("partial")
+	bank.AddSource(databank.NewLocalSource("good", e))
+	bank.AddSource(explodingSource{})
+	m, err := bank.Query(context.Background(), xdb.Query{Context: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := MergedXML(m)
+	out := xml.FindAll("result")
+	if len(out) != 1 {
+		t.Fatalf("results = %d", len(out))
+	}
+	errs := xml.FindAll("source-error")
+	if len(errs) != 1 {
+		t.Fatalf("source errors = %d", len(errs))
+	}
+	if v, _ := errs[0].Attr("source"); v != "boom" {
+		t.Fatalf("error attribution = %q", v)
+	}
+}
+
+type explodingSource struct{}
+
+func (explodingSource) Name() string                      { return "boom" }
+func (explodingSource) Capabilities() databank.Capability { return databank.Full }
+func (explodingSource) Query(context.Context, xdb.Query) (*xdb.Result, error) {
+	return nil, fmt.Errorf("source exploded")
+}
+
+func TestStylesheetUploadAndUse(t *testing.T) {
+	_, ts, _ := testServer(t)
+	sheet := `<xsl:stylesheet>
+<xsl:template match="/">
+  <summary><xsl:for-each select="//result"><s><xsl:value-of select="content"/></s></xsl:for-each></summary>
+</xsl:template>
+</xsl:stylesheet>`
+	code, _ := davReq(t, http.MethodPut, ts.URL+"/xslt/summary", sheet, nil)
+	if code != 201 {
+		t.Fatalf("upload = %d", code)
+	}
+	code, body := get(t, ts.URL+"/xdb?context=Budget&xslt=summary")
+	if code != 200 || !strings.Contains(body, "<summary>") {
+		t.Fatalf("styled query: %d %s", code, body)
+	}
+	// Invalid sheet rejected.
+	code, _ = davReq(t, http.MethodPut, ts.URL+"/xslt/bad", "<notasheet/>", nil)
+	if code != 400 {
+		t.Fatalf("bad sheet = %d", code)
+	}
+	// Existence probe.
+	code, _ = get(t, ts.URL+"/xslt/summary")
+	if code != 200 {
+		t.Fatalf("probe = %d", code)
+	}
+	code, _ = get(t, ts.URL+"/xslt/ghost")
+	if code != 404 {
+		t.Fatalf("ghost probe = %d", code)
+	}
+}
+
+func TestRemoteHTTPSourceAgainstServer(t *testing.T) {
+	// A second NETMARK instance queries the first through HTTPSource —
+	// the Fig 8 multi-server topology.
+	_, ts, _ := testServer(t)
+	src := databank.NewHTTPSource("remote", ts.URL, databank.Full)
+	res, err := src.Query(context.Background(), xdb.Query{Context: "Budget"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sections) != 1 || !strings.Contains(res.Sections[0].Content, "$9M") {
+		t.Fatalf("remote sections = %+v", res.Sections)
+	}
+	caps, err := databank.DiscoverCapabilities(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps != databank.Full {
+		t.Fatalf("discovered caps = %v", caps)
+	}
+}

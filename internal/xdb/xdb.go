@@ -1,0 +1,519 @@
+// Package xdb implements XDB Query, "the Netmark query language" [7]:
+// context and content search specifications appended to a URL, optionally
+// naming an XSLT stylesheet that formats the results into a new document
+// (§2.1.3, Fig 7).
+//
+// Examples from the paper, in this syntax:
+//
+//	?context=Introduction
+//	?content=Shuttle
+//	?context=Technology+Gap&content=Shrinking
+//	?context=Budget&xslt=ibpd&limit=50
+//
+// A trailing * on context requests prefix matching; a quoted content
+// value requests phrase search.
+package xdb
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"netmark/internal/ordbms"
+	"netmark/internal/sgml"
+	"netmark/internal/xmlstore"
+	"netmark/internal/xslt"
+)
+
+// Query is a parsed XDB query.
+type Query struct {
+	// Context is the heading to match ("" = no context predicate).
+	Context string
+	// ContextPrefix requests prefix matching on the heading.
+	ContextPrefix bool
+	// Content holds the search terms ("" = no content predicate).
+	Content string
+	// Phrase requests adjacency (quoted content value).
+	Phrase bool
+	// DocsOnly requests document-level results (the paper's
+	// "Content=Shuttle returns all documents containing 'Shuttle'").
+	DocsOnly bool
+	// XPath, when set, selects nodes from matching documents with an
+	// XPath-lite expression — the paper's "full-fledged XML querying"
+	// over any repository.  Combined with context/content predicates the
+	// index prefilters the documents; alone it scans every document.
+	XPath string
+	// XSLT names a registered stylesheet for result composition.
+	XSLT string
+	// Limit caps the number of results (0 = unlimited).
+	Limit int
+}
+
+// IsZero reports whether the query has no predicates.
+func (q Query) IsZero() bool { return q.Context == "" && q.Content == "" && q.XPath == "" }
+
+// String renders the query in URL form.
+func (q Query) String() string { return q.Encode() }
+
+// Encode renders the query as a URL query string.
+func (q Query) Encode() string {
+	v := url.Values{}
+	if q.Context != "" {
+		c := q.Context
+		if q.ContextPrefix {
+			c += "*"
+		}
+		v.Set("context", c)
+	}
+	if q.Content != "" {
+		c := q.Content
+		if q.Phrase {
+			c = `"` + c + `"`
+		}
+		v.Set("content", c)
+	}
+	if q.DocsOnly {
+		v.Set("scope", "document")
+	}
+	if q.XPath != "" {
+		v.Set("xpath", q.XPath)
+	}
+	if q.XSLT != "" {
+		v.Set("xslt", q.XSLT)
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	return v.Encode()
+}
+
+// Parse parses the query-string form (with or without a leading '?').
+// Keys are case-insensitive, matching the paper's Context=/Content=
+// examples.
+func Parse(raw string) (Query, error) {
+	raw = strings.TrimPrefix(strings.TrimSpace(raw), "?")
+	if raw == "" {
+		return Query{}, fmt.Errorf("xdb: empty query")
+	}
+	vals, err := url.ParseQuery(raw)
+	if err != nil {
+		return Query{}, fmt.Errorf("xdb: malformed query: %w", err)
+	}
+	var q Query
+	for key, vs := range vals {
+		if len(vs) == 0 {
+			continue
+		}
+		v := vs[len(vs)-1]
+		switch strings.ToLower(key) {
+		case "context":
+			q.Context = strings.TrimSpace(v)
+			if strings.HasSuffix(q.Context, "*") {
+				q.Context = strings.TrimRight(q.Context, "*")
+				q.ContextPrefix = true
+			}
+		case "content":
+			v = strings.TrimSpace(v)
+			if len(v) >= 2 && v[0] == '"' && v[len(v)-1] == '"' {
+				v = v[1 : len(v)-1]
+				q.Phrase = true
+			}
+			q.Content = v
+		case "scope":
+			switch strings.ToLower(v) {
+			case "document", "doc", "docs":
+				q.DocsOnly = true
+			case "section", "sections", "":
+			default:
+				return Query{}, fmt.Errorf("xdb: unknown scope %q", v)
+			}
+		case "xpath":
+			q.XPath = v
+		case "xslt", "stylesheet":
+			q.XSLT = v
+		case "limit":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Query{}, fmt.Errorf("xdb: bad limit %q", v)
+			}
+			q.Limit = n
+		default:
+			return Query{}, fmt.Errorf("xdb: unknown parameter %q", key)
+		}
+	}
+	if q.IsZero() {
+		return Query{}, fmt.Errorf("xdb: query needs context=, content= or xpath=")
+	}
+	return q, nil
+}
+
+// Result is the outcome of executing a query.
+type Result struct {
+	Query    Query
+	Sections []xmlstore.Section
+	Docs     []*xmlstore.DocInfo
+	// Transformed holds the styled document when the query named a
+	// stylesheet.
+	Transformed *sgml.Node
+}
+
+// Len returns the number of result items.
+func (r *Result) Len() int {
+	if r.Query.DocsOnly {
+		return len(r.Docs)
+	}
+	return len(r.Sections)
+}
+
+// XML materialises the result set as a document tree, the wire format
+// used by HTTP clients and by databank routers merging multiple sources.
+func (r *Result) XML() *sgml.Node {
+	root := sgml.NewElement("results")
+	root.SetAttr("count", strconv.Itoa(r.Len()))
+	if r.Query.DocsOnly {
+		for _, d := range r.Docs {
+			el := sgml.NewElement("document")
+			el.SetAttr("id", strconv.FormatUint(d.DocID, 10))
+			el.SetAttr("name", d.FileName)
+			el.SetAttr("title", d.Title)
+			el.SetAttr("format", d.Format)
+			root.AppendChild(el)
+		}
+		return root
+	}
+	for _, s := range r.Sections {
+		el := sgml.NewElement("result")
+		el.SetAttr("doc", s.DocName)
+		el.SetAttr("doc-title", s.DocTitle)
+		ctx := sgml.NewElement("context")
+		ctx.AppendChild(sgml.NewText(s.Context))
+		el.AppendChild(ctx)
+		content := sgml.NewElement("content")
+		content.AppendChild(sgml.NewText(s.Content))
+		el.AppendChild(content)
+		root.AppendChild(el)
+	}
+	return root
+}
+
+// ParseResultXML decodes the wire format back into a Result (used by the
+// databank's remote sources).
+func ParseResultXML(src string) (*Result, error) {
+	tree, err := sgml.ParseString(src, sgml.ModeXML)
+	if err != nil {
+		return nil, err
+	}
+	root := tree.Find("results")
+	if root == nil {
+		return nil, fmt.Errorf("xdb: no <results> element")
+	}
+	r := &Result{}
+	for _, el := range root.ChildElements() {
+		switch el.Name {
+		case "result":
+			sec := xmlstore.Section{}
+			sec.DocName, _ = el.Attr("doc")
+			sec.DocTitle, _ = el.Attr("doc-title")
+			if c := el.Find("context"); c != nil {
+				sec.Context = c.Text()
+			}
+			if c := el.Find("content"); c != nil {
+				sec.Content = c.Text()
+			}
+			r.Sections = append(r.Sections, sec)
+		case "document":
+			d := &xmlstore.DocInfo{}
+			d.FileName, _ = el.Attr("name")
+			d.Title, _ = el.Attr("title")
+			d.Format, _ = el.Attr("format")
+			if ids, ok := el.Attr("id"); ok {
+				if id, err := strconv.ParseUint(ids, 10, 64); err == nil {
+					d.DocID = id
+				}
+			}
+			r.Docs = append(r.Docs, d)
+			r.Query.DocsOnly = true
+		}
+	}
+	return r, nil
+}
+
+// Engine executes XDB queries against a local XML store.
+type Engine struct {
+	store  *xmlstore.Store
+	sheets map[string]*xslt.Stylesheet
+}
+
+// NewEngine wraps a store.
+func NewEngine(store *xmlstore.Store) *Engine {
+	return &Engine{store: store, sheets: make(map[string]*xslt.Stylesheet)}
+}
+
+// Store returns the underlying XML store.
+func (e *Engine) Store() *xmlstore.Store { return e.store }
+
+// RegisterStylesheet compiles and names a stylesheet for use via the
+// xslt= query parameter.
+func (e *Engine) RegisterStylesheet(name, src string) error {
+	sheet, err := xslt.ParseStylesheet(src)
+	if err != nil {
+		return err
+	}
+	e.sheets[name] = sheet
+	return nil
+}
+
+// Stylesheet returns a registered stylesheet, or nil.
+func (e *Engine) Stylesheet(name string) *xslt.Stylesheet { return e.sheets[name] }
+
+// ExecuteString parses and executes a URL-form query.
+func (e *Engine) ExecuteString(raw string) (*Result, error) {
+	q, err := Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Execute runs a parsed query.
+func (e *Engine) Execute(q Query) (*Result, error) {
+	r := &Result{Query: q}
+	switch {
+	case q.XPath != "":
+		secs, err := e.executeXPath(q)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = secs
+	case q.DocsOnly:
+		if q.Content == "" {
+			return nil, fmt.Errorf("xdb: document scope requires content=")
+		}
+		docs, err := e.store.ContentSearchDocs(q.Content)
+		if err != nil {
+			return nil, err
+		}
+		r.Docs = docs
+	case q.ContextPrefix && q.Content == "":
+		secs, err := e.store.ContextPrefixSearch(q.Context)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = secs
+	case q.ContextPrefix:
+		secs, err := e.store.ContextPrefixSearch(q.Context)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range secs {
+			if sectionMatchesContent(s, q) {
+				r.Sections = append(r.Sections, s)
+			}
+		}
+	case q.Phrase && q.Context == "":
+		secs, err := e.phraseSections(q.Content)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = secs
+	case q.Phrase:
+		secs, err := e.store.ContextSearch(q.Context)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range secs {
+			if sectionMatchesContent(s, q) {
+				r.Sections = append(r.Sections, s)
+			}
+		}
+	default:
+		secs, err := e.store.Search(q.Context, q.Content)
+		if err != nil {
+			return nil, err
+		}
+		r.Sections = secs
+	}
+	if q.Limit > 0 {
+		if len(r.Sections) > q.Limit {
+			r.Sections = r.Sections[:q.Limit]
+		}
+		if len(r.Docs) > q.Limit {
+			r.Docs = r.Docs[:q.Limit]
+		}
+	}
+	if q.XSLT != "" {
+		sheet := e.sheets[q.XSLT]
+		if sheet == nil {
+			return nil, fmt.Errorf("xdb: no stylesheet %q registered", q.XSLT)
+		}
+		t, err := sheet.Transform(r.XML())
+		if err != nil {
+			return nil, err
+		}
+		r.Transformed = t
+	}
+	return r, nil
+}
+
+// executeXPath evaluates an XPath-lite expression against matching
+// documents — the paper's "full-fledged XML querying ... over any
+// information repository".  Content/context predicates prefilter the
+// candidate documents through the indexes; a bare xpath= scans all of
+// them.  Each selected node becomes a result section whose content is
+// the node's serialised XML (elements) or text.
+func (e *Engine) executeXPath(q Query) ([]xmlstore.Section, error) {
+	path, err := xslt.CompilePath(q.XPath)
+	if err != nil {
+		return nil, err
+	}
+	var docs []*xmlstore.DocInfo
+	switch {
+	case q.Content != "":
+		docs, err = e.store.ContentSearchDocs(q.Content)
+	case q.Context != "":
+		var secs []xmlstore.Section
+		if q.ContextPrefix {
+			secs, err = e.store.ContextPrefixSearch(q.Context)
+		} else {
+			secs, err = e.store.ContextSearch(q.Context)
+		}
+		if err == nil {
+			seen := map[uint64]bool{}
+			for _, s := range secs {
+				if !seen[s.DocID] {
+					seen[s.DocID] = true
+					info, derr := e.store.Document(s.DocID)
+					if derr != nil {
+						return nil, derr
+					}
+					docs = append(docs, info)
+				}
+			}
+		}
+	default:
+		docs, err = e.store.Documents()
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []xmlstore.Section
+	for _, d := range docs {
+		tree, err := e.store.Reconstruct(d.DocID)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range path.Select(tree) {
+			content := n.Text()
+			if n.Kind == sgml.ElementNode {
+				content = sgml.Serialize(n)
+			}
+			out = append(out, xmlstore.Section{
+				DocID:    d.DocID,
+				DocName:  d.FileName,
+				DocTitle: d.Title,
+				Context:  q.XPath,
+				Content:  content,
+			})
+			if q.Limit > 0 && len(out) >= q.Limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// phraseSections runs a phrase query through the text index, then builds
+// sections via the traversal kernel.
+func (e *Engine) phraseSections(phrase string) ([]xmlstore.Section, error) {
+	hits := e.store.ContentIndex().Phrase(phrase)
+	seen := make(map[ordbms.RowID]bool)
+	var out []xmlstore.Section
+	for _, h := range hits {
+		rid := ordbms.RowIDFromUint64(h)
+		node, err := e.store.FetchNode(rid)
+		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue
+			}
+			return nil, err
+		}
+		ctx, err := e.store.ContextFor(node)
+		if err != nil {
+			return nil, err
+		}
+		if ctx == nil {
+			continue
+		}
+		if seen[ctx.RowID] {
+			continue
+		}
+		seen[ctx.RowID] = true
+		sec, err := e.store.SectionOf(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sec)
+	}
+	return out, nil
+}
+
+// sectionMatchesContent applies a query's content predicate to an
+// already-materialised section (used for residual filtering here and in
+// the databank's query augmentation).
+func sectionMatchesContent(s xmlstore.Section, q Query) bool {
+	if q.Content == "" {
+		return true
+	}
+	text := strings.ToLower(s.Content + " " + s.Context)
+	if q.Phrase {
+		return strings.Contains(text, strings.ToLower(q.Content))
+	}
+	for _, term := range strings.Fields(strings.ToLower(q.Content)) {
+		if !containsWord(text, term) {
+			return false
+		}
+	}
+	return true
+}
+
+// SectionMatchesContent is the exported residual-filter predicate.
+func SectionMatchesContent(s xmlstore.Section, q Query) bool {
+	return sectionMatchesContent(s, q)
+}
+
+// SectionMatchesContext applies a query's context predicate to a section.
+func SectionMatchesContext(s xmlstore.Section, q Query) bool {
+	if q.Context == "" {
+		return true
+	}
+	have := strings.ToLower(strings.Join(strings.Fields(s.Context), " "))
+	want := strings.ToLower(strings.Join(strings.Fields(q.Context), " "))
+	if q.ContextPrefix {
+		return strings.HasPrefix(have, want)
+	}
+	return have == want
+}
+
+// containsWord checks a word-boundary match.
+func containsWord(text, word string) bool {
+	idx := 0
+	for {
+		i := strings.Index(text[idx:], word)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(word)
+		beforeOK := start == 0 || !isWordChar(text[start-1])
+		afterOK := end >= len(text) || !isWordChar(text[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c >= 'A' && c <= 'Z'
+}

@@ -1,0 +1,349 @@
+package xmlstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"netmark/internal/docform"
+	"netmark/internal/ordbms"
+	"netmark/internal/sgml"
+)
+
+// flatNode is the intermediate record the tree flattener emits before the
+// two-pass insert.
+type flatNode struct {
+	nodeID  uint64
+	class   sgml.NodeClass
+	name    string
+	data    string
+	attrs   string
+	ordinal int
+
+	parent, prev, next, child int // indexes into the flat slice; -1 = none
+	rid                       ordbms.RowID
+}
+
+// StoreDocument decomposes a parsed document tree into the universal XML
+// table and records its metadata in DOC.  The classification config maps
+// element names to the five node classes; sgml.XMLConfig() is right for
+// upmarked documents.
+//
+// The insert is two-pass: pass one writes every node with null links and
+// collects the physical RowIDs the heap assigned; pass two patches the
+// parent/sibling/child link columns in place (links are fixed-width, so
+// rows never move and RowIDs stay valid).
+func (s *Store) StoreDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Config) (uint64, error) {
+	if tree == nil {
+		return 0, fmt.Errorf("xmlstore: nil document tree")
+	}
+	if cfg == nil {
+		cfg = sgml.XMLConfig()
+	}
+	root := tree
+	if root.Kind == sgml.DocumentNode {
+		// Skip prolog; store from the root element.
+		for c := root.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind == sgml.ElementNode {
+				root = c
+				break
+			}
+		}
+		if root.Kind == sgml.DocumentNode {
+			return 0, fmt.Errorf("xmlstore: document %q has no root element", meta.FileName)
+		}
+	}
+
+	s.mu.Lock()
+	docID := s.nextDocID
+	s.nextDocID++
+	s.mu.Unlock()
+
+	flat := s.flatten(root, cfg, docID)
+	if len(flat) == 0 {
+		return 0, fmt.Errorf("xmlstore: document %q flattened to no nodes", meta.FileName)
+	}
+
+	// Pass 1: insert with null links.
+	for i := range flat {
+		fn := &flat[i]
+		row := ordbms.Row{
+			ordbms.I(int64(fn.nodeID)),
+			ordbms.I(int64(docID)),
+			ordbms.I(int64(fn.class)),
+			ordbms.S(fn.name),
+			ordbms.S(fn.data),
+			ordbms.I(int64(fn.ordinal)),
+			ordbms.I(parentNodeID(flat, fn)),
+			ordbms.B(ridToBytes(ordbms.ZeroRowID)),
+			ordbms.B(ridToBytes(ordbms.ZeroRowID)),
+			ordbms.B(ridToBytes(ordbms.ZeroRowID)),
+			ordbms.B(ridToBytes(ordbms.ZeroRowID)),
+			ordbms.S(fn.attrs),
+		}
+		rid, err := s.xml.Insert(row)
+		if err != nil {
+			return 0, fmt.Errorf("xmlstore: insert node %d of %q: %w", fn.nodeID, meta.FileName, err)
+		}
+		fn.rid = rid
+	}
+
+	// Pass 2: patch physical links.
+	for i := range flat {
+		fn := &flat[i]
+		row, err := s.xml.Fetch(fn.rid)
+		if err != nil {
+			return 0, err
+		}
+		row[xmlColParentRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.parent)))
+		row[xmlColPrevRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.prev)))
+		row[xmlColNextRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.next)))
+		row[xmlColChildRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.child)))
+		if err := s.xml.Update(fn.rid, row); err != nil {
+			return 0, fmt.Errorf("xmlstore: patch links of node %d: %w", fn.nodeID, err)
+		}
+	}
+
+	// Derived indexes.
+	for i := range flat {
+		fn := &flat[i]
+		switch fn.class {
+		case sgml.ClassText:
+			s.content.Add(fn.rid.Uint64(), fn.data)
+		case sgml.ClassContext:
+			s.addContextKey(fn.data, fn.rid)
+		}
+	}
+
+	// DOC row last: it carries the root RowID.
+	docRow := ordbms.Row{
+		ordbms.I(int64(docID)),
+		ordbms.S(meta.FileName),
+		ordbms.I(time.Now().Unix()),
+		ordbms.I(int64(meta.Size)),
+		ordbms.S(meta.Format),
+		ordbms.S(meta.Title),
+		ordbms.B(ridToBytes(flat[0].rid)),
+		ordbms.I(int64(len(flat))),
+	}
+	if _, err := s.doc.Insert(docRow); err != nil {
+		return 0, fmt.Errorf("xmlstore: insert DOC row for %q: %w", meta.FileName, err)
+	}
+
+	s.statsMu.Lock()
+	s.docsIngested++
+	s.nodesInserted += uint64(len(flat))
+	s.statsMu.Unlock()
+	return docID, nil
+}
+
+// StoreRaw converts raw file bytes (any supported format) and stores the
+// result — the full NETMARK ingest path in one call.
+func (s *Store) StoreRaw(name string, data []byte) (uint64, error) {
+	tree, meta, err := docform.Convert(name, data)
+	if err != nil {
+		return 0, err
+	}
+	return s.StoreDocument(meta, tree, sgml.XMLConfig())
+}
+
+func parentNodeID(flat []flatNode, fn *flatNode) int64 {
+	if fn.parent < 0 {
+		return 0
+	}
+	return int64(flat[fn.parent].nodeID)
+}
+
+func linkRID(flat []flatNode, idx int) ordbms.RowID {
+	if idx < 0 {
+		return ordbms.ZeroRowID
+	}
+	return flat[idx].rid
+}
+
+// flatten walks the tree in document order, assigning node IDs and
+// recording structural relationships as slice indexes.
+func (s *Store) flatten(root *sgml.Node, cfg *sgml.Config, docID uint64) []flatNode {
+	var flat []flatNode
+	var walk func(n *sgml.Node, parent int) int
+	walk = func(n *sgml.Node, parent int) int {
+		if n.Kind != sgml.ElementNode && n.Kind != sgml.TextNode {
+			return -1 // comments, PIs and doctypes are not stored
+		}
+		s.mu.Lock()
+		id := s.nextNodeID
+		s.nextNodeID++
+		s.mu.Unlock()
+
+		idx := len(flat)
+		class := cfg.Classify(n)
+		fn := flatNode{
+			nodeID: id,
+			class:  class,
+			parent: parent,
+			prev:   -1, next: -1, child: -1,
+		}
+		switch n.Kind {
+		case sgml.ElementNode:
+			fn.name = n.Name
+			fn.attrs = encodeAttrs(n.Attrs)
+			if class == sgml.ClassContext {
+				// Denormalise the heading text onto the CONTEXT node so
+				// the context index and the traversal kernel never need
+				// to descend to find the heading.
+				fn.data = n.Text()
+			}
+		case sgml.TextNode:
+			fn.name = "#text"
+			fn.data = n.Data
+		}
+		flat = append(flat, fn)
+
+		prev := -1
+		ord := 0
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			ci := walk(c, idx)
+			if ci < 0 {
+				continue
+			}
+			flat[ci].ordinal = ord
+			ord++
+			if prev >= 0 {
+				flat[prev].next = ci
+				flat[ci].prev = prev
+			} else {
+				flat[idx].child = ci
+			}
+			prev = ci
+		}
+		return idx
+	}
+	walk(root, -1)
+	return flat
+}
+
+// encodeAttrs packs attributes as space-separated name=quoted pairs.
+func encodeAttrs(attrs []sgml.Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Name + "=" + strconv.Quote(a.Value)
+	}
+	return strings.Join(parts, " ")
+}
+
+// decodeAttrs reverses encodeAttrs.
+func decodeAttrs(s string) []sgml.Attr {
+	if s == "" {
+		return nil
+	}
+	var out []sgml.Attr
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			break
+		}
+		name := s[:eq]
+		rest := s[eq+1:]
+		// Find the closing quote of the Go-quoted string.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			break
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			break
+		}
+		out = append(out, sgml.Attr{Name: name, Value: val})
+		s = strings.TrimPrefix(rest[end+1:], " ")
+	}
+	return out
+}
+
+// DeleteDocument removes a document: its DOC row, all its XML rows, and
+// their derived index entries.
+func (s *Store) DeleteDocument(docID uint64) error {
+	info, err := s.Document(docID)
+	if err != nil {
+		return err
+	}
+	rids, err := s.xml.Lookup("docid", ordbms.I(int64(docID)))
+	if err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		row, err := s.xml.Fetch(rid)
+		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue
+			}
+			return err
+		}
+		switch sgml.NodeClass(row[xmlColNodeType].Int) {
+		case sgml.ClassText:
+			s.content.Remove(rid.Uint64())
+		case sgml.ClassContext:
+			s.removeContextKey(row[xmlColNodeData].Str, rid)
+		}
+		if err := s.xml.Delete(rid); err != nil && err != ordbms.ErrRecordDeleted {
+			return err
+		}
+	}
+	return s.doc.Delete(info.RowID)
+}
+
+// Reconstruct rebuilds the full document tree for a document by chasing
+// physical links from the root node (used by HTTP GET and the examples).
+func (s *Store) Reconstruct(docID uint64) (*sgml.Node, error) {
+	info, err := s.Document(docID)
+	if err != nil {
+		return nil, err
+	}
+	return s.reconstructFrom(info.RootRowID)
+}
+
+func (s *Store) reconstructFrom(rid ordbms.RowID) (*sgml.Node, error) {
+	n, err := s.FetchNode(rid)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildSubtree(n)
+}
+
+func (s *Store) buildSubtree(n *Node) (*sgml.Node, error) {
+	var out *sgml.Node
+	if n.Name == "#text" {
+		out = sgml.NewText(n.Data)
+	} else {
+		out = sgml.NewElement(n.Name, n.Attrs...)
+	}
+	child, err := s.FirstChild(n)
+	if err != nil {
+		return nil, err
+	}
+	for child != nil {
+		sub, err := s.buildSubtree(child)
+		if err != nil {
+			return nil, err
+		}
+		out.AppendChild(sub)
+		child, err = s.NextSibling(child)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

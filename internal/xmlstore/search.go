@@ -1,0 +1,354 @@
+package xmlstore
+
+import (
+	"sort"
+	"strings"
+
+	"netmark/internal/ordbms"
+	"netmark/internal/sgml"
+	"netmark/internal/textindex"
+)
+
+// This file implements the paper's query kernel (§2.1.4):
+//
+//	"The keyword-based context and content search is performed by first
+//	querying the text index for the search key.  Each node returned from
+//	the index search is then processed based on its designated unique
+//	ROWID.  The processing of the node involves traversing up the tree
+//	structure via its parent or sibling node until the first context is
+//	found. [...] Once a particular CONTEXT is found, traversing back down
+//	the tree structure via the sibling node retrieves the corresponding
+//	content text."
+
+// ContextFor walks from a node to its governing CONTEXT node: the nearest
+// preceding heading in document order, at any ancestor level.  Returns
+// nil when the node has no governing context (raw XML with no headings).
+func (s *Store) ContextFor(n *Node) (*Node, error) {
+	cur := n
+	for cur != nil {
+		// Scan left across preceding siblings.
+		p := cur
+		for {
+			prev, err := s.PrevSibling(p)
+			if err != nil {
+				return nil, err
+			}
+			if prev == nil {
+				break
+			}
+			if prev.Class == sgml.ClassContext {
+				return prev, nil
+			}
+			p = prev
+		}
+		parent, err := s.Parent(cur)
+		if err != nil {
+			return nil, err
+		}
+		if parent != nil && parent.Class == sgml.ClassContext {
+			// The hit is inside the heading itself.
+			return parent, nil
+		}
+		cur = parent
+	}
+	return nil, nil
+}
+
+// SectionOf materialises the Section governed by a CONTEXT node:
+// the heading plus the text of everything between it and the next
+// CONTEXT at the same level (or the end of the parent).
+func (s *Store) SectionOf(ctx *Node) (Section, error) {
+	sec := Section{
+		DocID:      ctx.DocID,
+		Context:    strings.TrimSpace(ctx.Data),
+		ContextRID: ctx.RowID,
+	}
+	if info, err := s.Document(ctx.DocID); err == nil {
+		sec.DocName = info.FileName
+		sec.DocTitle = info.Title
+	}
+	var parts []string
+	cur, err := s.NextSibling(ctx)
+	if err != nil {
+		return sec, err
+	}
+	for cur != nil && cur.Class != sgml.ClassContext {
+		txt, err := s.subtreeText(cur)
+		if err != nil {
+			return sec, err
+		}
+		if txt != "" {
+			parts = append(parts, txt)
+		}
+		cur, err = s.NextSibling(cur)
+		if err != nil {
+			return sec, err
+		}
+	}
+	sec.Content = strings.Join(parts, " ")
+	return sec, nil
+}
+
+// subtreeText collects the text beneath a node by chasing child/sibling
+// links (physical hops only).
+func (s *Store) subtreeText(n *Node) (string, error) {
+	if n.Class == sgml.ClassText {
+		return strings.TrimSpace(n.Data), nil
+	}
+	var parts []string
+	child, err := s.FirstChild(n)
+	if err != nil {
+		return "", err
+	}
+	for child != nil {
+		t, err := s.subtreeText(child)
+		if err != nil {
+			return "", err
+		}
+		if t != "" {
+			parts = append(parts, t)
+		}
+		child, err = s.NextSibling(child)
+		if err != nil {
+			return "", err
+		}
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// ContextSearch returns the sections whose heading matches the query
+// (case- and whitespace-insensitive): the paper's Context=Introduction.
+func (s *Store) ContextSearch(heading string) ([]Section, error) {
+	key := normalizeContext(heading)
+	s.ctxMu.RLock()
+	rids := append([]ordbms.RowID(nil), s.contexts.Get(key)...)
+	s.ctxMu.RUnlock()
+	return s.sectionsForContexts(rids)
+}
+
+// ContextPrefixSearch matches headings by prefix (Context=Tech*).
+func (s *Store) ContextPrefixSearch(prefix string) ([]Section, error) {
+	key := normalizeContext(prefix)
+	var rids []ordbms.RowID
+	s.ctxMu.RLock()
+	s.contexts.AscendPrefixFunc(key,
+		func(k string) bool { return strings.HasPrefix(k, key) },
+		func(_ string, vals []ordbms.RowID) bool {
+			rids = append(rids, vals...)
+			return true
+		})
+	s.ctxMu.RUnlock()
+	return s.sectionsForContexts(rids)
+}
+
+func (s *Store) sectionsForContexts(rids []ordbms.RowID) ([]Section, error) {
+	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+	out := make([]Section, 0, len(rids))
+	for _, rid := range rids {
+		ctx, err := s.FetchNode(rid)
+		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue
+			}
+			return nil, err
+		}
+		sec, err := s.SectionOf(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sec)
+	}
+	return out, nil
+}
+
+// ContentSearch returns the sections containing every term of the query:
+// the paper's Content=Shuttle.  Hits are grouped by their governing
+// context so each section appears once.
+func (s *Store) ContentSearch(query string) ([]Section, error) {
+	hits := s.content.And(query)
+	seenCtx := make(map[ordbms.RowID]bool)
+	var out []Section
+	for _, h := range hits {
+		rid := ordbms.RowIDFromUint64(h)
+		node, err := s.FetchNode(rid)
+		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue
+			}
+			return nil, err
+		}
+		ctx, err := s.ContextFor(node)
+		if err != nil {
+			return nil, err
+		}
+		if ctx == nil {
+			// No governing heading (raw XML): report the parent element's
+			// subtree as the section, keyed by the hit itself.
+			if seenCtx[rid] {
+				continue
+			}
+			seenCtx[rid] = true
+			sec, err := s.fallbackSection(node)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sec)
+			continue
+		}
+		if seenCtx[ctx.RowID] {
+			continue
+		}
+		seenCtx[ctx.RowID] = true
+		sec, err := s.SectionOf(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sec)
+	}
+	return out, nil
+}
+
+// fallbackSection builds a section for a text hit with no heading.
+func (s *Store) fallbackSection(n *Node) (Section, error) {
+	parent, err := s.Parent(n)
+	if err != nil {
+		return Section{}, err
+	}
+	scope := n
+	if parent != nil {
+		scope = parent
+	}
+	txt, err := s.subtreeText(scope)
+	if err != nil {
+		return Section{}, err
+	}
+	sec := Section{DocID: n.DocID, Content: txt, ContextRID: scope.RowID}
+	if info, err := s.Document(n.DocID); err == nil {
+		sec.DocName = info.FileName
+		sec.DocTitle = info.Title
+	}
+	return sec, nil
+}
+
+// ContentSearchDocs returns the distinct documents containing the query —
+// the paper's "a content query such as Content=Shuttle will return all
+// documents that contain the term 'Shuttle' anywhere in the document".
+func (s *Store) ContentSearchDocs(query string) ([]*DocInfo, error) {
+	hits := s.content.And(query)
+	seen := make(map[uint64]bool)
+	var out []*DocInfo
+	for _, h := range hits {
+		node, err := s.FetchNode(ordbms.RowIDFromUint64(h))
+		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue
+			}
+			return nil, err
+		}
+		if seen[node.DocID] {
+			continue
+		}
+		seen[node.DocID] = true
+		info, err := s.Document(node.DocID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DocID < out[j].DocID })
+	return out, nil
+}
+
+// Search combines context and content predicates — the paper's
+// Context=Technology Gap & Content=Shrinking: "returns the 'Technology
+// Gap' contexts (sections) of all documents where the term 'Shrinking'
+// occurs within the Technology Gap context".
+//
+// The planner picks the cheaper driving side: if the heading is rarer
+// than the content terms it drives from the context index and verifies
+// terms inside each section; otherwise it drives from the text index and
+// filters by governing context.  Both plans produce identical results
+// (asserted by tests); the choice only affects cost.
+func (s *Store) Search(heading, query string) ([]Section, error) {
+	switch {
+	case heading == "" && query == "":
+		return nil, nil
+	case heading == "":
+		return s.ContentSearch(query)
+	case query == "":
+		return s.ContextSearch(heading)
+	}
+	ctxCount := s.ContextCount(heading)
+	contentCost := s.contentDF(query)
+	if ctxCount <= contentCost {
+		return s.searchDriveContext(heading, query)
+	}
+	return s.searchDriveContent(heading, query)
+}
+
+// contentDF estimates the driving cost of a content query as the smallest
+// document frequency among its terms.
+func (s *Store) contentDF(query string) int {
+	min := -1
+	for _, tok := range textindex.Tokenize(query) {
+		df := s.content.DF(tok.Term)
+		if min < 0 || df < min {
+			min = df
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// searchDriveContext: context index drives, content verified per section.
+func (s *Store) searchDriveContext(heading, query string) ([]Section, error) {
+	secs, err := s.ContextSearch(heading)
+	if err != nil {
+		return nil, err
+	}
+	var out []Section
+	for _, sec := range secs {
+		if sectionContainsAll(sec, query) {
+			out = append(out, sec)
+		}
+	}
+	return out, nil
+}
+
+// searchDriveContent: text index drives, context filters.
+func (s *Store) searchDriveContent(heading, query string) ([]Section, error) {
+	secs, err := s.ContentSearch(query)
+	if err != nil {
+		return nil, err
+	}
+	want := normalizeContext(heading)
+	var out []Section
+	for _, sec := range secs {
+		if normalizeContext(sec.Context) == want {
+			out = append(out, sec)
+		}
+	}
+	return out, nil
+}
+
+// sectionContainsAll reports whether every query term occurs in the
+// section content (word-boundary, case-insensitive — the same tokenizer
+// as the index, so both plans agree).
+func sectionContainsAll(sec Section, query string) bool {
+	terms := textindex.Tokenize(query)
+	if len(terms) == 0 {
+		return true
+	}
+	have := make(map[string]bool)
+	for _, tok := range textindex.Tokenize(sec.Content) {
+		have[tok.Term] = true
+	}
+	for _, tok := range terms {
+		if !have[tok.Term] {
+			return false
+		}
+	}
+	return true
+}

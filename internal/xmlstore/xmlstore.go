@@ -1,0 +1,458 @@
+// Package xmlstore implements the NETMARK XML Store — the paper's core
+// contribution.  Every document, whatever its type, is decomposed into
+// nodes and stored in the same two relational tables (Fig 5):
+//
+//	DOC:  DOC_ID, FILE_NAME, FILE_DATE, FILE_SIZE, FORMAT, TITLE,
+//	      ROOT_ROWID, NNODES
+//	XML:  NODEID (PK), DOC_ID (FK), NODETYPE, NODENAME, NODEDATA,
+//	      ORDINAL, PARENTNODEID, PARENTROWID, PREVROWID, NEXTROWID,
+//	      CHILDROWID
+//
+// No per-document-type schema ever exists: "the NETMARK storage scheme
+// uses the same relational tables to represent and store any XML document
+// type" (§2.1.1).  Node-to-node links are physical RowIDs, reproducing
+// the paper's use of Oracle ROWIDs "for very fast traversal between nodes
+// that are related": following a link costs one buffer-pool fetch.
+package xmlstore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"netmark/internal/btree"
+	"netmark/internal/ordbms"
+	"netmark/internal/sgml"
+	"netmark/internal/textindex"
+)
+
+// Column order of the XML table.  Link columns are encoded as 8-byte
+// packed RowIDs (BYTES) so link patches re-encode to the identical record
+// size and never move a row.
+const (
+	xmlColNodeID = iota
+	xmlColDocID
+	xmlColNodeType
+	xmlColNodeName
+	xmlColNodeData
+	xmlColOrdinal
+	xmlColParentNodeID
+	xmlColParentRowID
+	xmlColPrevRowID
+	xmlColNextRowID
+	xmlColChildRowID
+	xmlColAttrs
+)
+
+// Column order of the DOC table.
+const (
+	docColDocID = iota
+	docColFileName
+	docColFileDate
+	docColFileSize
+	docColFormat
+	docColTitle
+	docColRootRowID
+	docColNNodes
+)
+
+// Node is a decoded row of the XML table.
+type Node struct {
+	NodeID   uint64
+	DocID    uint64
+	Class    sgml.NodeClass
+	Name     string
+	Data     string
+	Ordinal  int
+	ParentID uint64
+	Attrs    []sgml.Attr
+
+	RowID       ordbms.RowID // physical address of this node
+	ParentRowID ordbms.RowID
+	PrevRowID   ordbms.RowID
+	NextRowID   ordbms.RowID
+	ChildRowID  ordbms.RowID
+}
+
+// DocInfo is a decoded row of the DOC table.
+type DocInfo struct {
+	DocID     uint64
+	FileName  string
+	FileDate  int64
+	FileSize  int64
+	Format    string
+	Title     string
+	RootRowID ordbms.RowID
+	NNodes    int64
+	RowID     ordbms.RowID // physical address of the DOC row
+}
+
+// Section is one context/content search result: a heading and the text
+// that follows it, as in Fig 6 of the paper.
+type Section struct {
+	DocID      uint64
+	DocName    string
+	DocTitle   string
+	Context    string
+	Content    string
+	ContextRID ordbms.RowID
+}
+
+// Store is an open NETMARK XML Store.
+type Store struct {
+	db  *ordbms.DB
+	xml *ordbms.Table
+	doc *ordbms.Table
+
+	mu         sync.RWMutex
+	nextNodeID uint64
+	nextDocID  uint64
+
+	// content is the full-text index over TEXT node data; IDs are packed
+	// physical RowIDs, so a hit leads straight to the page.
+	content *textindex.Index
+	// contexts maps normalised (lowercased) heading text to the RowIDs
+	// of CONTEXT nodes bearing it.
+	contexts *btree.Tree[string, ordbms.RowID]
+	ctxMu    sync.RWMutex
+
+	// Stats counters.
+	statsMu       sync.Mutex
+	docsIngested  uint64
+	nodesInserted uint64
+}
+
+var xmlSchema = ordbms.MustSchema(
+	ordbms.Column{Name: "nodeid", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "docid", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "nodetype", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "nodename", Type: ordbms.TypeString},
+	ordbms.Column{Name: "nodedata", Type: ordbms.TypeString},
+	ordbms.Column{Name: "ordinal", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "parentnodeid", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "parentrowid", Type: ordbms.TypeBytes},
+	ordbms.Column{Name: "prevrowid", Type: ordbms.TypeBytes},
+	ordbms.Column{Name: "nextrowid", Type: ordbms.TypeBytes},
+	ordbms.Column{Name: "childrowid", Type: ordbms.TypeBytes},
+	ordbms.Column{Name: "attrs", Type: ordbms.TypeString},
+)
+
+var docSchema = ordbms.MustSchema(
+	ordbms.Column{Name: "docid", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "filename", Type: ordbms.TypeString},
+	ordbms.Column{Name: "filedate", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "filesize", Type: ordbms.TypeInt},
+	ordbms.Column{Name: "format", Type: ordbms.TypeString},
+	ordbms.Column{Name: "title", Type: ordbms.TypeString},
+	ordbms.Column{Name: "rootrowid", Type: ordbms.TypeBytes},
+	ordbms.Column{Name: "nnodes", Type: ordbms.TypeInt},
+)
+
+// Open attaches the store to a database, creating the universal tables on
+// first use and rebuilding the derived indexes (text + context) from the
+// heap otherwise.
+func Open(db *ordbms.DB) (*Store, error) {
+	s := &Store{
+		db:         db,
+		content:    textindex.New(),
+		contexts:   btree.New[string, ordbms.RowID](strings.Compare),
+		nextNodeID: 1,
+		nextDocID:  1,
+	}
+	if s.xml = db.Table("XML"); s.xml == nil {
+		t, err := db.CreateTable("XML", xmlSchema)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("nodeid"); err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("docid"); err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("nodename"); err != nil {
+			return nil, err
+		}
+		s.xml = t
+	}
+	if s.doc = db.Table("DOC"); s.doc == nil {
+		t, err := db.CreateTable("DOC", docSchema)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("docid"); err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("filename"); err != nil {
+			return nil, err
+		}
+		s.doc = t
+	}
+	if err := s.rebuildDerived(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuildDerived rescans the XML table to rebuild the text and context
+// indexes and the ID counters after reopening a persistent store.
+func (s *Store) rebuildDerived() error {
+	maxNode, maxDoc := uint64(0), uint64(0)
+	err := s.xml.Scan(func(rid ordbms.RowID, row ordbms.Row) bool {
+		nodeID := uint64(row[xmlColNodeID].Int)
+		docID := uint64(row[xmlColDocID].Int)
+		if nodeID > maxNode {
+			maxNode = nodeID
+		}
+		if docID > maxDoc {
+			maxDoc = docID
+		}
+		class := sgml.NodeClass(row[xmlColNodeType].Int)
+		switch class {
+		case sgml.ClassText:
+			s.content.Add(rid.Uint64(), row[xmlColNodeData].Str)
+		case sgml.ClassContext:
+			s.addContextKey(row[xmlColNodeData].Str, rid)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	err = s.doc.Scan(func(_ ordbms.RowID, row ordbms.Row) bool {
+		if id := uint64(row[docColDocID].Int); id > maxDoc {
+			maxDoc = id
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.nextNodeID = maxNode + 1
+	s.nextDocID = maxDoc + 1
+	return nil
+}
+
+func (s *Store) addContextKey(heading string, rid ordbms.RowID) {
+	key := normalizeContext(heading)
+	if key == "" {
+		return
+	}
+	s.ctxMu.Lock()
+	s.contexts.Insert(key, rid)
+	s.ctxMu.Unlock()
+}
+
+func (s *Store) removeContextKey(heading string, rid ordbms.RowID) {
+	key := normalizeContext(heading)
+	if key == "" {
+		return
+	}
+	s.ctxMu.Lock()
+	s.contexts.Delete(key, func(r ordbms.RowID) bool { return r == rid })
+	s.ctxMu.Unlock()
+}
+
+// normalizeContext lowercases and squeezes whitespace so context matching
+// is forgiving about case and layout (Context=introduction matches the
+// "Introduction" heading).
+func normalizeContext(h string) string {
+	return strings.ToLower(strings.Join(strings.Fields(h), " "))
+}
+
+// DB returns the underlying database (for stats and checkpoints).
+func (s *Store) DB() *ordbms.DB { return s.db }
+
+// Stats returns ingestion counters.
+func (s *Store) Stats() (docs, nodes uint64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.docsIngested, s.nodesInserted
+}
+
+// NumDocuments returns the number of stored documents.
+func (s *Store) NumDocuments() int64 { return s.doc.Rows() }
+
+// NumNodes returns the number of stored nodes.
+func (s *Store) NumNodes() int64 { return s.xml.Rows() }
+
+// rowToNode decodes an XML-table row.
+func rowToNode(rid ordbms.RowID, row ordbms.Row) *Node {
+	return &Node{
+		Attrs:       decodeAttrs(row[xmlColAttrs].Str),
+		NodeID:      uint64(row[xmlColNodeID].Int),
+		DocID:       uint64(row[xmlColDocID].Int),
+		Class:       sgml.NodeClass(row[xmlColNodeType].Int),
+		Name:        row[xmlColNodeName].Str,
+		Data:        row[xmlColNodeData].Str,
+		Ordinal:     int(row[xmlColOrdinal].Int),
+		ParentID:    uint64(row[xmlColParentNodeID].Int),
+		RowID:       rid,
+		ParentRowID: bytesToRID(row[xmlColParentRowID].Bytes),
+		PrevRowID:   bytesToRID(row[xmlColPrevRowID].Bytes),
+		NextRowID:   bytesToRID(row[xmlColNextRowID].Bytes),
+		ChildRowID:  bytesToRID(row[xmlColChildRowID].Bytes),
+	}
+}
+
+func rowToDoc(rid ordbms.RowID, row ordbms.Row) *DocInfo {
+	return &DocInfo{
+		DocID:     uint64(row[docColDocID].Int),
+		FileName:  row[docColFileName].Str,
+		FileDate:  row[docColFileDate].Int,
+		FileSize:  row[docColFileSize].Int,
+		Format:    row[docColFormat].Str,
+		Title:     row[docColTitle].Str,
+		RootRowID: bytesToRID(row[docColRootRowID].Bytes),
+		NNodes:    row[docColNNodes].Int,
+		RowID:     rid,
+	}
+}
+
+func ridToBytes(rid ordbms.RowID) []byte {
+	v := rid.Uint64()
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+func bytesToRID(b []byte) ordbms.RowID {
+	if len(b) != 8 {
+		return ordbms.ZeroRowID
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return ordbms.RowIDFromUint64(v)
+}
+
+// FetchNode reads the node at a physical RowID — one traversal hop.
+func (s *Store) FetchNode(rid ordbms.RowID) (*Node, error) {
+	row, err := s.xml.Fetch(rid)
+	if err != nil {
+		return nil, err
+	}
+	return rowToNode(rid, row), nil
+}
+
+// FetchNodeByID resolves a node through the NODEID secondary index — the
+// traversal path a system without physical RowID links would use (B-tree
+// probe plus heap fetch per hop).  It exists for the rowid-traversal
+// ablation; the store itself always follows RowIDs.
+func (s *Store) FetchNodeByID(nodeID uint64) (*Node, error) {
+	rids, err := s.xml.Lookup("nodeid", ordbms.I(int64(nodeID)))
+	if err != nil {
+		return nil, err
+	}
+	if len(rids) == 0 {
+		return nil, fmt.Errorf("xmlstore: no node %d", nodeID)
+	}
+	return s.FetchNode(rids[0])
+}
+
+// Parent follows the parent link (ZeroRowID at the root).
+func (s *Store) Parent(n *Node) (*Node, error) {
+	if n.ParentRowID.IsZero() {
+		return nil, nil
+	}
+	return s.FetchNode(n.ParentRowID)
+}
+
+// NextSibling follows the next-sibling link.
+func (s *Store) NextSibling(n *Node) (*Node, error) {
+	if n.NextRowID.IsZero() {
+		return nil, nil
+	}
+	return s.FetchNode(n.NextRowID)
+}
+
+// PrevSibling follows the previous-sibling link.
+func (s *Store) PrevSibling(n *Node) (*Node, error) {
+	if n.PrevRowID.IsZero() {
+		return nil, nil
+	}
+	return s.FetchNode(n.PrevRowID)
+}
+
+// FirstChild follows the first-child link.
+func (s *Store) FirstChild(n *Node) (*Node, error) {
+	if n.ChildRowID.IsZero() {
+		return nil, nil
+	}
+	return s.FetchNode(n.ChildRowID)
+}
+
+// ScanNodes iterates every stored node in physical order (used by
+// full-scan baselines and integrity checks).
+func (s *Store) ScanNodes(fn func(n *Node) bool) error {
+	return s.xml.Scan(func(rid ordbms.RowID, row ordbms.Row) bool {
+		return fn(rowToNode(rid, row))
+	})
+}
+
+// Document returns metadata for a document ID.
+func (s *Store) Document(docID uint64) (*DocInfo, error) {
+	rids, err := s.doc.Lookup("docid", ordbms.I(int64(docID)))
+	if err != nil {
+		return nil, err
+	}
+	if len(rids) == 0 {
+		return nil, fmt.Errorf("xmlstore: no document %d", docID)
+	}
+	row, err := s.doc.Fetch(rids[0])
+	if err != nil {
+		return nil, err
+	}
+	return rowToDoc(rids[0], row), nil
+}
+
+// Documents lists all stored documents.
+func (s *Store) Documents() ([]*DocInfo, error) {
+	var out []*DocInfo
+	err := s.doc.Scan(func(rid ordbms.RowID, row ordbms.Row) bool {
+		out = append(out, rowToDoc(rid, row))
+		return true
+	})
+	return out, err
+}
+
+// DocumentByName returns metadata for a file name.
+func (s *Store) DocumentByName(name string) (*DocInfo, error) {
+	rids, err := s.doc.Lookup("filename", ordbms.S(name))
+	if err != nil {
+		return nil, err
+	}
+	if len(rids) == 0 {
+		return nil, fmt.Errorf("xmlstore: no document named %q", name)
+	}
+	row, err := s.doc.Fetch(rids[0])
+	if err != nil {
+		return nil, err
+	}
+	return rowToDoc(rids[0], row), nil
+}
+
+// ContentIndex exposes the text index (the query planner consults DF).
+func (s *Store) ContentIndex() *textindex.Index { return s.content }
+
+// ContextCount returns how many CONTEXT nodes carry the heading.
+func (s *Store) ContextCount(heading string) int {
+	s.ctxMu.RLock()
+	defer s.ctxMu.RUnlock()
+	return len(s.contexts.Get(normalizeContext(heading)))
+}
+
+// ContextHeadings lists the distinct normalised headings in the store.
+func (s *Store) ContextHeadings() []string {
+	s.ctxMu.RLock()
+	defer s.ctxMu.RUnlock()
+	out := make([]string, 0, s.contexts.Keys())
+	s.contexts.Ascend(func(k string, _ []ordbms.RowID) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,404 @@
+package xslt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netmark/internal/sgml"
+)
+
+// Stylesheet is a compiled set of template rules.
+type Stylesheet struct {
+	templates []*template
+}
+
+type template struct {
+	match    string // "/", element name, "name1|name2", "*", "text()"
+	priority int    // computed: exact name 2, wildcard 1
+	body     *sgml.Node
+}
+
+// ParseStylesheet compiles an XSLT document.  Both the conventional
+// xsl:-prefixed form and a prefix-free form are accepted.
+func ParseStylesheet(src string) (*Stylesheet, error) {
+	tree, err := sgml.ParseString(src, sgml.ModeXML)
+	if err != nil {
+		return nil, err
+	}
+	root := firstElement(tree)
+	if root == nil {
+		return nil, fmt.Errorf("xslt: stylesheet has no root element")
+	}
+	if localName(root.Name) != "stylesheet" && localName(root.Name) != "transform" {
+		return nil, fmt.Errorf("xslt: root element %q is not a stylesheet", root.Name)
+	}
+	sheet := &Stylesheet{}
+	for _, t := range root.ChildElements() {
+		if localName(t.Name) != "template" {
+			continue
+		}
+		match, ok := t.Attr("match")
+		if !ok || strings.TrimSpace(match) == "" {
+			return nil, fmt.Errorf("xslt: template without match attribute")
+		}
+		for _, m := range strings.Split(match, "|") {
+			m = strings.TrimSpace(m)
+			prio := 2
+			if m == "*" || m == "text()" {
+				prio = 1
+			}
+			sheet.templates = append(sheet.templates, &template{match: m, priority: prio, body: t})
+		}
+	}
+	if len(sheet.templates) == 0 {
+		return nil, fmt.Errorf("xslt: stylesheet defines no templates")
+	}
+	return sheet, nil
+}
+
+func firstElement(doc *sgml.Node) *sgml.Node {
+	for c := doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Kind == sgml.ElementNode {
+			return c
+		}
+	}
+	return nil
+}
+
+// localName strips an xsl: style prefix.
+func localName(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// isInstruction reports whether an element is an XSLT instruction and
+// returns its local name.
+func isInstruction(n *sgml.Node) (string, bool) {
+	if n.Kind != sgml.ElementNode {
+		return "", false
+	}
+	ln := localName(n.Name)
+	if n.Name == ln {
+		// Prefix-free instructions are recognised by the reserved names.
+		switch ln {
+		case "apply-templates", "value-of", "for-each", "if", "copy-of",
+			"text", "attribute", "sort", "element", "comment":
+			return ln, true
+		}
+		return "", false
+	}
+	return ln, true
+}
+
+// Transform applies the stylesheet to a document and returns the result
+// tree (a DocumentNode).
+func (s *Stylesheet) Transform(doc *sgml.Node) (*sgml.Node, error) {
+	out := &sgml.Node{Kind: sgml.DocumentNode, Name: "#document"}
+	// A bare element is treated as the root: "/" templates match it via
+	// the isRoot flag, so callers need not wrap their trees.
+	if err := s.applyTo(doc, out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TransformToString runs Transform and serialises the result.
+func (s *Stylesheet) TransformToString(doc *sgml.Node) (string, error) {
+	out, err := s.Transform(doc)
+	if err != nil {
+		return "", err
+	}
+	return sgml.SerializeIndent(out), nil
+}
+
+// applyTo processes one source node: find the best template, instantiate
+// it; fall back to the built-in rules.
+func (s *Stylesheet) applyTo(src *sgml.Node, out *sgml.Node, isRoot bool) error {
+	t := s.bestTemplate(src, isRoot)
+	if t == nil {
+		// Built-in rules: recurse for root/elements, copy text.
+		switch src.Kind {
+		case sgml.TextNode:
+			out.AppendChild(sgml.NewText(src.Data))
+			return nil
+		case sgml.DocumentNode, sgml.ElementNode:
+			for c := src.FirstChild; c != nil; c = c.NextSibling {
+				if err := s.applyTo(c, out, false); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return s.instantiate(t.body, src, out)
+}
+
+func (s *Stylesheet) bestTemplate(src *sgml.Node, isRoot bool) *template {
+	var best *template
+	for _, t := range s.templates {
+		if !templateMatches(t.match, src, isRoot) {
+			continue
+		}
+		if best == nil || t.priority > best.priority {
+			best = t
+		}
+	}
+	return best
+}
+
+func templateMatches(match string, n *sgml.Node, isRoot bool) bool {
+	switch match {
+	case "/":
+		return isRoot || n.Kind == sgml.DocumentNode
+	case "*":
+		return n.Kind == sgml.ElementNode
+	case "text()":
+		return n.Kind == sgml.TextNode
+	}
+	// Path suffix matching: "section/context" matches a context whose
+	// parent is a section.
+	parts := strings.Split(match, "/")
+	cur := n
+	for i := len(parts) - 1; i >= 0; i-- {
+		if cur == nil || cur.Kind != sgml.ElementNode || cur.Name != parts[i] {
+			return false
+		}
+		cur = cur.Parent
+	}
+	return true
+}
+
+// instantiate walks a template body, copying literals and executing
+// instructions against the current source node.
+func (s *Stylesheet) instantiate(body *sgml.Node, src *sgml.Node, out *sgml.Node) error {
+	for c := body.FirstChild; c != nil; c = c.NextSibling {
+		if err := s.instantiateNode(c, src, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Stylesheet) instantiateNode(tn *sgml.Node, src *sgml.Node, out *sgml.Node) error {
+	switch tn.Kind {
+	case sgml.TextNode:
+		if strings.TrimSpace(tn.Data) != "" {
+			out.AppendChild(sgml.NewText(tn.Data))
+		}
+		return nil
+	case sgml.ElementNode:
+		if name, ok := isInstruction(tn); ok {
+			return s.execInstruction(name, tn, src, out)
+		}
+		// Literal result element: copy, interpolate {expr} in attributes.
+		el := sgml.NewElement(tn.Name)
+		for _, a := range tn.Attrs {
+			el.SetAttr(a.Name, interpolate(a.Value, src))
+		}
+		out.AppendChild(el)
+		return s.instantiate(tn, src, el)
+	default:
+		return nil
+	}
+}
+
+// interpolate substitutes {path} attribute value templates.
+func interpolate(v string, src *sgml.Node) string {
+	if !strings.Contains(v, "{") {
+		return v
+	}
+	var sb strings.Builder
+	for {
+		open := strings.IndexByte(v, '{')
+		if open < 0 {
+			sb.WriteString(v)
+			return sb.String()
+		}
+		close := strings.IndexByte(v[open:], '}')
+		if close < 0 {
+			sb.WriteString(v)
+			return sb.String()
+		}
+		sb.WriteString(v[:open])
+		sb.WriteString(EvalStringOn(src, v[open+1:open+close]))
+		v = v[open+close+1:]
+	}
+}
+
+func (s *Stylesheet) execInstruction(name string, tn *sgml.Node, src *sgml.Node, out *sgml.Node) error {
+	switch name {
+	case "value-of":
+		sel, _ := tn.Attr("select")
+		val, err := EvalString(src, sel)
+		if err != nil {
+			return err
+		}
+		if val != "" {
+			out.AppendChild(sgml.NewText(val))
+		}
+		return nil
+
+	case "text":
+		out.AppendChild(sgml.NewText(tn.Text()))
+		return nil
+
+	case "apply-templates":
+		sel, has := tn.Attr("select")
+		var targets []*sgml.Node
+		if has {
+			var err error
+			targets, err = Select(src, sel)
+			if err != nil {
+				return err
+			}
+		} else {
+			targets = src.Children()
+		}
+		for _, t := range targets {
+			if err := s.applyTo(t, out, false); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "for-each":
+		sel, has := tn.Attr("select")
+		if !has {
+			return fmt.Errorf("xslt: for-each requires select")
+		}
+		targets, err := Select(src, sel)
+		if err != nil {
+			return err
+		}
+		// Optional nested sort instruction.
+		if sortEl := findChildInstruction(tn, "sort"); sortEl != nil {
+			key, _ := sortEl.Attr("select")
+			order, _ := sortEl.Attr("order")
+			sortNodes(targets, key, order == "descending")
+		}
+		for _, t := range targets {
+			if err := s.instantiate(tn, t, out); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "sort":
+		// Handled by the enclosing for-each.
+		return nil
+
+	case "if":
+		test, has := tn.Attr("test")
+		if !has {
+			return fmt.Errorf("xslt: if requires test")
+		}
+		ok, err := evalTest(src, test)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return s.instantiate(tn, src, out)
+		}
+		return nil
+
+	case "copy-of":
+		sel, _ := tn.Attr("select")
+		targets, err := Select(src, sel)
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			out.AppendChild(t.Clone())
+		}
+		return nil
+
+	case "attribute":
+		aname, has := tn.Attr("name")
+		if !has {
+			return fmt.Errorf("xslt: attribute requires name")
+		}
+		// Value: either nested value-of or literal text.
+		var buf strings.Builder
+		tmp := sgml.NewElement("#attr")
+		if err := s.instantiate(tn, src, tmp); err != nil {
+			return err
+		}
+		buf.WriteString(tmp.Text())
+		out.SetAttr(aname, buf.String())
+		return nil
+
+	case "element":
+		ename, has := tn.Attr("name")
+		if !has {
+			return fmt.Errorf("xslt: element requires name")
+		}
+		el := sgml.NewElement(interpolate(ename, src))
+		out.AppendChild(el)
+		return s.instantiate(tn, src, el)
+
+	case "comment":
+		out.AppendChild(&sgml.Node{Kind: sgml.CommentNode, Data: tn.Text()})
+		return nil
+	}
+	return fmt.Errorf("xslt: unsupported instruction %q", name)
+}
+
+func findChildInstruction(tn *sgml.Node, want string) *sgml.Node {
+	for _, c := range tn.ChildElements() {
+		if name, ok := isInstruction(c); ok && name == want {
+			return c
+		}
+	}
+	return nil
+}
+
+func sortNodes(ns []*sgml.Node, key string, desc bool) {
+	keyOf := func(n *sgml.Node) string {
+		if key == "" {
+			return n.Text()
+		}
+		return EvalStringOn(n, key)
+	}
+	sort.SliceStable(ns, func(i, j int) bool {
+		a, b := keyOf(ns[i]), keyOf(ns[j])
+		if desc {
+			return a > b
+		}
+		return a < b
+	})
+}
+
+// evalTest evaluates an if test: "path" (existence), "path='lit'" or
+// "path!='lit'".
+func evalTest(src *sgml.Node, test string) (bool, error) {
+	test = strings.TrimSpace(test)
+	if i := strings.Index(test, "!="); i >= 0 {
+		l, r := strings.TrimSpace(test[:i]), unquote(strings.TrimSpace(test[i+2:]))
+		return EvalStringOn(src, l) != r, nil
+	}
+	if i := strings.Index(test, "="); i >= 0 {
+		l, r := strings.TrimSpace(test[:i]), unquote(strings.TrimSpace(test[i+1:]))
+		return EvalStringOn(src, l) == r, nil
+	}
+	if strings.HasPrefix(test, "@") {
+		_, ok := src.Attr(test[1:])
+		return ok, nil
+	}
+	got, err := Select(src, test)
+	if err != nil {
+		return false, err
+	}
+	return len(got) > 0, nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,205 @@
+package netmark_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netmark"
+)
+
+// TestEndToEndPipeline drives the full Fig 2/3 process flow: a document
+// dropped into the WebDAV folder is picked up by the daemon, converted
+// by the SGML parser, stored schema-lessly, queried over HTTP with an
+// XDB URL, and composed into a new document with XSLT.
+func TestEndToEndPipeline(t *testing.T) {
+	drop := t.TempDir()
+	nm, err := netmark.Open(netmark.Config{DropDir: drop, PollInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm.Close()
+
+	err = nm.RegisterStylesheet("compose", `<xsl:stylesheet>
+<xsl:template match="/">
+  <briefing><xsl:for-each select="//result">
+    <item from="{@doc}"><xsl:value-of select="content"/></item>
+  </xsl:for-each></briefing>
+</xsl:template>
+</xsl:stylesheet>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := nm.HTTPServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// 1. Drop a document over WebDAV.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/dav/status.html",
+		strings.NewReader(`<html><head><title>Weekly Status</title></head><body>
+		<h1>Overview</h1><p>All systems nominal.</p>
+		<h2>Budget</h2><p>Spend tracking at 97 percent of plan.</p></body></html>`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+
+	// 2. The daemon picks it up.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go nm.Daemon().Run(ctx)
+	deadline := time.After(3 * time.Second)
+	for nm.Store().NumDocuments() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("daemon never ingested the dropped file")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// 3. Query over HTTP with the URL-appended XDB syntax.
+	get := func(u string) string {
+		r, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		if r.StatusCode != 200 {
+			t.Fatalf("GET %s = %d: %s", u, r.StatusCode, b)
+		}
+		return string(b)
+	}
+	body := get(ts.URL + "/xdb?context=Budget")
+	if !strings.Contains(body, "97 percent") {
+		t.Fatalf("query result: %s", body)
+	}
+
+	// 4. XSLT composition via the xslt= parameter (Fig 7).
+	body = get(ts.URL + "/xdb?context=Budget&xslt=compose")
+	if !strings.Contains(body, "<briefing>") || !strings.Contains(body, `from="status.html"`) {
+		t.Fatalf("composed result: %s", body)
+	}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	nm, err := netmark.Open(netmark.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm.Close()
+	if _, err := nm.Ingest("memo.rtf", []byte(`{\rtf1 {\b Findings}\par The valve leaked.\par}`)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nm.Query("context=Findings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !strings.Contains(res.Sections[0].Content, "valve") {
+		t.Fatalf("result = %+v", res.Sections)
+	}
+	secs, err := nm.Search("Findings", "valve")
+	if err != nil || len(secs) != 1 {
+		t.Fatalf("Search: %v %v", secs, err)
+	}
+}
+
+func TestPublicAPIDatabankAcrossInstances(t *testing.T) {
+	// Two independent stores, one databank — integration "on the fly".
+	a, err := netmark.Open(netmark.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := netmark.Open(netmark.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Ingest("a.html", []byte(`<html><body><h2>Title</h2><p>Engine fault A-17</p></body></html>`))
+	b.Ingest("b.html", []byte(`<html><body><h2>Title</h2><p>Sensor drift B-3</p></body></html>`))
+
+	bank := netmark.NewDatabank("anomalies")
+	bank.AddSource(netmark.NewLocalSource("tracker-a", a))
+	bank.AddSource(netmark.NewLegacySource("tracker-b", netmark.ContentOnly, b))
+	if err := a.AddDatabank(bank); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.QueryBank(context.Background(), "anomalies", netmark.Query{Context: "Title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sections()) != 2 {
+		t.Fatalf("sections = %v", m.Sections())
+	}
+}
+
+func TestPersistentInstanceSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	nm, err := netmark.Open(netmark.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.Ingest("p.txt", []byte("SUMMARY\n\ndurable content here\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nm2, err := netmark.Open(netmark.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm2.Close()
+	res, err := nm2.Query("content=durable")
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("after reopen: %v %v", res, err)
+	}
+}
+
+func TestIngestFile(t *testing.T) {
+	nm, _ := netmark.Open(netmark.Config{})
+	defer nm.Close()
+	path := filepath.Join(t.TempDir(), "doc.html")
+	os.WriteFile(path, []byte(`<html><body><h1>FromDisk</h1><p>x</p></body></html>`), 0o644)
+	if _, err := nm.IngestFile(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nm.Query("context=FromDisk")
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("ingest file: %v %v", res, err)
+	}
+}
+
+func TestCreateDatabankFromSpec(t *testing.T) {
+	nm, _ := netmark.Open(netmark.Config{})
+	defer nm.Close()
+	nm.Ingest("x.html", []byte(`<html><body><h2>Status</h2><p>green</p></body></html>`))
+	if _, err := nm.CreateDatabank([]byte(`{
+		"name": "selfbank",
+		"sources": [{"type": "local", "name": "self"}]
+	}`)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nm.QueryBank(context.Background(), "selfbank", netmark.Query{Context: "Status"})
+	if err != nil || len(m.Sections()) != 1 {
+		t.Fatalf("spec bank: %v %v", m, err)
+	}
+	if _, err := nm.QueryBank(context.Background(), "ghost", netmark.Query{Context: "Status"}); err == nil {
+		t.Fatal("unknown bank accepted")
+	}
+}
