@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check fmt vet test race bench
+
+# check is the CI gate: formatting, vet, and the full suite under -race.
+check: fmt vet race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...

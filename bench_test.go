@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B benchmark per table and figure of the
-// paper's evaluation, plus the ablations DESIGN.md calls out.  The
+// paper's evaluation, plus the ablations described in README.md.  The
 // human-readable reports behind the same experiments are produced by
 // cmd/nmbench; these benches measure the kernels under the Go benchmark
 // framework so regressions are visible in -benchmem terms.
@@ -8,6 +8,7 @@ package netmark_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -373,6 +374,65 @@ func BenchmarkIngestByFormat(b *testing.B) {
 				if _, err := nm.Ingest(fmt.Sprintf("%d-%s", i, doc.Name), doc.Data); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngestParallel measures the concurrent batch-ingestion
+// pipeline against the sequential one-document-at-a-time path over the
+// same mixed corpus.  "sequential" is the old write path (Ingest per
+// document); the parallel variants fan parse/upmark/shred across
+// workers, feed a single ordered writer, and overlap derived indexing —
+// on a multi-core runner the worker sweep shows the pipeline's
+// throughput multiple.
+func BenchmarkIngestParallel(b *testing.B) {
+	gen := corpus.New(47)
+	docs := gen.Mixed(200)
+	batch := make([]netmark.Doc, len(docs))
+	var total int64
+	for i, d := range docs {
+		batch[i] = netmark.Doc{Name: d.Name, Data: d.Data}
+		total += int64(len(d.Data))
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(total)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nm, err := netmark.Open(netmark.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range docs {
+				if _, err := nm.Ingest(d.Name, d.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nm.Close()
+		}
+	})
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("parallel/workers=%d", w), func(b *testing.B) {
+			b.SetBytes(total)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nm, err := netmark.Open(netmark.Config{
+					IngestWorkers:   w,
+					IngestBatchSize: len(batch),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range nm.IngestBatch(batch) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				nm.Close()
 			}
 		})
 	}

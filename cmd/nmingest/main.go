@@ -1,9 +1,13 @@
-// Command nmingest bulk-loads documents into a NETMARK store.
+// Command nmingest bulk-loads documents into a NETMARK store through the
+// concurrent batch-ingestion pipeline: parse/upmark fans across workers,
+// a single ordered writer feeds the store, and each batch costs one WAL
+// group-commit.
 //
 // Usage:
 //
 //	nmingest -dir ./data report.html memo.rtf budget.csv deck.slides
-//	nmingest -dir ./data -gen proposals -n 500     # synthetic corpus
+//	nmingest -dir ./data -gen proposals -n 500          # synthetic corpus
+//	nmingest -dir ./data -workers 8 -batch 256 docs/*.html
 package main
 
 import (
@@ -22,12 +26,18 @@ func main() {
 	gen := flag.String("gen", "", "generate a synthetic corpus instead: proposals|taskplans|anomalies|lessons|mixed")
 	n := flag.Int("n", 100, "number of synthetic documents")
 	seed := flag.Int64("seed", 42, "synthetic corpus seed")
+	workers := flag.Int("workers", 0, "parse/upmark worker count (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "documents per WAL group-commit batch (0 = default)")
 	flag.Parse()
 
 	if *dir == "" {
 		log.Fatal("nmingest: -dir is required (an in-memory store would vanish on exit)")
 	}
-	nm, err := netmark.Open(netmark.Config{Dir: *dir})
+	nm, err := netmark.Open(netmark.Config{
+		Dir:             *dir,
+		IngestWorkers:   *workers,
+		IngestBatchSize: *batch,
+	})
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
@@ -50,9 +60,13 @@ func main() {
 		default:
 			log.Fatalf("unknown corpus %q", *gen)
 		}
-		for _, d := range docs {
-			if _, err := nm.Ingest(d.Name, d.Data); err != nil {
-				log.Fatalf("ingest %s: %v", d.Name, err)
+		batch := make([]netmark.Doc, len(docs))
+		for i, d := range docs {
+			batch[i] = netmark.Doc{Name: d.Name, Data: d.Data}
+		}
+		for _, r := range nm.IngestBatch(batch) {
+			if r.Err != nil {
+				log.Fatalf("ingest %s: %v", r.Name, r.Err)
 			}
 		}
 		fmt.Printf("ingested %d synthetic %s documents\n", len(docs), *gen)
@@ -62,22 +76,23 @@ func main() {
 	if flag.NArg() == 0 {
 		log.Fatal("nmingest: no files given (and no -gen)")
 	}
-	ok, failed := 0, 0
+	var paths []string
 	for _, pattern := range flag.Args() {
 		matches, err := filepath.Glob(pattern)
 		if err != nil || len(matches) == 0 {
 			matches = []string{pattern}
 		}
-		for _, path := range matches {
-			id, err := nm.IngestFile(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", path, err)
-				failed++
-				continue
-			}
-			fmt.Printf("ok   %s -> doc %d\n", path, id)
-			ok++
+		paths = append(paths, matches...)
+	}
+	ok, failed := 0, 0
+	for _, r := range nm.IngestFiles(paths) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", r.Name, r.Err)
+			failed++
+			continue
 		}
+		fmt.Printf("ok   %s -> doc %d\n", r.Name, r.DocID)
+		ok++
 	}
 	fmt.Printf("ingested %d, failed %d; store now holds %d documents / %d nodes\n",
 		ok, failed, nm.Store().NumDocuments(), nm.Store().NumNodes())

@@ -1,0 +1,3 @@
+module netmark
+
+go 1.21

@@ -35,7 +35,19 @@ type Config struct {
 	DropDir string
 	// PollInterval is the daemon's scan period (default 1s).
 	PollInterval time.Duration
+	// IngestWorkers sets the batch-ingestion pipeline's parse/upmark
+	// fan-out (default GOMAXPROCS).  It applies to IngestBatch and to
+	// the drop-folder daemon.
+	IngestWorkers int
+	// IngestBatchSize caps how many documents one WAL group-commit
+	// covers (default DefaultIngestBatch).  Larger batches amortise the
+	// fsync further at the cost of more work buffered between commits.
+	IngestBatchSize int
 }
+
+// DefaultIngestBatch is the batch size used when Config leaves
+// IngestBatchSize zero.
+const DefaultIngestBatch = daemon.DefaultBatchSize
 
 // Netmark is a running instance.
 type Netmark struct {
@@ -72,6 +84,8 @@ func Open(cfg Config) (*Netmark, error) {
 			db.Close()
 			return nil, err
 		}
+		d.Workers = cfg.IngestWorkers
+		d.BatchSize = cfg.IngestBatchSize
 		n.daemon = d
 	}
 	return n, nil
@@ -107,6 +121,58 @@ func (n *Netmark) IngestFile(path string) (uint64, error) {
 		return 0, err
 	}
 	return n.Ingest(filepath.Base(path), data)
+}
+
+// Doc is one raw input document for IngestBatch.
+type Doc = xmlstore.BatchDoc
+
+// IngestResult reports one batch document's outcome, in input order.
+type IngestResult = xmlstore.BatchResult
+
+// IngestBatch converts and stores many documents through the concurrent
+// pipeline: parsing and upmarking fan out across IngestWorkers, a single
+// ordered writer feeds the store (document IDs follow input order), and
+// each IngestBatchSize chunk is made durable by one WAL group-commit
+// instead of a commit per document.  Per-document failures are isolated
+// in their result slot.
+func (n *Netmark) IngestBatch(docs []Doc) []IngestResult {
+	batch := n.cfg.IngestBatchSize
+	if batch <= 0 {
+		batch = DefaultIngestBatch
+	}
+	out := make([]IngestResult, 0, len(docs))
+	for start := 0; start < len(docs); start += batch {
+		end := start + batch
+		if end > len(docs) {
+			end = len(docs)
+		}
+		out = append(out, n.store.StoreBatch(docs[start:end], n.cfg.IngestWorkers)...)
+	}
+	return out
+}
+
+// IngestFiles reads and batch-ingests files from disk.  Results match
+// the input paths by index; unreadable files fail in place while the
+// rest of the batch proceeds.
+func (n *Netmark) IngestFiles(paths []string) []IngestResult {
+	results := make([]IngestResult, len(paths))
+	docs := make([]Doc, 0, len(paths))
+	slots := make([]int, 0, len(paths))
+	for i, path := range paths {
+		name := filepath.Base(path)
+		results[i].Name = name
+		data, err := os.ReadFile(path)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		docs = append(docs, Doc{Name: name, Data: data})
+		slots = append(slots, i)
+	}
+	for j, r := range n.IngestBatch(docs) {
+		results[slots[j]] = r
+	}
+	return results
 }
 
 // Query parses and executes a URL-form XDB query against the local

@@ -39,11 +39,49 @@ func TestOpenWithDropDirWiresDaemon(t *testing.T) {
 		[]byte(`<html><body><h1>T</h1><p>dropped</p></body></html>`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nm.Daemon().ScanOnce(); err != nil {
-		t.Fatal(err)
+	// Two scans: the first observes the file, the second ingests it once
+	// its size/mtime held still (the partial-write guard).
+	for i := 0; i < 2; i++ {
+		if _, err := nm.Daemon().ScanOnce(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if nm.Store().NumDocuments() != 1 {
 		t.Fatalf("docs = %d", nm.Store().NumDocuments())
+	}
+}
+
+func TestIngestBatchPipeline(t *testing.T) {
+	nm, err := Open(Config{IngestWorkers: 3, IngestBatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm.Close()
+	var docs []Doc
+	for i := 0; i < 10; i++ {
+		docs = append(docs, Doc{
+			Name: filepath.Join("d" + string(rune('0'+i)) + ".html"),
+			Data: []byte(`<html><body><h1>Batch</h1><p>pipeline payload</p></body></html>`),
+		})
+	}
+	results := nm.IngestBatch(docs)
+	if len(results) != len(docs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("doc %d: %v", i, r.Err)
+		}
+		if i > 0 && results[i].DocID <= results[i-1].DocID {
+			t.Fatalf("doc IDs not in input order: %d after %d", r.DocID, results[i-1].DocID)
+		}
+	}
+	if nm.Store().NumDocuments() != int64(len(docs)) {
+		t.Fatalf("docs = %d", nm.Store().NumDocuments())
+	}
+	secs, err := nm.Search("Batch", "payload")
+	if err != nil || len(secs) != len(docs) {
+		t.Fatalf("search = %d sections, %v", len(secs), err)
 	}
 }
 

@@ -8,6 +8,23 @@
 // The daemon polls a drop folder; successfully ingested files move to
 // .processed/, failures to .failed/ with a .err note, so a drop folder is
 // also an audit trail.
+//
+// Two safeguards protect the drop-folder contract:
+//
+//   - A file is only ingested once its size and mtime are unchanged
+//     across two consecutive scans, so a document mid-copy into the
+//     folder is never stored truncated.  The quiet period equals the
+//     poll interval: a writer that stalls longer than one full interval
+//     mid-copy can still be misread as complete, so pick an interval
+//     longer than any expected stall (or copy in via rename, which is
+//     atomic).
+//   - Names already stored are tracked in memory, so a file whose move
+//     to .processed/ failed is never ingested twice; the stuck archive
+//     is surfaced through recordFailure and retried on later scans.
+//
+// Each scan's stable files are ingested through the store's concurrent
+// batch pipeline: preparation fans across workers and the whole scan
+// costs one WAL group-commit.
 package daemon
 
 import (
@@ -15,7 +32,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -29,14 +45,44 @@ const (
 	failedDir    = ".failed"
 )
 
+// DefaultBatchSize caps how many documents one WAL group-commit covers
+// when no explicit batch size is configured.
+const DefaultBatchSize = 64
+
+// fileState is one observation of a drop-folder file, used for the
+// two-scan stability check.
+type fileState struct {
+	size  int64
+	mtime time.Time
+}
+
+func (a fileState) equal(b fileState) bool {
+	return a.size == b.size && a.mtime.Equal(b.mtime)
+}
+
 // Daemon watches one drop folder and ingests into one store.
 type Daemon struct {
 	dir      string
 	store    *xmlstore.Store
 	interval time.Duration
 
+	// Workers sets the batch pipeline's preparation fan-out
+	// (0 = GOMAXPROCS).  Set before Run/ScanOnce.
+	Workers int
+	// BatchSize caps documents per WAL group-commit batch
+	// (0 = DefaultBatchSize).  Set before Run/ScanOnce.
+	BatchSize int
+
 	// OnIngest, when set, observes every attempt (err nil on success).
 	OnIngest func(name string, docID uint64, err error)
+
+	// pending holds each candidate file's last observed size/mtime; a
+	// file is ingested only when a scan re-observes the same state.
+	pending map[string]fileState
+	// processed holds names that were stored but whose move to
+	// .processed/ failed, so they are never ingested again while they
+	// linger in the drop folder.
+	processed map[string]bool
 
 	mu       sync.Mutex
 	ingested int
@@ -53,7 +99,13 @@ func New(dir string, store *xmlstore.Store, interval time.Duration) (*Daemon, er
 			return nil, fmt.Errorf("daemon: %w", err)
 		}
 	}
-	return &Daemon{dir: dir, store: store, interval: interval}, nil
+	return &Daemon{
+		dir:       dir,
+		store:     store,
+		interval:  interval,
+		pending:   make(map[string]fileState),
+		processed: make(map[string]bool),
+	}, nil
 }
 
 // Stats returns how many files were ingested and how many failed.
@@ -65,48 +117,118 @@ func (d *Daemon) Stats() (ingested, failed int) {
 
 // ScanOnce processes every file currently in the drop folder and returns
 // the number ingested.  It is the synchronous core Run loops over, and
-// what tests call directly.
+// what tests call directly.  A freshly dropped file is only observed on
+// its first scan; it is ingested by the next scan that finds its size
+// and mtime unchanged.
 func (d *Daemon) ScanOnce() (int, error) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
 		return 0, fmt.Errorf("daemon: read drop folder: %w", err)
 	}
-	names := make([]string, 0, len(entries))
+	current := make(map[string]fileState, len(entries))
+	var stable []string // sorted: ReadDir returns names in order
 	for _, e := range entries {
 		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
-		names = append(names, e.Name())
+		name := e.Name()
+		info, err := e.Info()
+		if err != nil {
+			continue // vanished between ReadDir and stat
+		}
+		st := fileState{size: info.Size(), mtime: info.ModTime()}
+		current[name] = st
+		if d.processed[name] {
+			// Stored on an earlier scan but stuck in the folder; retry
+			// the archive move, never the ingest.
+			if err := os.Rename(filepath.Join(d.dir, name),
+				filepath.Join(d.dir, processedDir, name)); err == nil {
+				delete(d.processed, name)
+				delete(current, name)
+			}
+			continue
+		}
+		if prev, ok := d.pending[name]; ok && prev.equal(st) {
+			stable = append(stable, name)
+		}
 	}
-	sort.Strings(names)
+	// Forget files that left the folder, and remember this scan's
+	// observations for the next stability check.
+	for name := range d.processed {
+		if _, ok := current[name]; !ok {
+			delete(d.processed, name)
+		}
+	}
+	d.pending = current
+
 	count := 0
+	batchSize := d.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	for start := 0; start < len(stable); start += batchSize {
+		end := start + batchSize
+		if end > len(stable) {
+			end = len(stable)
+		}
+		count += d.ingestBatch(stable[start:end])
+	}
+	return count, nil
+}
+
+// ingestBatch reads and stores one batch of stable files through the
+// concurrent pipeline, then archives each file by its outcome.
+func (d *Daemon) ingestBatch(names []string) int {
+	docs := make([]xmlstore.BatchDoc, 0, len(names))
 	for _, name := range names {
 		full := filepath.Join(d.dir, name)
 		data, err := os.ReadFile(full)
 		if err != nil {
+			delete(d.pending, name)
 			d.recordFailure(name, full, err)
 			continue
 		}
-		docID, err := d.store.StoreRaw(name, data)
-		if err != nil {
-			d.recordFailure(name, full, err)
+		docs = append(docs, xmlstore.BatchDoc{Name: name, Data: data})
+	}
+	count := 0
+	for _, r := range d.store.StoreBatch(docs, d.Workers) {
+		full := filepath.Join(d.dir, r.Name)
+		delete(d.pending, r.Name)
+		if r.Err != nil {
+			d.recordFailure(r.Name, full, r.Err)
 			continue
 		}
-		// Move to .processed (best effort; the document is stored).
-		_ = os.Rename(full, filepath.Join(d.dir, processedDir, name))
 		d.mu.Lock()
 		d.ingested++
 		d.mu.Unlock()
 		count++
 		if d.OnIngest != nil {
-			d.OnIngest(name, docID, nil)
+			d.OnIngest(r.Name, r.DocID, nil)
+		}
+		if err := os.Rename(full, filepath.Join(d.dir, processedDir, r.Name)); err != nil {
+			// The document is stored; remember the name so no later scan
+			// ingests it again, and surface the stuck archive.  The file
+			// must stay in place — it is not a failed ingest, and later
+			// scans retry the move — so only the bookkeeping half of
+			// recordFailure runs.
+			d.processed[r.Name] = true
+			d.noteFailure(r.Name,
+				fmt.Errorf("stored as doc %d but archive to %s failed: %w", r.DocID, processedDir, err))
 		}
 	}
-	return count, nil
+	return count
 }
 
+// recordFailure quarantines a file that could not be ingested and
+// surfaces the error.
 func (d *Daemon) recordFailure(name, full string, err error) {
 	_ = os.Rename(full, filepath.Join(d.dir, failedDir, name))
+	d.noteFailure(name, err)
+}
+
+// noteFailure is the bookkeeping half of recordFailure: the .err audit
+// note, the counter, and the callback — without moving the file.
+func (d *Daemon) noteFailure(name string, err error) {
 	_ = os.WriteFile(filepath.Join(d.dir, failedDir, name+".err"), []byte(err.Error()), 0o644)
 	d.mu.Lock()
 	d.failed++

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -24,6 +25,20 @@ func newStore(t testing.TB) *xmlstore.Store {
 	return s
 }
 
+// scanUntilStable runs the two scans the stability gate requires: the
+// first observes the files, the second ingests the ones left unchanged.
+func scanUntilStable(t *testing.T, d *Daemon) int {
+	t.Helper()
+	if n, err := d.ScanOnce(); err != nil || n != 0 {
+		t.Fatalf("observation scan = %d %v, want 0 nil", n, err)
+	}
+	n, err := d.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 func TestScanOnceIngestsAndMoves(t *testing.T) {
 	dir := t.TempDir()
 	store := newStore(t)
@@ -39,11 +54,7 @@ func TestScanOnceIngestsAndMoves(t *testing.T) {
 		[]byte("HEADING\n\nplain body\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	n, err := d.ScanOnce()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != 2 {
+	if n := scanUntilStable(t, d); n != 2 {
 		t.Fatalf("ingested = %d", n)
 	}
 	if store.NumDocuments() != 2 {
@@ -56,8 +67,8 @@ func TestScanOnceIngestsAndMoves(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, processedDir, "a.html")); err != nil {
 		t.Fatal("a.html not archived")
 	}
-	// Second scan finds nothing.
-	n, err = d.ScanOnce()
+	// Later scans find nothing.
+	n, err := d.ScanOnce()
 	if err != nil || n != 0 {
 		t.Fatalf("rescan = %d %v", n, err)
 	}
@@ -75,11 +86,7 @@ func TestScanOnceRecordsFailures(t *testing.T) {
 		[]byte{0, 1, 2, 0xFF, 0, 0, 3}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	n, err := d.ScanOnce()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != 0 {
+	if n := scanUntilStable(t, d); n != 0 {
 		t.Fatalf("ingested = %d", n)
 	}
 	ing, failed := d.Stats()
@@ -106,7 +113,7 @@ func TestOnIngestCallback(t *testing.T) {
 		}
 	}
 	os.WriteFile(filepath.Join(dir, "x.html"), []byte(`<html><body><h1>A</h1><p>b</p></body></html>`), 0o644)
-	d.ScanOnce()
+	scanUntilStable(t, d)
 	if len(calls) != 1 || calls[0] != "x.html" {
 		t.Fatalf("calls = %v", calls)
 	}
@@ -145,8 +152,154 @@ func TestHiddenAndDirEntriesSkipped(t *testing.T) {
 	d, _ := New(dir, store, time.Second)
 	os.WriteFile(filepath.Join(dir, ".hidden.html"), []byte(`<html><body><h1>H</h1></body></html>`), 0o644)
 	os.MkdirAll(filepath.Join(dir, "subdir"), 0o755)
+	for i := 0; i < 2; i++ {
+		n, err := d.ScanOnce()
+		if err != nil || n != 0 {
+			t.Fatalf("scan = %d %v", n, err)
+		}
+	}
+}
+
+// TestPartialWriteNotIngested is the mid-copy scenario: a file still
+// growing between scans must not be stored truncated.  Only once its
+// size/mtime hold still across two scans is it ingested — complete.
+func TestPartialWriteNotIngested(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, _ := New(dir, store, time.Second)
+	path := filepath.Join(dir, "slow.html")
+
+	// First half lands; scan observes it.
+	if err := os.WriteFile(path, []byte(`<html><body><h1>Slow Copy</h1><p>first half`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.ScanOnce(); err != nil || n != 0 {
+		t.Fatalf("scan during copy ingested %d (%v)", n, err)
+	}
+	// The copy continues: size changes, so the next scan must hold off.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(` second half</p></body></html>`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if n, err := d.ScanOnce(); err != nil || n != 0 {
+		t.Fatalf("scan after growth ingested %d (%v)", n, err)
+	}
+	// Now the file is stable: the next scan ingests the complete bytes.
 	n, err := d.ScanOnce()
-	if err != nil || n != 0 {
-		t.Fatalf("scan = %d %v", n, err)
+	if err != nil || n != 1 {
+		t.Fatalf("stable scan = %d %v", n, err)
+	}
+	secs, err := store.ContentSearch("second")
+	if err != nil || len(secs) != 1 {
+		t.Fatalf("full content not stored: %d sections, %v", len(secs), err)
+	}
+	if !strings.Contains(secs[0].Content, "second half") {
+		t.Fatalf("stored content truncated: %q", secs[0].Content)
+	}
+}
+
+// TestRenameFailureDoesNotReingest is the duplicate-ingestion scenario:
+// when the move to .processed/ fails, the document must still be stored
+// exactly once, the failure surfaced, and no later scan may store it
+// again.
+func TestRenameFailureDoesNotReingest(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, _ := New(dir, store, time.Second)
+	var failures []error
+	d.OnIngest = func(name string, docID uint64, err error) {
+		if err != nil {
+			failures = append(failures, err)
+		}
+	}
+	// Sabotage the archive folder: replace it with a plain file so the
+	// move to .processed/ fails and the document stays in the folder.
+	p := filepath.Join(dir, processedDir)
+	if err := os.RemoveAll(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stuck.html"),
+		[]byte(`<html><body><h1>Stuck</h1><p>once only</p></body></html>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := scanUntilStable(t, d); n != 1 {
+		t.Fatalf("ingested = %d", n)
+	}
+	if store.NumDocuments() != 1 {
+		t.Fatalf("docs = %d", store.NumDocuments())
+	}
+	if len(failures) == 0 {
+		t.Fatal("stuck archive was not surfaced")
+	}
+	if !strings.Contains(failures[0].Error(), "archive") {
+		t.Fatalf("unexpected failure: %v", failures[0])
+	}
+	// A stored document is not a failed ingest: the file must stay in
+	// the drop folder awaiting the archive retry, not be quarantined.
+	if _, err := os.Stat(filepath.Join(dir, "stuck.html")); err != nil {
+		t.Fatal("stuck file left the drop folder")
+	}
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "stuck.html")); !os.IsNotExist(err) {
+		t.Fatal("stored document was quarantined to .failed")
+	}
+	// The audit note still lands.
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "stuck.html.err")); err != nil {
+		t.Fatal("archive-failure note missing")
+	}
+	// The file is stuck in the drop folder, but later scans must never
+	// store it again.
+	for i := 0; i < 3; i++ {
+		if n, err := d.ScanOnce(); err != nil || n != 0 {
+			t.Fatalf("rescan %d = %d %v", i, n, err)
+		}
+	}
+	if store.NumDocuments() != 1 {
+		t.Fatalf("document re-ingested: docs = %d", store.NumDocuments())
+	}
+	// Restore the archive folder: the pending move completes and the
+	// tracking entry drains.
+	if err := os.Remove(filepath.Join(dir, processedDir)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, processedDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.ScanOnce(); err != nil || n != 0 {
+		t.Fatalf("drain scan = %d %v", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, processedDir, "stuck.html")); err != nil {
+		t.Fatal("stuck file not archived after the folder came back")
+	}
+	if store.NumDocuments() != 1 {
+		t.Fatalf("archive retry re-ingested: docs = %d", store.NumDocuments())
+	}
+}
+
+// TestScanBatchesLargeDrops verifies a multi-batch scan ingests
+// everything and the batch knob is honored.
+func TestScanBatchesLargeDrops(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, _ := New(dir, store, time.Second)
+	d.BatchSize = 4
+	d.Workers = 2
+	for i := 0; i < 10; i++ {
+		name := filepath.Join(dir, string(rune('a'+i))+".txt")
+		if err := os.WriteFile(name, []byte("TITLE\n\nbody text\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := scanUntilStable(t, d); n != 10 {
+		t.Fatalf("ingested = %d", n)
+	}
+	if store.NumDocuments() != 10 {
+		t.Fatalf("docs = %d", store.NumDocuments())
 	}
 }

@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure in the paper's
-// evaluation, plus the ablations DESIGN.md calls out.  Each experiment
+// evaluation, plus the ablations described in README.md.  Each experiment
 // returns a formatted report; cmd/nmbench prints them and the root
 // bench_test.go wraps their kernels in testing.B loops.
 //

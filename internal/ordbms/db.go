@@ -2,6 +2,7 @@ package ordbms
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -46,6 +47,9 @@ func Open(opts Options) (*DB, error) {
 		db.disk = NewMemDisk()
 		db.pool = NewBufferPool(db.disk, opts.PoolPages)
 		return db, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ordbms: create dir: %w", err)
 	}
 	disk, err := OpenFileDisk(filepath.Join(opts.Dir, "data.nmdb"))
 	if err != nil {
@@ -138,7 +142,8 @@ func (db *DB) tableNamesLocked() []string {
 }
 
 // Commit makes all mutations so far durable: the WAL is flushed (and
-// fsynced unless disabled).  In-memory stores are a no-op.
+// fsynced unless disabled).  Concurrent commits coalesce into one fsync
+// (WAL group commit).  In-memory stores are a no-op.
 func (db *DB) Commit() error {
 	if db.wal == nil {
 		return nil
@@ -147,6 +152,16 @@ func (db *DB) Commit() error {
 		return db.wal.Flush(db.wal.NextLSN())
 	}
 	return db.wal.Sync()
+}
+
+// WALStats returns (records appended, fsyncs issued), both zero for
+// in-memory stores.  Group-commit batching shows up as syncs growing per
+// batch while appends grow per record.
+func (db *DB) WALStats() (appends, syncs uint64) {
+	if db.wal == nil {
+		return 0, 0
+	}
+	return db.wal.Appends(), db.wal.Syncs()
 }
 
 // Checkpoint flushes all pages, persists the catalog, and truncates the
@@ -222,6 +237,37 @@ func (t *Table) Insert(row Row) (RowID, error) {
 		ix.insert(row, rid)
 	}
 	return rid, nil
+}
+
+// InsertPrepared stores a row whose record the caller has already
+// encoded (rec must equal EncodeRow(row)), moving the encoding cost off
+// the table's write lock.  The batch-ingest pipeline encodes rows in its
+// parse workers and feeds them here through the single writer.
+func (t *Table) InsertPrepared(row Row, rec []byte) (RowID, error) {
+	if err := t.schema.Validate(row); err != nil {
+		return ZeroRowID, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, err := t.heap.Insert(rec)
+	if err != nil {
+		return ZeroRowID, err
+	}
+	for _, ix := range t.indexes {
+		ix.insert(row, rid)
+	}
+	return rid, nil
+}
+
+// UpdateInPlace rewrites the record at rid with a pre-encoded record of
+// the same encoded layout whose indexed columns are unchanged — the fast
+// path for the XML store's link patches, which touch only fixed-width
+// unindexed columns.  It skips the fetch/decode/re-encode and index
+// diffing of Update; the caller owns those invariants.
+func (t *Table) UpdateInPlace(rid RowID, rec []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.heap.Update(rid, rec)
 }
 
 // Fetch returns the row at rid.

@@ -218,10 +218,38 @@ func (r Row) Clone() Row {
 // type-specific payload (zigzag varints for ints, 8-byte IEEE for floats,
 // length-prefixed bytes for strings).
 func EncodeRow(r Row) []byte {
+	return encodeRow(r, nil)
+}
+
+// EncodeRowOffsets serialises a row like EncodeRow and additionally
+// returns, per column, the byte offset of that column's payload within
+// the record (for NULLs, the offset just past the type byte).  Callers
+// that later rewrite a fixed-width payload — the XML store's 8-byte
+// RowID link columns — can patch the bytes directly and update the
+// record in place without re-encoding.
+func EncodeRowOffsets(r Row) ([]byte, []int) {
+	offs := make([]int, len(r))
+	return encodeRow(r, offs), offs
+}
+
+// encodeRow is the single definition of the record format.  When offs is
+// non-nil it receives each column's payload offset.
+func encodeRow(r Row, offs []int) []byte {
 	buf := make([]byte, 0, 16+len(r)*8)
 	buf = binary.AppendUvarint(buf, uint64(len(r)))
-	for _, v := range r {
+	for i, v := range r {
 		buf = append(buf, byte(v.Type))
+		// Only strings and bytes carry a length prefix; every other
+		// payload starts right after the type byte.
+		switch v.Type {
+		case TypeString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+		case TypeBytes:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Bytes)))
+		}
+		if offs != nil {
+			offs[i] = len(buf)
+		}
 		switch v.Type {
 		case TypeNull:
 		case TypeInt:
@@ -231,10 +259,8 @@ func EncodeRow(r Row) []byte {
 			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.Float))
 			buf = append(buf, tmp[:]...)
 		case TypeString:
-			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
 			buf = append(buf, v.Str...)
 		case TypeBytes:
-			buf = binary.AppendUvarint(buf, uint64(len(v.Bytes)))
 			buf = append(buf, v.Bytes...)
 		case TypeBool:
 			if v.Bool {

@@ -25,6 +25,12 @@ type WAL struct {
 	flushed  uint64 // LSN through which the file is written (not necessarily synced)
 	synced   uint64 // LSN through which the file is fsynced
 	appends  uint64 // stat: records appended
+	syncs    uint64 // stat: fsyncs issued
+
+	// Group-commit state: while a leader's fsync is in flight, followers
+	// wait on syncDone instead of issuing their own.
+	syncing  bool
+	syncDone chan struct{}
 }
 
 // WAL record types.
@@ -160,21 +166,64 @@ func (w *WAL) flushLocked(lsn uint64) error {
 	return nil
 }
 
-// Sync forces all buffered records to stable storage (group commit).
+// Sync forces all buffered records to stable storage.
 func (w *WAL) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.flushLocked(w.bufStart + uint64(len(w.buf))); err != nil {
-		return err
+	return w.SyncTo(w.NextLSN())
+}
+
+// SyncTo makes the log durable through lsn (which must not exceed
+// NextLSN at the time of the call), coalescing concurrent callers into a
+// single fsync — group commit.  The first caller to find no fsync in
+// flight becomes the leader: it flushes everything buffered so far and
+// fsyncs outside the lock, so records appended meanwhile keep flowing
+// and every follower whose LSN the group covers returns without its own
+// fsync.
+func (w *WAL) SyncTo(lsn uint64) error {
+	for {
+		w.mu.Lock()
+		if w.synced >= lsn {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.syncing {
+			// Ride on the in-flight group, then re-check coverage.
+			done := w.syncDone
+			w.mu.Unlock()
+			<-done
+			continue
+		}
+		w.syncing = true
+		w.syncDone = make(chan struct{})
+		flushErr := w.flushLocked(w.bufStart + uint64(len(w.buf)))
+		target := w.flushed
+		w.mu.Unlock()
+
+		var syncErr error
+		if flushErr == nil {
+			syncErr = w.f.Sync()
+		}
+
+		w.mu.Lock()
+		if flushErr == nil && syncErr == nil && target > w.synced {
+			w.synced = target
+			w.syncs++
+		}
+		w.syncing = false
+		close(w.syncDone)
+		covered := w.synced >= lsn
+		w.mu.Unlock()
+		if flushErr != nil {
+			return flushErr
+		}
+		if syncErr != nil {
+			return syncErr
+		}
+		if covered {
+			return nil
+		}
+		// Our records were appended after the flush point we led (only
+		// possible for misuse with lsn > NextLSN); lead another group.
 	}
-	if w.synced >= w.flushed {
-		return nil
-	}
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	w.synced = w.flushed
-	return nil
 }
 
 // Checkpoint truncates the log after the caller has flushed all pages.
@@ -198,6 +247,7 @@ func (w *WAL) Checkpoint() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.syncs++
 	w.base = newBase
 	w.flushed = newBase
 	w.synced = newBase
@@ -210,6 +260,14 @@ func (w *WAL) Appends() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.appends
+}
+
+// Syncs returns the number of fsyncs issued — the group-commit win is
+// visible as syncs staying far below appends under batched ingest.
+func (w *WAL) Syncs() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
 }
 
 // Close flushes and closes the log.

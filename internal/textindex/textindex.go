@@ -111,7 +111,14 @@ func New() *Index {
 // the entry (positions continue from zero per call; use one call per id
 // for phrase correctness).
 func (ix *Index) Add(id uint64, text string) {
-	toks := Tokenize(text)
+	ix.AddTokens(id, Tokenize(text))
+}
+
+// AddTokens indexes pre-tokenized text under id.  Tokenization is the
+// CPU-bound half of Add; batch ingestion runs it in parse workers and
+// hands the tokens here so only the posting-list insert runs under the
+// index lock.
+func (ix *Index) AddTokens(id uint64, toks []Token) {
 	if len(toks) == 0 {
 		return
 	}

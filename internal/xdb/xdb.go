@@ -290,18 +290,20 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		if q.Content == "" {
 			return nil, fmt.Errorf("xdb: document scope requires content=")
 		}
-		docs, err := e.store.ContentSearchDocs(q.Content)
+		docs, err := e.store.ContentSearchDocsN(q.Content, q.Limit)
 		if err != nil {
 			return nil, err
 		}
 		r.Docs = docs
 	case q.ContextPrefix && q.Content == "":
-		secs, err := e.store.ContextPrefixSearch(q.Context)
+		secs, err := e.store.ContextPrefixSearchN(q.Context, q.Limit)
 		if err != nil {
 			return nil, err
 		}
 		r.Sections = secs
 	case q.ContextPrefix:
+		// The residual content filter runs here, so the prefix search
+		// itself cannot be capped; the filter loop stops at the limit.
 		secs, err := e.store.ContextPrefixSearch(q.Context)
 		if err != nil {
 			return nil, err
@@ -309,10 +311,13 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		for _, s := range secs {
 			if sectionMatchesContent(s, q) {
 				r.Sections = append(r.Sections, s)
+				if q.Limit > 0 && len(r.Sections) >= q.Limit {
+					break
+				}
 			}
 		}
 	case q.Phrase && q.Context == "":
-		secs, err := e.phraseSections(q.Content)
+		secs, err := e.phraseSections(q.Content, q.Limit)
 		if err != nil {
 			return nil, err
 		}
@@ -325,10 +330,13 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		for _, s := range secs {
 			if sectionMatchesContent(s, q) {
 				r.Sections = append(r.Sections, s)
+				if q.Limit > 0 && len(r.Sections) >= q.Limit {
+					break
+				}
 			}
 		}
 	default:
-		secs, err := e.store.Search(q.Context, q.Content)
+		secs, err := e.store.SearchN(q.Context, q.Content, q.Limit)
 		if err != nil {
 			return nil, err
 		}
@@ -424,8 +432,9 @@ func (e *Engine) executeXPath(q Query) ([]xmlstore.Section, error) {
 }
 
 // phraseSections runs a phrase query through the text index, then builds
-// sections via the traversal kernel.
-func (e *Engine) phraseSections(phrase string) ([]xmlstore.Section, error) {
+// sections via the traversal kernel, stopping at limit sections
+// (limit <= 0 means unlimited).
+func (e *Engine) phraseSections(phrase string, limit int) ([]xmlstore.Section, error) {
 	hits := e.store.ContentIndex().Phrase(phrase)
 	seen := make(map[ordbms.RowID]bool)
 	var out []xmlstore.Section
@@ -454,6 +463,9 @@ func (e *Engine) phraseSections(phrase string) ([]xmlstore.Section, error) {
 			return nil, err
 		}
 		out = append(out, sec)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"netmark/internal/docform"
 	"netmark/internal/ordbms"
 	"netmark/internal/sgml"
+	"netmark/internal/textindex"
 )
 
 // flatNode is the intermediate record the tree flattener emits before the
@@ -25,18 +26,29 @@ type flatNode struct {
 	rid                       ordbms.RowID
 }
 
-// StoreDocument decomposes a parsed document tree into the universal XML
-// table and records its metadata in DOC.  The classification config maps
-// element names to the five node classes; sgml.XMLConfig() is right for
-// upmarked documents.
-//
-// The insert is two-pass: pass one writes every node with null links and
-// collects the physical RowIDs the heap assigned; pass two patches the
-// parent/sibling/child link columns in place (links are fixed-width, so
-// rows never move and RowIDs stay valid).
-func (s *Store) StoreDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Config) (uint64, error) {
+// preparedDoc is a document that has been through the CPU-bound half of
+// ingestion — flattening, row construction, record encoding, text
+// tokenization — and is ready for its ordered write into the store.  The
+// batch pipeline builds preparedDocs in parallel workers; the single
+// writer goroutine consumes them.
+type preparedDoc struct {
+	meta  docform.Meta
+	docID uint64
+	flat  []flatNode
+	rows  []ordbms.Row // pass-1 rows (links zeroed)
+	recs  [][]byte     // pre-encoded pass-1 records
+	offs  [][]int      // per-record column payload offsets (for link patches)
+	toks  [][]textindex.Token
+}
+
+// prepareDocument runs every part of StoreDocument that does not touch
+// the tables: it picks the root element, flattens the tree, reserves the
+// node-ID block, builds and encodes the pass-1 rows, and pre-tokenizes
+// TEXT node data for the content index.  It is safe to call from many
+// goroutines concurrently; only the ID reservation takes a lock.
+func (s *Store) prepareDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Config, docID uint64) (*preparedDoc, error) {
 	if tree == nil {
-		return 0, fmt.Errorf("xmlstore: nil document tree")
+		return nil, fmt.Errorf("xmlstore: nil document tree")
 	}
 	if cfg == nil {
 		cfg = sgml.XMLConfig()
@@ -51,21 +63,28 @@ func (s *Store) StoreDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Conf
 			}
 		}
 		if root.Kind == sgml.DocumentNode {
-			return 0, fmt.Errorf("xmlstore: document %q has no root element", meta.FileName)
+			return nil, fmt.Errorf("xmlstore: document %q has no root element", meta.FileName)
 		}
 	}
 
-	s.mu.Lock()
-	docID := s.nextDocID
-	s.nextDocID++
-	s.mu.Unlock()
-
-	flat := s.flatten(root, cfg, docID)
+	flat := flattenTree(root, cfg)
 	if len(flat) == 0 {
-		return 0, fmt.Errorf("xmlstore: document %q flattened to no nodes", meta.FileName)
+		return nil, fmt.Errorf("xmlstore: document %q flattened to no nodes", meta.FileName)
+	}
+	base := s.reserveNodeIDs(len(flat))
+	for i := range flat {
+		flat[i].nodeID = base + uint64(i)
 	}
 
-	// Pass 1: insert with null links.
+	p := &preparedDoc{
+		meta:  meta,
+		docID: docID,
+		flat:  flat,
+		rows:  make([]ordbms.Row, len(flat)),
+		recs:  make([][]byte, len(flat)),
+		offs:  make([][]int, len(flat)),
+		toks:  make([][]textindex.Token, len(flat)),
+	}
 	for i := range flat {
 		fn := &flat[i]
 		row := ordbms.Row{
@@ -82,60 +101,133 @@ func (s *Store) StoreDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Conf
 			ordbms.B(ridToBytes(ordbms.ZeroRowID)),
 			ordbms.S(fn.attrs),
 		}
-		rid, err := s.xml.Insert(row)
-		if err != nil {
-			return 0, fmt.Errorf("xmlstore: insert node %d of %q: %w", fn.nodeID, meta.FileName, err)
-		}
-		fn.rid = rid
-	}
-
-	// Pass 2: patch physical links.
-	for i := range flat {
-		fn := &flat[i]
-		row, err := s.xml.Fetch(fn.rid)
-		if err != nil {
-			return 0, err
-		}
-		row[xmlColParentRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.parent)))
-		row[xmlColPrevRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.prev)))
-		row[xmlColNextRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.next)))
-		row[xmlColChildRowID] = ordbms.B(ridToBytes(linkRID(flat, fn.child)))
-		if err := s.xml.Update(fn.rid, row); err != nil {
-			return 0, fmt.Errorf("xmlstore: patch links of node %d: %w", fn.nodeID, err)
+		p.rows[i] = row
+		p.recs[i], p.offs[i] = ordbms.EncodeRowOffsets(row)
+		if fn.class == sgml.ClassText {
+			p.toks[i] = textindex.Tokenize(fn.data)
 		}
 	}
+	return p, nil
+}
 
-	// Derived indexes.
+// storePrepared performs the ordered write of a prepared document: the
+// two-pass insert into the XML table and the DOC row.  Pass two patches
+// the four 8-byte link payloads directly in the cached encodings and
+// updates the records in place, so the writer never re-reads or
+// re-encodes what pass one just wrote.
+func (s *Store) storePrepared(p *preparedDoc) error {
+	flat := p.flat
+
+	// Pass 1: insert with null links.
+	for i := range flat {
+		rid, err := s.xml.InsertPrepared(p.rows[i], p.recs[i])
+		if err != nil {
+			return fmt.Errorf("xmlstore: insert node %d of %q: %w", flat[i].nodeID, p.meta.FileName, err)
+		}
+		flat[i].rid = rid
+	}
+
+	// Pass 2: patch physical links byte-for-byte (fixed-width payloads,
+	// unindexed columns — the record layout cannot change).
 	for i := range flat {
 		fn := &flat[i]
-		switch fn.class {
-		case sgml.ClassText:
-			s.content.Add(fn.rid.Uint64(), fn.data)
-		case sgml.ClassContext:
-			s.addContextKey(fn.data, fn.rid)
+		rec, offs := p.recs[i], p.offs[i]
+		putRID(rec[offs[xmlColParentRowID]:], linkRID(flat, fn.parent))
+		putRID(rec[offs[xmlColPrevRowID]:], linkRID(flat, fn.prev))
+		putRID(rec[offs[xmlColNextRowID]:], linkRID(flat, fn.next))
+		putRID(rec[offs[xmlColChildRowID]:], linkRID(flat, fn.child))
+		if err := s.xml.UpdateInPlace(fn.rid, rec); err != nil {
+			return fmt.Errorf("xmlstore: patch links of node %d: %w", fn.nodeID, err)
 		}
 	}
 
 	// DOC row last: it carries the root RowID.
 	docRow := ordbms.Row{
-		ordbms.I(int64(docID)),
-		ordbms.S(meta.FileName),
+		ordbms.I(int64(p.docID)),
+		ordbms.S(p.meta.FileName),
 		ordbms.I(time.Now().Unix()),
-		ordbms.I(int64(meta.Size)),
-		ordbms.S(meta.Format),
-		ordbms.S(meta.Title),
+		ordbms.I(int64(p.meta.Size)),
+		ordbms.S(p.meta.Format),
+		ordbms.S(p.meta.Title),
 		ordbms.B(ridToBytes(flat[0].rid)),
 		ordbms.I(int64(len(flat))),
 	}
 	if _, err := s.doc.Insert(docRow); err != nil {
-		return 0, fmt.Errorf("xmlstore: insert DOC row for %q: %w", meta.FileName, err)
+		return fmt.Errorf("xmlstore: insert DOC row for %q: %w", p.meta.FileName, err)
 	}
 
 	s.statsMu.Lock()
 	s.docsIngested++
 	s.nodesInserted += uint64(len(flat))
 	s.statsMu.Unlock()
-	return docID, nil
+	return nil
+}
+
+// indexPrepared feeds a stored document's TEXT and CONTEXT nodes into
+// the derived indexes.  The indexes carry their own locks, so this stage
+// runs concurrently with the writer storing the next document.
+func (s *Store) indexPrepared(p *preparedDoc) {
+	for i := range p.flat {
+		fn := &p.flat[i]
+		switch fn.class {
+		case sgml.ClassText:
+			s.content.AddTokens(fn.rid.Uint64(), p.toks[i])
+		case sgml.ClassContext:
+			s.addContextKey(fn.data, fn.rid)
+		}
+	}
+}
+
+// putRID writes a RowID's 8-byte packed form into b — the single
+// definition of the link-column layout (ridToBytes and bytesToRID are
+// its inverses/wrappers).
+func putRID(b []byte, rid ordbms.RowID) {
+	v := rid.Uint64()
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// reserveDocIDs allocates a contiguous block of document IDs and returns
+// the first.  The batch pipeline reserves one block per batch up front so
+// document IDs always follow submission order.
+func (s *Store) reserveDocIDs(n int) uint64 {
+	s.mu.Lock()
+	base := s.nextDocID
+	s.nextDocID += uint64(n)
+	s.mu.Unlock()
+	return base
+}
+
+// reserveNodeIDs allocates a contiguous block of node IDs.
+func (s *Store) reserveNodeIDs(n int) uint64 {
+	s.mu.Lock()
+	base := s.nextNodeID
+	s.nextNodeID += uint64(n)
+	s.mu.Unlock()
+	return base
+}
+
+// StoreDocument decomposes a parsed document tree into the universal XML
+// table and records its metadata in DOC.  The classification config maps
+// element names to the five node classes; sgml.XMLConfig() is right for
+// upmarked documents.
+//
+// The insert is two-pass: pass one writes every node with null links and
+// collects the physical RowIDs the heap assigned; pass two patches the
+// parent/sibling/child link columns in place (links are fixed-width, so
+// rows never move and RowIDs stay valid).  StoreBatch runs the same
+// pipeline with the preparation fanned across workers.
+func (s *Store) StoreDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Config) (uint64, error) {
+	p, err := s.prepareDocument(meta, tree, cfg, s.reserveDocIDs(1))
+	if err != nil {
+		return 0, err
+	}
+	if err := s.storePrepared(p); err != nil {
+		return 0, err
+	}
+	s.indexPrepared(p)
+	return p.docID, nil
 }
 
 // StoreRaw converts raw file bytes (any supported format) and stores the
@@ -162,24 +254,20 @@ func linkRID(flat []flatNode, idx int) ordbms.RowID {
 	return flat[idx].rid
 }
 
-// flatten walks the tree in document order, assigning node IDs and
-// recording structural relationships as slice indexes.
-func (s *Store) flatten(root *sgml.Node, cfg *sgml.Config, docID uint64) []flatNode {
+// flattenTree walks the tree in document order, recording structural
+// relationships as slice indexes.  Node IDs are assigned afterwards from
+// a reserved block, so the walk itself takes no locks and can run in
+// parallel preparation workers.
+func flattenTree(root *sgml.Node, cfg *sgml.Config) []flatNode {
 	var flat []flatNode
 	var walk func(n *sgml.Node, parent int) int
 	walk = func(n *sgml.Node, parent int) int {
 		if n.Kind != sgml.ElementNode && n.Kind != sgml.TextNode {
 			return -1 // comments, PIs and doctypes are not stored
 		}
-		s.mu.Lock()
-		id := s.nextNodeID
-		s.nextNodeID++
-		s.mu.Unlock()
-
 		idx := len(flat)
 		class := cfg.Classify(n)
 		fn := flatNode{
-			nodeID: id,
 			class:  class,
 			parent: parent,
 			prev:   -1, next: -1, child: -1,

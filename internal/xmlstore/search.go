@@ -119,15 +119,28 @@ func (s *Store) subtreeText(n *Node) (string, error) {
 // ContextSearch returns the sections whose heading matches the query
 // (case- and whitespace-insensitive): the paper's Context=Introduction.
 func (s *Store) ContextSearch(heading string) ([]Section, error) {
+	return s.ContextSearchN(heading, 0)
+}
+
+// ContextSearchN is ContextSearch with a result cap pushed into the
+// traversal: section materialisation stops as soon as limit sections
+// exist (limit <= 0 means unlimited), so limit=50 over a huge corpus
+// touches 50 sections, not all of them.
+func (s *Store) ContextSearchN(heading string, limit int) ([]Section, error) {
 	key := normalizeContext(heading)
 	s.ctxMu.RLock()
 	rids := append([]ordbms.RowID(nil), s.contexts.Get(key)...)
 	s.ctxMu.RUnlock()
-	return s.sectionsForContexts(rids)
+	return s.sectionsForContexts(rids, limit)
 }
 
 // ContextPrefixSearch matches headings by prefix (Context=Tech*).
 func (s *Store) ContextPrefixSearch(prefix string) ([]Section, error) {
+	return s.ContextPrefixSearchN(prefix, 0)
+}
+
+// ContextPrefixSearchN is ContextPrefixSearch with the limit pushed down.
+func (s *Store) ContextPrefixSearchN(prefix string, limit int) ([]Section, error) {
 	key := normalizeContext(prefix)
 	var rids []ordbms.RowID
 	s.ctxMu.RLock()
@@ -138,36 +151,69 @@ func (s *Store) ContextPrefixSearch(prefix string) ([]Section, error) {
 			return true
 		})
 	s.ctxMu.RUnlock()
-	return s.sectionsForContexts(rids)
+	return s.sectionsForContexts(rids, limit)
 }
 
-func (s *Store) sectionsForContexts(rids []ordbms.RowID) ([]Section, error) {
+func (s *Store) sectionsForContexts(rids []ordbms.RowID, limit int) ([]Section, error) {
+	var out []Section
+	err := s.forEachContextSection(rids, func(sec Section) bool {
+		out = append(out, sec)
+		return limit <= 0 || len(out) < limit
+	})
+	return out, err
+}
+
+// forEachContextSection materialises sections for CONTEXT rowids in
+// physical order, one at a time, until fn returns false — the shared
+// lazy kernel beneath every limit-aware context plan.  It sorts rids in
+// place; callers pass a private copy (snapshotted under ctxMu).
+func (s *Store) forEachContextSection(rids []ordbms.RowID, fn func(Section) bool) error {
 	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
-	out := make([]Section, 0, len(rids))
 	for _, rid := range rids {
 		ctx, err := s.FetchNode(rid)
 		if err != nil {
 			if err == ordbms.ErrRecordDeleted {
 				continue
 			}
-			return nil, err
+			return err
 		}
 		sec, err := s.SectionOf(ctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, sec)
+		if !fn(sec) {
+			return nil
+		}
 	}
-	return out, nil
+	return nil
 }
 
 // ContentSearch returns the sections containing every term of the query:
 // the paper's Content=Shuttle.  Hits are grouped by their governing
 // context so each section appears once.
 func (s *Store) ContentSearch(query string) ([]Section, error) {
+	return s.ContentSearchN(query, 0)
+}
+
+// ContentSearchN is ContentSearch with the limit pushed into the
+// traversal kernel: the walk from text hits to governing contexts stops
+// once limit sections are materialised.
+func (s *Store) ContentSearchN(query string, limit int) ([]Section, error) {
+	var out []Section
+	err := s.forEachContentSection(query, func(sec Section) bool {
+		out = append(out, sec)
+		return limit <= 0 || len(out) < limit
+	})
+	return out, err
+}
+
+// forEachContentSection runs the §2.1.4 kernel — text-index probe, then
+// upward traversal to each hit's governing context — yielding each
+// distinct section as soon as it is materialised, until fn returns
+// false.
+func (s *Store) forEachContentSection(query string, fn func(Section) bool) error {
 	hits := s.content.And(query)
 	seenCtx := make(map[ordbms.RowID]bool)
-	var out []Section
 	for _, h := range hits {
 		rid := ordbms.RowIDFromUint64(h)
 		node, err := s.FetchNode(rid)
@@ -175,11 +221,11 @@ func (s *Store) ContentSearch(query string) ([]Section, error) {
 			if err == ordbms.ErrRecordDeleted {
 				continue
 			}
-			return nil, err
+			return err
 		}
 		ctx, err := s.ContextFor(node)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ctx == nil {
 			// No governing heading (raw XML): report the parent element's
@@ -190,9 +236,11 @@ func (s *Store) ContentSearch(query string) ([]Section, error) {
 			seenCtx[rid] = true
 			sec, err := s.fallbackSection(node)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out = append(out, sec)
+			if !fn(sec) {
+				return nil
+			}
 			continue
 		}
 		if seenCtx[ctx.RowID] {
@@ -201,11 +249,13 @@ func (s *Store) ContentSearch(query string) ([]Section, error) {
 		seenCtx[ctx.RowID] = true
 		sec, err := s.SectionOf(ctx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, sec)
+		if !fn(sec) {
+			return nil
+		}
 	}
-	return out, nil
+	return nil
 }
 
 // fallbackSection builds a section for a text hit with no heading.
@@ -234,6 +284,16 @@ func (s *Store) fallbackSection(n *Node) (Section, error) {
 // the paper's "a content query such as Content=Shuttle will return all
 // documents that contain the term 'Shuttle' anywhere in the document".
 func (s *Store) ContentSearchDocs(query string) ([]*DocInfo, error) {
+	return s.ContentSearchDocsN(query, 0)
+}
+
+// ContentSearchDocsN is ContentSearchDocs with the limit pushed down:
+// the hit scan stops after limit distinct documents.  Hits arrive in
+// physical RowID order — usually, but not necessarily, ingestion order
+// (page reuse after deletes can reorder) — so a capped query returns
+// *some* limit matching documents, sorted by DocID, not a guaranteed
+// lowest-DocID prefix.
+func (s *Store) ContentSearchDocsN(query string, limit int) ([]*DocInfo, error) {
 	hits := s.content.And(query)
 	seen := make(map[uint64]bool)
 	var out []*DocInfo
@@ -254,6 +314,9 @@ func (s *Store) ContentSearchDocs(query string) ([]*DocInfo, error) {
 			return nil, err
 		}
 		out = append(out, info)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].DocID < out[j].DocID })
 	return out, nil
@@ -270,20 +333,27 @@ func (s *Store) ContentSearchDocs(query string) ([]*DocInfo, error) {
 // filters by governing context.  Both plans produce identical results
 // (asserted by tests); the choice only affects cost.
 func (s *Store) Search(heading, query string) ([]Section, error) {
+	return s.SearchN(heading, query, 0)
+}
+
+// SearchN is Search with the limit pushed through whichever plan the
+// planner picks, so capped combined queries stop traversing as soon as
+// limit matching sections exist.
+func (s *Store) SearchN(heading, query string, limit int) ([]Section, error) {
 	switch {
 	case heading == "" && query == "":
 		return nil, nil
 	case heading == "":
-		return s.ContentSearch(query)
+		return s.ContentSearchN(query, limit)
 	case query == "":
-		return s.ContextSearch(heading)
+		return s.ContextSearchN(heading, limit)
 	}
 	ctxCount := s.ContextCount(heading)
 	contentCost := s.contentDF(query)
 	if ctxCount <= contentCost {
-		return s.searchDriveContext(heading, query)
+		return s.searchDriveContext(heading, query, limit)
 	}
-	return s.searchDriveContent(heading, query)
+	return s.searchDriveContent(heading, query, limit)
 }
 
 // contentDF estimates the driving cost of a content query as the smallest
@@ -302,35 +372,35 @@ func (s *Store) contentDF(query string) int {
 	return min
 }
 
-// searchDriveContext: context index drives, content verified per section.
-func (s *Store) searchDriveContext(heading, query string) ([]Section, error) {
-	secs, err := s.ContextSearch(heading)
-	if err != nil {
-		return nil, err
-	}
+// searchDriveContext: context index drives, content verified per
+// section; sections materialise lazily and stop at the limit.
+func (s *Store) searchDriveContext(heading, query string, limit int) ([]Section, error) {
+	key := normalizeContext(heading)
+	s.ctxMu.RLock()
+	rids := append([]ordbms.RowID(nil), s.contexts.Get(key)...)
+	s.ctxMu.RUnlock()
 	var out []Section
-	for _, sec := range secs {
+	err := s.forEachContextSection(rids, func(sec Section) bool {
 		if sectionContainsAll(sec, query) {
 			out = append(out, sec)
 		}
-	}
-	return out, nil
+		return limit <= 0 || len(out) < limit
+	})
+	return out, err
 }
 
-// searchDriveContent: text index drives, context filters.
-func (s *Store) searchDriveContent(heading, query string) ([]Section, error) {
-	secs, err := s.ContentSearch(query)
-	if err != nil {
-		return nil, err
-	}
+// searchDriveContent: text index drives, context filters; the hit walk
+// stops once limit sections pass the filter.
+func (s *Store) searchDriveContent(heading, query string, limit int) ([]Section, error) {
 	want := normalizeContext(heading)
 	var out []Section
-	for _, sec := range secs {
+	err := s.forEachContentSection(query, func(sec Section) bool {
 		if normalizeContext(sec.Context) == want {
 			out = append(out, sec)
 		}
-	}
-	return out, nil
+		return limit <= 0 || len(out) < limit
+	})
+	return out, err
 }
 
 // sectionContainsAll reports whether every query term occurs in the

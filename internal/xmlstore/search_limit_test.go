@@ -1,0 +1,112 @@
+package xmlstore
+
+import (
+	"testing"
+
+	"netmark/internal/corpus"
+)
+
+// loadProposals fills a store with n generated proposals, each carrying
+// the standard headings (Title, Budget, ...).
+func loadProposals(t *testing.T, n int) *Store {
+	t.Helper()
+	s := memStore(t)
+	gen := corpus.New(int64(n))
+	for _, d := range gen.Proposals(n) {
+		if _, err := s.StoreRaw(d.Name, d.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestContextSearchNLimit(t *testing.T) {
+	s := loadProposals(t, 30)
+	full, err := s.ContextSearchN("Budget", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 30 {
+		t.Fatalf("unlimited = %d sections", len(full))
+	}
+	capped, err := s.ContextSearchN("Budget", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 7 {
+		t.Fatalf("limit 7 returned %d", len(capped))
+	}
+	// The capped results are a prefix of the full physical-order results.
+	for i := range capped {
+		if capped[i].ContextRID != full[i].ContextRID {
+			t.Fatalf("capped[%d] diverges from full ordering", i)
+		}
+	}
+}
+
+func TestContentSearchNLimit(t *testing.T) {
+	s := loadProposals(t, 30)
+	full, err := s.ContentSearchN("budget", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 10 {
+		t.Fatalf("corpus too small for the test: %d hits", len(full))
+	}
+	capped, err := s.ContentSearchN("budget", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 5 {
+		t.Fatalf("limit 5 returned %d", len(capped))
+	}
+}
+
+func TestSearchNLimitBothPlans(t *testing.T) {
+	s := loadProposals(t, 30)
+	// Planner-chosen plan, capped, must agree with the uncapped prefix.
+	full, err := s.SearchN("Budget", "request", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 4 {
+		t.Fatalf("corpus too small: %d combined hits", len(full))
+	}
+	capped, err := s.SearchN("Budget", "request", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 3 {
+		t.Fatalf("limit 3 returned %d", len(capped))
+	}
+	// Both explicit plans must respect the cap too.
+	a, err := s.searchDriveContext("Budget", "request", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.searchDriveContent("Budget", "request", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("plan caps: ctx=%d content=%d", len(a), len(b))
+	}
+}
+
+func TestContentSearchDocsNLimit(t *testing.T) {
+	s := loadProposals(t, 20)
+	full, err := s.ContentSearchDocsN("budget", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 20 {
+		t.Fatalf("unlimited docs = %d", len(full))
+	}
+	capped, err := s.ContentSearchDocsN("budget", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 4 {
+		t.Fatalf("limit 4 returned %d docs", len(capped))
+	}
+}

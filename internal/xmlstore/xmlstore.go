@@ -310,11 +310,8 @@ func rowToDoc(rid ordbms.RowID, row ordbms.Row) *DocInfo {
 }
 
 func ridToBytes(rid ordbms.RowID) []byte {
-	v := rid.Uint64()
 	b := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
+	putRID(b, rid)
 	return b
 }
 

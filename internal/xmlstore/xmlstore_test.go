@@ -259,11 +259,11 @@ func TestCombinedSearchBothPlansAgree(t *testing.T) {
 	<h2>Technology Gap</h2><p>No relevant verb here.</p>
 	<h2>Schedule</h2><p>The shrinking schedule.</p></body></html>`)
 
-	fromCtx, err := s.searchDriveContext("Technology Gap", "shrinking")
+	fromCtx, err := s.searchDriveContext("Technology Gap", "shrinking", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromContent, err := s.searchDriveContent("Technology Gap", "shrinking")
+	fromContent, err := s.searchDriveContent("Technology Gap", "shrinking", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

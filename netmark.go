@@ -19,8 +19,12 @@
 //	res, _ := nm.Query("context=Budget&content=propulsion")
 //	for _, sec := range res.Sections { fmt.Println(sec.Context, sec.Content) }
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper's tables and figures reproduced by the benchmark harness.
+// Bulk loads go through the concurrent batch pipeline instead:
+//
+//	results := nm.IngestBatch([]netmark.Doc{{Name: "a.html", Data: a}, ...})
+//
+// See README.md for the system inventory, the experiment harness
+// (cmd/nmbench and the root benchmarks), and operational notes.
 package netmark
 
 import (
@@ -49,6 +53,12 @@ type Result = xdb.Result
 
 // ParseQuery parses the URL form ("context=Budget&content=engine").
 func ParseQuery(raw string) (Query, error) { return xdb.Parse(raw) }
+
+// Doc is one raw input document for IngestBatch.
+type Doc = core.Doc
+
+// IngestResult reports one batch document's outcome, in input order.
+type IngestResult = core.IngestResult
 
 // Section is one context/content search hit.
 type Section = xmlstore.Section
