@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench
+.PHONY: check fmt vet test race bench bench-smoke
 
-# check is the CI gate: formatting, vet, and the full suite under -race.
-check: fmt vet race
+# check is the CI gate: formatting, vet, the full suite under -race, and
+# one pass of the concurrent-serving benchmark as a smoke test.
+check: fmt vet race bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -20,3 +21,9 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# bench-smoke runs each BenchmarkServeParallel case once: it proves the
+# serving path, the cache, and the mixed hot/cold/invalidating workload
+# still execute, without the cost of a timed benchmark run.
+bench-smoke:
+	$(GO) test -run xxx -bench BenchmarkServeParallel -benchtime 1x .

@@ -8,8 +8,11 @@ package netmark_test
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"netmark"
@@ -20,6 +23,7 @@ import (
 	"netmark/internal/experiments"
 	"netmark/internal/ordbms"
 	"netmark/internal/shred"
+	"netmark/internal/webdav"
 	"netmark/internal/xdb"
 	"netmark/internal/xmlstore"
 )
@@ -447,6 +451,94 @@ func BenchmarkCombinedQueryPlans(b *testing.B) {
 			if _, err := s.Search("Budget", "request"); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkServeParallel measures the concurrent read-serving subsystem:
+// parallel HTTP queries through the hardened handler, with and without
+// the invalidation-aware result cache, plus a mixed workload where hot
+// repeats, cold one-off queries, and invalidating writes interleave —
+// the traffic shape of the ROADMAP's heavy-read north star.  The hot
+// cached/uncached pair is the headline: repeated queries served from the
+// cache versus re-executed every time.
+func BenchmarkServeParallel(b *testing.B) {
+	const docs = 300
+	newServer := func(b *testing.B, cacheBytes int64) (http.Handler, *xdb.Engine) {
+		b.Helper()
+		store := loadedStore(b, docs, 42)
+		e := xdb.NewEngine(store)
+		if cacheBytes > 0 {
+			e.EnableCache(cacheBytes)
+		}
+		srv, err := webdav.NewServer(e, nil, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv.Handler(), e
+	}
+	// hit runs inside RunParallel workers: Errorf (goroutine-safe), not
+	// Fatalf (FailNow must run on the benchmark goroutine).
+	hit := func(b *testing.B, h http.Handler, path string) {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Errorf("GET %s = %d: %s", path, rec.Code, rec.Body)
+		}
+	}
+
+	const hotQuery = "/xdb?context=Budget"
+	for _, cfg := range []struct {
+		name       string
+		cacheBytes int64
+	}{
+		{"hot/uncached", 0},
+		{"hot/cached", 64 << 20},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			h, _ := newServer(b, cfg.cacheBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					hit(b, h, hotQuery)
+				}
+			})
+		})
+	}
+
+	// Mixed traffic: mostly the hot query, a slice of distinct cold
+	// queries, and occasional writes that invalidate the whole cache.
+	b.Run("mixed/cached", func(b *testing.B) {
+		h, e := newServer(b, 64<<20)
+		var seq atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				n := seq.Add(1)
+				switch {
+				case n%100 == 0: // invalidating write
+					name := fmt.Sprintf("inv%d.html", n)
+					doc := `<html><head><title>I</title></head><body><h1>Budget</h1><p>invalidator</p></body></html>`
+					if _, err := e.Store().StoreRaw(name, []byte(doc)); err != nil {
+						b.Error(err)
+						return
+					}
+				case n%10 == 0: // cold query, distinct key
+					hit(b, h, fmt.Sprintf("/xdb?context=Budget&content=funding&limit=%d", 200+n%97))
+				default:
+					hit(b, h, hotQuery)
+				}
+			}
+		})
+		b.StopTimer()
+		// The same counters are what GET /stats surfaces in production.
+		if st, ok := e.CacheStats(); ok {
+			b.ReportMetric(float64(st.Hits), "hits")
+			b.ReportMetric(float64(st.Misses), "misses")
+			b.ReportMetric(float64(st.Evictions), "evictions")
 		}
 	})
 }

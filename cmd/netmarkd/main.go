@@ -33,13 +33,17 @@ func main() {
 	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
 	drop := flag.String("drop", "", "drop folder watched by the ingestion daemon")
 	poll := flag.Duration("poll", time.Second, "drop folder poll interval")
+	cacheBytes := flag.Int64("cache-bytes", 0,
+		"query result cache cap in bytes (0 = default 64 MiB, negative = disabled)")
 	var banks stringList
 	flag.Var(&banks, "bank", "databank spec JSON file (repeatable)")
 	var sheets stringList
 	flag.Var(&sheets, "stylesheet", "name=file stylesheet registration (repeatable)")
 	flag.Parse()
 
-	nm, err := netmark.Open(netmark.Config{Dir: *dir, DropDir: *drop, PollInterval: *poll})
+	nm, err := netmark.Open(netmark.Config{
+		Dir: *dir, DropDir: *drop, PollInterval: *poll, CacheBytes: *cacheBytes,
+	})
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}

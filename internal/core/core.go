@@ -43,7 +43,16 @@ type Config struct {
 	// covers (default DefaultIngestBatch).  Larger batches amortise the
 	// fsync further at the cost of more work buffered between commits.
 	IngestBatchSize int
+	// CacheBytes caps the invalidation-aware query result cache
+	// (0 = DefaultCacheBytes, negative = disabled).  The cache keys on
+	// the store's mutation generation, so results never outlive the data
+	// they were computed from; tune it to the working set of hot queries.
+	CacheBytes int64
 }
+
+// DefaultCacheBytes is the query result cache cap used when Config
+// leaves CacheBytes zero.
+const DefaultCacheBytes int64 = 64 << 20
 
 // DefaultIngestBatch is the batch size used when Config leaves
 // IngestBatchSize zero.
@@ -77,6 +86,13 @@ func Open(cfg Config) (*Netmark, error) {
 		store:  store,
 		engine: xdb.NewEngine(store),
 		banks:  databank.NewRegistry(),
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	if cacheBytes > 0 {
+		n.engine.EnableCache(cacheBytes)
 	}
 	if cfg.DropDir != "" {
 		d, err := daemon.New(cfg.DropDir, store, cfg.PollInterval)

@@ -154,3 +154,49 @@ func TestServeLifecycle(t *testing.T) {
 		t.Fatal("serve did not stop on cancel")
 	}
 }
+
+func TestCacheBytesConfig(t *testing.T) {
+	// Default: cache on at DefaultCacheBytes.
+	nm, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm.Close()
+	st, ok := nm.Engine().CacheStats()
+	if !ok || st.Capacity != DefaultCacheBytes {
+		t.Fatalf("default cache = ok:%v %+v", ok, st)
+	}
+	// Explicit cap.
+	nm2, err := Open(Config{CacheBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm2.Close()
+	if st, ok := nm2.Engine().CacheStats(); !ok || st.Capacity != 1<<16 {
+		t.Fatalf("explicit cache = ok:%v %+v", ok, st)
+	}
+	// Negative disables.
+	nm3, err := Open(Config{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm3.Close()
+	if _, ok := nm3.Engine().CacheStats(); ok {
+		t.Fatal("negative CacheBytes left the cache enabled")
+	}
+	// Cached queries stay correct across mutations through the facade.
+	if _, err := nm.Ingest("a.html", []byte(`<html><head><title>A</title></head><body><h1>K</h1><p>one</p></body></html>`)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := nm.Query("context=K")
+	if err != nil || len(r.Sections) != 1 {
+		t.Fatalf("query 1: %v %d", err, r.Len())
+	}
+	if _, err := nm.Ingest("b.html", []byte(`<html><head><title>B</title></head><body><h1>K</h1><p>two</p></body></html>`)); err != nil {
+		t.Fatal(err)
+	}
+	r, err = nm.Query("context=K")
+	if err != nil || len(r.Sections) != 2 {
+		t.Fatalf("query 2 after ingest: %v %d (stale cache?)", err, r.Len())
+	}
+}

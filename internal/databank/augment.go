@@ -97,7 +97,9 @@ func (p Plan) ApplyResidual(q xdb.Query, secs []xmlstore.Section) []xmlstore.Sec
 	if !p.HasResidual() {
 		return secs
 	}
-	out := secs[:0]
+	// Filter into a fresh slice: secs may be a cached engine result shared
+	// with concurrent queries, so compacting it in place would corrupt it.
+	out := make([]xmlstore.Section, 0, len(secs))
 	for _, s := range secs {
 		if p.ResidualContext && !xdb.SectionMatchesContext(s, q) {
 			continue

@@ -1,6 +1,8 @@
 package sgml
 
 import (
+	"bufio"
+	"io"
 	"strings"
 )
 
@@ -20,7 +22,33 @@ func SerializeIndent(n *Node) string {
 	return sb.String()
 }
 
-func serialize(sb *strings.Builder, n *Node, indent bool, depth int) {
+// Write streams the subtree to w as compact XML without materialising the
+// whole document in memory first.
+func Write(w io.Writer, n *Node) error { return writeStream(w, n, false) }
+
+// WriteIndent streams the subtree to w with two-space indentation — the
+// serving layer's path for result and document responses.
+func WriteIndent(w io.Writer, n *Node) error { return writeStream(w, n, true) }
+
+func writeStream(w io.Writer, n *Node, indent bool) error {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriter(w)
+	}
+	serialize(bw, n, indent, 0)
+	return bw.Flush()
+}
+
+// serialWriter is the sink serialize renders into: both strings.Builder
+// and bufio.Writer satisfy it, so the string and streaming forms share
+// one renderer.  bufio.Writer latches the first underlying error and
+// reports it from Flush.
+type serialWriter interface {
+	WriteString(s string) (int, error)
+	WriteByte(c byte) error
+}
+
+func serialize(sb serialWriter, n *Node, indent bool, depth int) {
 	pad := func() {
 		if indent {
 			for i := 0; i < depth; i++ {

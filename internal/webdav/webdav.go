@@ -9,18 +9,26 @@
 //
 //	GET  /xdb?context=...&content=...&xslt=...   query the local store
 //	GET  /capabilities                           capability discovery
+//	GET  /stats                                  WAL/pool/cache counters
 //	GET  /bank/{name}?...                        databank fan-out query
 //	GET  /docs                                   list stored documents
 //	GET  /doc/{id}                               reconstructed document
 //	     /dav/...                                WebDAV: OPTIONS, GET,
 //	                                             PUT, DELETE, MKCOL,
 //	                                             PROPFIND (depth 0/1)
+//
+// The server is hardened for concurrent production traffic: per-endpoint
+// method enforcement, read/write/idle timeouts, streamed (not
+// string-buffered) XML responses, and graceful drain on shutdown so
+// in-flight queries complete instead of being dropped.
 package webdav
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path"
@@ -28,10 +36,21 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"netmark/internal/databank"
 	"netmark/internal/sgml"
 	"netmark/internal/xdb"
+	"netmark/internal/xmlstore"
+)
+
+// Default timeouts for the hardened http.Server.  Zero-valued Server
+// fields fall back to these.
+const (
+	DefaultReadTimeout   = 30 * time.Second
+	DefaultWriteTimeout  = 60 * time.Second
+	DefaultIdleTimeout   = 2 * time.Minute
+	DefaultShutdownGrace = 15 * time.Second
 )
 
 // Server is the NETMARK HTTP server.
@@ -40,6 +59,15 @@ type Server struct {
 	banks  *databank.Registry
 	davDir string
 	mux    *http.ServeMux
+
+	// ReadTimeout/WriteTimeout/IdleTimeout harden the listener against
+	// slow or stalled clients; ShutdownGrace bounds how long Serve waits
+	// for in-flight requests to drain after its context is cancelled.
+	// Set before Serve; zero values use the Default* constants.
+	ReadTimeout   time.Duration
+	WriteTimeout  time.Duration
+	IdleTimeout   time.Duration
+	ShutdownGrace time.Duration
 }
 
 // NewServer builds a server.  davDir is the drop-folder root exposed over
@@ -53,6 +81,7 @@ func NewServer(engine *xdb.Engine, banks *databank.Registry, davDir string) (*Se
 	}
 	s.mux.HandleFunc("/xdb", s.handleXDB)
 	s.mux.HandleFunc("/capabilities", s.handleCapabilities)
+	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/bank/", s.handleBank)
 	s.mux.HandleFunc("/docs", s.handleDocs)
 	s.mux.HandleFunc("/doc/", s.handleDoc)
@@ -66,9 +95,34 @@ func NewServer(engine *xdb.Engine, banks *databank.Registry, davDir string) (*Se
 // Handler returns the http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Handle registers an extension endpoint on the server's mux (embedders
+// add health checks, debug hooks, and the like).  Register before Serve.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// allowOnly enforces an endpoint's method set, answering 405 with an
+// Allow header otherwise.  HEAD rides along wherever GET is allowed
+// (net/http discards the body), so probes and health checks keep
+// working.
+func allowOnly(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m || (r.Method == http.MethodHead && m == http.MethodGet) {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}
+
+// writeXML streams a tree to the client instead of materialising the
+// serialized document in memory first.
+func writeXML(w http.ResponseWriter, n *sgml.Node) {
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	sgml.WriteIndent(w, n)
+}
+
 func (s *Server) handleXDB(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodGet) {
 		return
 	}
 	q, err := xdb.Parse(r.URL.RawQuery)
@@ -76,27 +130,106 @@ func (s *Server) handleXDB(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.engine.Execute(q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
+	// ExecuteInto streams uncached results and writes the memoized body
+	// for cache hits; execution errors surface before any bytes go out,
+	// so a 500 is only valid while the response is still unwritten (an
+	// error after the first byte means the client went away mid-stream).
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	if res.Transformed != nil {
-		io.WriteString(w, sgml.SerializeIndent(res.Transformed))
-		return
+	cw := &countingWriter{w: w}
+	if err := s.engine.ExecuteInto(q, cw); err != nil && cw.n == 0 {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-	io.WriteString(w, sgml.SerializeIndent(res.XML()))
+}
+
+// countingWriter tracks whether any response bytes have gone out.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, databank.Full.String())
 }
 
+// Stats is the /stats payload: storage, WAL, buffer-pool, and query-cache
+// counters in one snapshot, so operators can watch cache efficiency and
+// commit behaviour under live traffic.
+type Stats struct {
+	Documents  int64  `json:"documents"`
+	Nodes      int64  `json:"nodes"`
+	Generation uint64 `json:"generation"`
+
+	DocsIngested  uint64 `json:"docs_ingested"`
+	NodesInserted uint64 `json:"nodes_inserted"`
+
+	WAL struct {
+		Appends uint64 `json:"appends"`
+		Syncs   uint64 `json:"syncs"`
+	} `json:"wal"`
+
+	Pool struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+	} `json:"pool"`
+
+	Cache struct {
+		Enabled   bool   `json:"enabled"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Coalesced uint64 `json:"coalesced"`
+		Evictions uint64 `json:"evictions"`
+		Entries   int    `json:"entries"`
+		Bytes     int64  `json:"bytes"`
+		Capacity  int64  `json:"capacity"`
+	} `json:"cache"`
+}
+
+// Snapshot gathers the current counters.
+func (s *Server) Snapshot() Stats {
+	store := s.engine.Store()
+	var st Stats
+	st.Documents = store.NumDocuments()
+	st.Nodes = store.NumNodes()
+	st.Generation = store.Generation()
+	st.DocsIngested, st.NodesInserted = store.Stats()
+	st.WAL.Appends, st.WAL.Syncs = store.DB().WALStats()
+	st.Pool.Hits, st.Pool.Misses, st.Pool.Evictions = store.DB().Pool().Stats()
+	if cs, ok := s.engine.CacheStats(); ok {
+		st.Cache.Enabled = true
+		st.Cache.Hits = cs.Hits
+		st.Cache.Misses = cs.Misses
+		st.Cache.Coalesced = cs.Coalesced
+		st.Cache.Evictions = cs.Evictions
+		st.Cache.Entries = cs.Entries
+		st.Cache.Bytes = cs.Bytes
+		st.Cache.Capacity = cs.Capacity
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
 func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allowOnly(w, r, http.MethodGet) {
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/bank/")
@@ -119,8 +252,7 @@ func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	io.WriteString(w, sgml.SerializeIndent(MergedXML(m)))
+	writeXML(w, MergedXML(m))
 }
 
 // MergedXML renders a databank result with per-source attribution.
@@ -164,6 +296,9 @@ func MergedXML(m *databank.Merged) *sgml.Node {
 }
 
 func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
 	docs, err := s.engine.Store().Documents()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -181,8 +316,7 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 		el.SetAttr("nodes", strconv.FormatInt(d.NNodes, 10))
 		root.AppendChild(el)
 	}
-	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	io.WriteString(w, sgml.SerializeIndent(root))
+	writeXML(w, root)
 }
 
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
@@ -193,23 +327,41 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch r.Method {
-	case http.MethodGet:
+	case http.MethodGet, http.MethodHead:
 		tree, err := s.engine.Store().Reconstruct(id)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			http.Error(w, err.Error(), docErrStatus(err))
 			return
 		}
-		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-		io.WriteString(w, sgml.SerializeIndent(tree))
+		writeXML(w, tree)
 	case http.MethodDelete:
 		if err := s.engine.Store().DeleteDocument(id); err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			// 404 only when the document is genuinely gone; an I/O error
+			// mid-delete leaves it half-removed and must read as a server
+			// failure, not a missing resource.
+			http.Error(w, err.Error(), docErrStatus(err))
+			return
+		}
+		// Make the delete durable before acknowledging it: a crash after
+		// the 204 must not resurrect the document on WAL replay.
+		if err := s.engine.Store().DB().Commit(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
+		w.Header().Set("Allow", "GET, DELETE")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// docErrStatus maps a store error to the right status for /doc/{id}:
+// vanished documents are 404, anything else (I/O, corruption) is 500.
+func docErrStatus(err error) int {
+	if xmlstore.IsGone(err) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
 }
 
 // handleStylesheet lets clients register result-composition stylesheets
@@ -241,6 +393,7 @@ func (s *Server) handleStylesheet(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "registered")
 	default:
+		w.Header().Set("Allow", "GET, PUT, POST")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
 }
@@ -266,13 +419,26 @@ func (s *Server) handleDAV(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("DAV", "1")
 		w.Header().Set("Allow", "OPTIONS, GET, PUT, DELETE, MKCOL, PROPFIND")
 		w.WriteHeader(http.StatusOK)
-	case http.MethodGet:
-		b, err := os.ReadFile(fsPath)
+	case http.MethodGet, http.MethodHead:
+		// Stream from disk: drop-folder files can be hundreds of MB and
+		// must not be buffered whole per request.  ServeContent handles
+		// ranges, HEAD, and conditional requests.
+		f, err := os.Open(fsPath)
 		if err != nil {
 			http.Error(w, "not found", http.StatusNotFound)
 			return
 		}
-		w.Write(b)
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil || st.IsDir() {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		// The server-wide WriteTimeout is sized for API responses; a large
+		// file on a slow link legitimately outlives it.  Lift the write
+		// deadline for this download only.
+		http.NewResponseController(w).SetWriteDeadline(time.Time{})
+		http.ServeContent(w, r, st.Name(), st.ModTime(), f)
 	case http.MethodPut:
 		body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
 		if err != nil {
@@ -371,17 +537,55 @@ func (s *Server) handlePropfind(w http.ResponseWriter, r *http.Request, fsPath s
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	w.WriteHeader(207) // Multi-Status
 	io.WriteString(w, `<?xml version="1.0" encoding="utf-8"?>`+"\n")
-	io.WriteString(w, sgml.SerializeIndent(ms))
+	sgml.WriteIndent(w, ms)
 }
 
-// Serve runs the server until ctx is cancelled.
+func orDefault(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}
+
+// Serve listens on addr and runs the hardened server until ctx is
+// cancelled, then drains gracefully: in-flight requests get up to
+// ShutdownGrace to complete before connections are forced closed.
+// Returns nil after a clean drain.
 func (s *Server) Serve(ctx context.Context, addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s.mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ctx, ln)
+}
+
+// ServeListener is Serve over an existing listener (tests and embedders
+// that need the bound address before traffic starts).  The listener is
+// closed when ServeListener returns.
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadTimeout:       orDefault(s.ReadTimeout, DefaultReadTimeout),
+		ReadHeaderTimeout: orDefault(s.ReadTimeout, DefaultReadTimeout),
+		WriteTimeout:      orDefault(s.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       orDefault(s.IdleTimeout, DefaultIdleTimeout),
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		return srv.Close()
+		grace := orDefault(s.ShutdownGrace, DefaultShutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		if err != nil {
+			// Grace expired with handlers still running: force-close the
+			// stragglers so callers can safely tear the store down after
+			// Serve returns.
+			srv.Close()
+		}
+		<-errc // reap the serve goroutine (returns http.ErrServerClosed)
+		return err
 	case err := <-errc:
 		return err
 	}

@@ -1,0 +1,268 @@
+package xdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func cachedEngine(t testing.TB, capacity int64) *Engine {
+	t.Helper()
+	e := engine(t)
+	e.EnableCache(capacity)
+	return e
+}
+
+func mustExecute(t testing.TB, e *Engine, raw string) *Result {
+	t.Helper()
+	r, err := e.ExecuteString(raw)
+	if err != nil {
+		t.Fatalf("execute %q: %v", raw, err)
+	}
+	return r
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	load(t, e, "one.html", doc1)
+
+	r1 := mustExecute(t, e, "context=Introduction")
+	r2 := mustExecute(t, e, "context=Introduction")
+	if len(r1.Sections) != 1 || len(r2.Sections) != 1 {
+		t.Fatalf("sections = %d / %d, want 1", len(r1.Sections), len(r2.Sections))
+	}
+	if r1 != r2 {
+		t.Fatal("repeated query did not return the cached result")
+	}
+	st, ok := e.CacheStats()
+	if !ok {
+		t.Fatal("cache reported disabled")
+	}
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v, want 1 sized entry", st)
+	}
+}
+
+func TestCacheInvalidatedByIngest(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	load(t, e, "one.html", doc1)
+
+	if got := mustExecute(t, e, "context=Introduction"); len(got.Sections) != 1 {
+		t.Fatalf("pre-ingest sections = %d", len(got.Sections))
+	}
+	load(t, e, "two.html", doc2) // bumps the store generation
+
+	got := mustExecute(t, e, "context=Introduction")
+	if len(got.Sections) != 2 {
+		t.Fatalf("post-ingest sections = %d, want 2 (stale cache served?)", len(got.Sections))
+	}
+	st, _ := e.CacheStats()
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (ingest must invalidate)", st.Misses)
+	}
+}
+
+func TestCacheInvalidatedByDelete(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	load(t, e, "one.html", doc1)
+	load(t, e, "two.html", doc2)
+
+	if got := mustExecute(t, e, "context=Introduction"); len(got.Sections) != 2 {
+		t.Fatalf("pre-delete sections = %d", len(got.Sections))
+	}
+	info, err := e.Store().DocumentByName("two.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store().DeleteDocument(info.DocID); err != nil {
+		t.Fatal(err)
+	}
+	got := mustExecute(t, e, "context=Introduction")
+	if len(got.Sections) != 1 {
+		t.Fatalf("post-delete sections = %d, want 1 (stale cache served?)", len(got.Sections))
+	}
+}
+
+func TestCacheInvalidatedByStylesheetReregistration(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	load(t, e, "one.html", doc1)
+	sheet := func(tag string) string {
+		return `<xsl:stylesheet><xsl:template match="/"><` + tag +
+			`><xsl:value-of select="count(//result)"/></` + tag + `></xsl:template></xsl:stylesheet>`
+	}
+	if err := e.RegisterStylesheet("s", sheet("first")); err != nil {
+		t.Fatal(err)
+	}
+	r := mustExecute(t, e, "context=Introduction&xslt=s")
+	if r.Transformed == nil || r.Transformed.Find("first") == nil {
+		t.Fatalf("first transform missing: %+v", r.Transformed)
+	}
+	if err := e.RegisterStylesheet("s", sheet("second")); err != nil {
+		t.Fatal(err)
+	}
+	r = mustExecute(t, e, "context=Introduction&xslt=s")
+	if r.Transformed == nil || r.Transformed.Find("second") == nil {
+		t.Fatal("re-registered stylesheet served a stale cached transform")
+	}
+}
+
+func TestCacheEvictionRespectsByteCap(t *testing.T) {
+	e := cachedEngine(t, 600) // fits only a couple of results
+	load(t, e, "one.html", doc1)
+	load(t, e, "two.html", doc2)
+
+	queries := []string{
+		"context=Introduction",
+		"content=shuttle",
+		"content=engine",
+		"context=Findings",
+		"context=Technology+Gap",
+	}
+	for _, q := range queries {
+		mustExecute(t, e, q)
+	}
+	st, _ := e.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 600-byte cap: %+v", st)
+	}
+	if st.Bytes > st.Capacity {
+		t.Fatalf("cache holds %d bytes over its %d cap", st.Bytes, st.Capacity)
+	}
+	// Evicted entries must re-execute, not vanish.
+	if got := mustExecute(t, e, "context=Introduction"); len(got.Sections) != 2 {
+		t.Fatalf("post-eviction sections = %d", len(got.Sections))
+	}
+}
+
+func TestCacheOversizedResultNotCached(t *testing.T) {
+	e := cachedEngine(t, 16) // smaller than any result
+	load(t, e, "one.html", doc1)
+	mustExecute(t, e, "context=Introduction")
+	mustExecute(t, e, "context=Introduction")
+	st, _ := e.CacheStats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized result was cached: %+v", st)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
+	}
+}
+
+func TestCacheSingleflightCollapsesDuplicates(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	load(t, e, "one.html", doc1)
+	load(t, e, "two.html", doc2)
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := e.ExecuteString("context=Introduction")
+			if err == nil && len(r.Sections) != 2 {
+				err = fmt.Errorf("sections = %d", len(r.Sections))
+			}
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, _ := e.CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (duplicates must collapse)", st.Misses)
+	}
+	if st.Hits+st.Coalesced != goroutines-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", st.Hits, st.Coalesced, goroutines-1)
+	}
+}
+
+// TestConcurrentStylesheetRegistrationDuringQueries exercises the
+// Engine.sheets race under -race: registrations land while styled and
+// plain queries execute.
+func TestConcurrentStylesheetRegistrationDuringQueries(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	load(t, e, "one.html", doc1)
+	const sheet = `<xsl:stylesheet><xsl:template match="/">
+<summary><xsl:for-each select="//result"><s><xsl:value-of select="content"/></s></xsl:for-each></summary>
+</xsl:template></xsl:stylesheet>`
+	if err := e.RegisterStylesheet("hot", sheet); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				name := fmt.Sprintf("sheet-%d-%d", i, j)
+				if err := e.RegisterStylesheet(name, sheet); err != nil {
+					errs <- err
+					return
+				}
+				// Overwrite the shared hot sheet too.
+				if err := e.RegisterStylesheet("hot", sheet); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				if _, err := e.ExecuteString("context=Introduction&xslt=hot"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.ExecuteString("content=shuttle"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerationBumpsAfterIndexing: by the time an ingest returns, the
+// store generation must be past any value a query could have snapshotted
+// while the derived indexes were still missing the document — otherwise
+// the cache pins an index-incomplete result under the final key.
+func TestGenerationBumpsAfterIndexing(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	gen0 := e.Store().Generation()
+	load(t, e, "one.html", doc1)
+	if gen := e.Store().Generation(); gen <= gen0 {
+		t.Fatalf("generation %d not bumped by ingest (was %d)", gen, gen0)
+	}
+	// A query right after ingest must see the document and be cached
+	// under the post-indexing generation.
+	if got := mustExecute(t, e, "context=Introduction"); len(got.Sections) != 1 {
+		t.Fatalf("sections = %d", len(got.Sections))
+	}
+	if got := mustExecute(t, e, "context=Introduction"); len(got.Sections) != 1 {
+		t.Fatalf("cached sections = %d", len(got.Sections))
+	}
+	st, _ := e.CacheStats()
+	if st.Hits != 1 {
+		t.Fatalf("post-ingest repeat was not a cache hit: %+v", st)
+	}
+}

@@ -15,10 +15,14 @@
 package xdb
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"netmark/internal/ordbms"
 	"netmark/internal/sgml"
@@ -241,8 +245,21 @@ func ParseResultXML(src string) (*Result, error) {
 
 // Engine executes XDB queries against a local XML store.
 type Engine struct {
-	store  *xmlstore.Store
-	sheets map[string]*xslt.Stylesheet
+	store *xmlstore.Store
+
+	// sheetMu guards sheets: PUT /xslt/{name} registers stylesheets while
+	// concurrent queries resolve them.
+	sheetMu sync.RWMutex
+	sheets  map[string]*xslt.Stylesheet
+	// sheetGen counts stylesheet registrations.  Cached results of styled
+	// queries key on it, so re-registering a sheet invalidates them the
+	// same way a store mutation invalidates plain results.
+	sheetGen atomic.Uint64
+
+	// cache, when non-nil, memoises query results keyed by (store
+	// generation, sheet generation, canonical query).  Set once via
+	// EnableCache before the engine serves traffic.
+	cache *resultCache
 }
 
 // NewEngine wraps a store.
@@ -253,19 +270,47 @@ func NewEngine(store *xmlstore.Store) *Engine {
 // Store returns the underlying XML store.
 func (e *Engine) Store() *xmlstore.Store { return e.store }
 
+// EnableCache attaches an LRU result cache capped at capacity bytes.
+// Call it during setup, before queries run; capacity <= 0 disables
+// caching.  Results served from the cache are shared — treat them as
+// read-only.
+func (e *Engine) EnableCache(capacity int64) {
+	if capacity <= 0 {
+		e.cache = nil
+		return
+	}
+	e.cache = newResultCache(capacity)
+}
+
+// CacheStats snapshots the result cache counters; ok is false when no
+// cache is enabled.
+func (e *Engine) CacheStats() (stats CacheStats, ok bool) {
+	if e.cache == nil {
+		return CacheStats{}, false
+	}
+	return e.cache.stats(), true
+}
+
 // RegisterStylesheet compiles and names a stylesheet for use via the
-// xslt= query parameter.
+// xslt= query parameter.  Safe for use while queries execute.
 func (e *Engine) RegisterStylesheet(name, src string) error {
 	sheet, err := xslt.ParseStylesheet(src)
 	if err != nil {
 		return err
 	}
+	e.sheetMu.Lock()
 	e.sheets[name] = sheet
+	e.sheetMu.Unlock()
+	e.sheetGen.Add(1)
 	return nil
 }
 
 // Stylesheet returns a registered stylesheet, or nil.
-func (e *Engine) Stylesheet(name string) *xslt.Stylesheet { return e.sheets[name] }
+func (e *Engine) Stylesheet(name string) *xslt.Stylesheet {
+	e.sheetMu.RLock()
+	defer e.sheetMu.RUnlock()
+	return e.sheets[name]
+}
 
 // ExecuteString parses and executes a URL-form query.
 func (e *Engine) ExecuteString(raw string) (*Result, error) {
@@ -276,8 +321,75 @@ func (e *Engine) ExecuteString(raw string) (*Result, error) {
 	return e.Execute(q)
 }
 
-// Execute runs a parsed query.
+// Execute runs a parsed query, consulting the result cache when one is
+// enabled.  Cached results are shared across callers and must be treated
+// as read-only.
 func (e *Engine) Execute(q Query) (*Result, error) {
+	if e.cache == nil {
+		return e.executeUncached(q)
+	}
+	// Snapshot both generations *before* executing: if a mutation lands
+	// mid-query, the result is cached under the pre-mutation key, which
+	// the mutation's bump has already made unreachable.
+	key := e.cacheKey(q)
+	res, _, err := e.cache.fetch(key, func() (*Result, error) { return e.executeUncached(q) })
+	return res, err
+}
+
+// ExecuteInto runs a parsed query and writes its XML representation (the
+// transformed document when the query named a stylesheet, the result set
+// otherwise) to w — the serving layer's path.  Cache hits write the
+// memoized response body; uncached results stream without building the
+// serialized document in memory.  Execution errors are reported before
+// anything is written.
+func (e *Engine) ExecuteInto(q Query, w io.Writer) error {
+	if e.cache == nil {
+		res, err := e.executeUncached(q)
+		if err != nil {
+			return err
+		}
+		return sgml.WriteIndent(w, resultTree(res))
+	}
+	key := e.cacheKey(q)
+	res, entry, err := e.cache.fetch(key, func() (*Result, error) { return e.executeUncached(q) })
+	if err != nil {
+		return err
+	}
+	if entry == nil { // oversized result: not cached, stream it
+		return sgml.WriteIndent(w, resultTree(res))
+	}
+	body := e.cache.renderedXML(entry, func(r *Result) []byte {
+		var buf bytes.Buffer
+		sgml.WriteIndent(&buf, resultTree(r))
+		return buf.Bytes()
+	})
+	_, err = w.Write(body)
+	return err
+}
+
+// resultTree picks the document a result serves over the wire.
+func resultTree(r *Result) *sgml.Node {
+	if r.Transformed != nil {
+		return r.Transformed
+	}
+	return r.XML()
+}
+
+// cacheKey builds the invalidation-aware cache key: both generation
+// counters prefix the canonical query encoding.
+func (e *Engine) cacheKey(q Query) string {
+	var b strings.Builder
+	b.Grow(40)
+	b.WriteString(strconv.FormatUint(e.store.Generation(), 16))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(e.sheetGen.Load(), 16))
+	b.WriteByte('|')
+	b.WriteString(q.Encode())
+	return b.String()
+}
+
+// executeUncached evaluates the query against the store.
+func (e *Engine) executeUncached(q Query) (*Result, error) {
 	r := &Result{Query: q}
 	switch {
 	case q.XPath != "":
@@ -351,7 +463,7 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		}
 	}
 	if q.XSLT != "" {
-		sheet := e.sheets[q.XSLT]
+		sheet := e.Stylesheet(q.XSLT)
 		if sheet == nil {
 			return nil, fmt.Errorf("xdb: no stylesheet %q registered", q.XSLT)
 		}
@@ -393,6 +505,9 @@ func (e *Engine) executeXPath(q Query) ([]xmlstore.Section, error) {
 					seen[s.DocID] = true
 					info, derr := e.store.Document(s.DocID)
 					if derr != nil {
+						if xmlstore.IsGone(derr) {
+							continue // deleted since the section matched
+						}
 						return nil, derr
 					}
 					docs = append(docs, info)
@@ -409,6 +524,11 @@ func (e *Engine) executeXPath(q Query) ([]xmlstore.Section, error) {
 	for _, d := range docs {
 		tree, err := e.store.Reconstruct(d.DocID)
 		if err != nil {
+			if xmlstore.IsGone(err) {
+				// Reconstruct chases physical links; a concurrent delete
+				// makes it fail part-way.  The document is going away.
+				continue
+			}
 			return nil, err
 		}
 		for _, n := range path.Select(tree) {
@@ -449,6 +569,9 @@ func (e *Engine) phraseSections(phrase string, limit int) ([]xmlstore.Section, e
 		}
 		ctx, err := e.store.ContextFor(node)
 		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue // document mid-delete; skip the hit
+			}
 			return nil, err
 		}
 		if ctx == nil {
@@ -460,6 +583,9 @@ func (e *Engine) phraseSections(phrase string, limit int) ([]xmlstore.Section, e
 		seen[ctx.RowID] = true
 		sec, err := e.store.SectionOf(ctx)
 		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue
+			}
 			return nil, err
 		}
 		out = append(out, sec)

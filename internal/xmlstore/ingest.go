@@ -115,7 +115,18 @@ func (s *Store) prepareDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Co
 // the four 8-byte link payloads directly in the cached encodings and
 // updates the records in place, so the writer never re-reads or
 // re-encodes what pass one just wrote.
-func (s *Store) storePrepared(p *preparedDoc) error {
+func (s *Store) storePrepared(p *preparedDoc) (err error) {
+	// On success the generation bump belongs to indexPrepared — bumping
+	// here, before the derived indexes hold the document, would let a
+	// racing query cache an index-incomplete result under the *final*
+	// generation, pinning the stale answer until an unrelated write.  A
+	// failed pass gets no indexPrepared call, so rows already inserted or
+	// half-patched invalidate here.
+	defer func() {
+		if err != nil {
+			s.bumpGeneration()
+		}
+	}()
 	flat := p.flat
 
 	// Pass 1: insert with null links.
@@ -176,6 +187,10 @@ func (s *Store) indexPrepared(p *preparedDoc) {
 			s.addContextKey(fn.data, fn.rid)
 		}
 	}
+	// The ingest's generation bump: only now are tables AND derived
+	// indexes consistent, so only now may a query snapshot the new
+	// generation and cache what it sees.
+	s.bumpGeneration()
 }
 
 // putRID writes a RowID's 8-byte packed form into b — the single
@@ -368,6 +383,9 @@ func (s *Store) DeleteDocument(docID uint64) error {
 	if err != nil {
 		return err
 	}
+	// Past this point rows start disappearing; invalidate cached results
+	// whether or not the delete completes.
+	defer s.bumpGeneration()
 	rids, err := s.xml.Lookup("docid", ordbms.I(int64(docID)))
 	if err != nil {
 		return err

@@ -179,6 +179,12 @@ func (s *Store) forEachContextSection(rids []ordbms.RowID, fn func(Section) bool
 		}
 		sec, err := s.SectionOf(ctx)
 		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				// A concurrent delete removed part of this section between
+				// the index probe and the traversal: skip the section, the
+				// generation bump has already invalidated cached results.
+				continue
+			}
 			return err
 		}
 		if !fn(sec) {
@@ -225,6 +231,9 @@ func (s *Store) forEachContentSection(query string, fn func(Section) bool) error
 		}
 		ctx, err := s.ContextFor(node)
 		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue // hit's document being deleted concurrently
+			}
 			return err
 		}
 		if ctx == nil {
@@ -236,6 +245,9 @@ func (s *Store) forEachContentSection(query string, fn func(Section) bool) error
 			seenCtx[rid] = true
 			sec, err := s.fallbackSection(node)
 			if err != nil {
+				if err == ordbms.ErrRecordDeleted {
+					continue
+				}
 				return err
 			}
 			if !fn(sec) {
@@ -249,6 +261,9 @@ func (s *Store) forEachContentSection(query string, fn func(Section) bool) error
 		seenCtx[ctx.RowID] = true
 		sec, err := s.SectionOf(ctx)
 		if err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				continue
+			}
 			return err
 		}
 		if !fn(sec) {
@@ -311,6 +326,11 @@ func (s *Store) ContentSearchDocsN(query string, limit int) ([]*DocInfo, error) 
 		seen[node.DocID] = true
 		info, err := s.Document(node.DocID)
 		if err != nil {
+			if IsGone(err) {
+				// The DOC row vanished between the text hit and this
+				// lookup: the document is mid-delete, skip it.
+				continue
+			}
 			return nil, err
 		}
 		out = append(out, info)

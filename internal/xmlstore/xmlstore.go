@@ -16,9 +16,11 @@
 package xmlstore
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"netmark/internal/btree"
 	"netmark/internal/ordbms"
@@ -120,6 +122,12 @@ type Store struct {
 	statsMu       sync.Mutex
 	docsIngested  uint64
 	nodesInserted uint64
+
+	// generation counts store mutations: every document ingest (including
+	// its link patches) and every delete bumps it.  Result caches key on
+	// it, so a bump implicitly invalidates everything cached against the
+	// previous state without the cache ever scanning its entries.
+	generation atomic.Uint64
 }
 
 var xmlSchema = ordbms.MustSchema(
@@ -270,6 +278,16 @@ func (s *Store) Stats() (docs, nodes uint64) {
 	return s.docsIngested, s.nodesInserted
 }
 
+// Generation returns the store's mutation generation.  It changes after
+// every ingest, link patch, and delete; readers snapshot it *before*
+// executing a query, so a result tagged with a generation can never be
+// newer than the state it was computed from.
+func (s *Store) Generation() uint64 { return s.generation.Load() }
+
+// bumpGeneration marks the store mutated.  Called on every write path,
+// including failed ones — a half-applied mutation must still invalidate.
+func (s *Store) bumpGeneration() { s.generation.Add(1) }
+
 // NumDocuments returns the number of stored documents.
 func (s *Store) NumDocuments() int64 { return s.doc.Rows() }
 
@@ -390,6 +408,18 @@ func (s *Store) ScanNodes(fn func(n *Node) bool) error {
 	})
 }
 
+// ErrNoDocument reports a document ID or name with no DOC row — either
+// never stored or already deleted.  Readers racing a delete match it
+// (with errors.Is) to skip the vanishing document instead of failing.
+var ErrNoDocument = fmt.Errorf("xmlstore: no such document")
+
+// IsGone reports whether err means a row or document vanished — the
+// signature of racing a concurrent delete.  Readers skip gone items;
+// any other error (I/O, corruption) must propagate.
+func IsGone(err error) bool {
+	return errors.Is(err, ErrNoDocument) || errors.Is(err, ordbms.ErrRecordDeleted)
+}
+
 // Document returns metadata for a document ID.
 func (s *Store) Document(docID uint64) (*DocInfo, error) {
 	rids, err := s.doc.Lookup("docid", ordbms.I(int64(docID)))
@@ -397,7 +427,7 @@ func (s *Store) Document(docID uint64) (*DocInfo, error) {
 		return nil, err
 	}
 	if len(rids) == 0 {
-		return nil, fmt.Errorf("xmlstore: no document %d", docID)
+		return nil, fmt.Errorf("%w: id %d", ErrNoDocument, docID)
 	}
 	row, err := s.doc.Fetch(rids[0])
 	if err != nil {
@@ -423,7 +453,7 @@ func (s *Store) DocumentByName(name string) (*DocInfo, error) {
 		return nil, err
 	}
 	if len(rids) == 0 {
-		return nil, fmt.Errorf("xmlstore: no document named %q", name)
+		return nil, fmt.Errorf("%w: name %q", ErrNoDocument, name)
 	}
 	row, err := s.doc.Fetch(rids[0])
 	if err != nil {

@@ -39,6 +39,10 @@ import (
 // instance.
 type Config = core.Config
 
+// DefaultCacheBytes is the query result cache cap used when Config
+// leaves CacheBytes zero (negative CacheBytes disables the cache).
+const DefaultCacheBytes = core.DefaultCacheBytes
+
 // Netmark is a running NETMARK instance.
 type Netmark = core.Netmark
 
