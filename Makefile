@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench bench-smoke
+.PHONY: check fmt vet test race bench bench-smoke bench-json
 
 # check is the CI gate: formatting, vet, the full suite under -race, and
-# one pass of the concurrent-serving benchmark as a smoke test.
+# one pass of the serving and cold-kernel benchmarks as a smoke test.
 check: fmt vet race bench-smoke
 
 fmt:
@@ -22,8 +22,17 @@ race:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# bench-smoke runs each BenchmarkServeParallel case once: it proves the
-# serving path, the cache, and the mixed hot/cold/invalidating workload
-# still execute, without the cost of a timed benchmark run.
+# bench-smoke runs each serving / cold-kernel benchmark case once: it
+# proves the serving path, both caches, the write-heavy mixed workload
+# and the accelerated query kernel still execute, without the cost of a
+# timed benchmark run.
 bench-smoke:
-	$(GO) test -run xxx -bench BenchmarkServeParallel -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkServeParallel|BenchmarkMixedWriteHeavy|BenchmarkColdContentSearch' -benchtime 1x .
+
+# bench-json runs the perf-trajectory benchmark suite and records the
+# results (parsed numbers + benchstat-parseable raw lines) in
+# BENCH_PR3.json, so regressions are diffable across PRs.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkColdContentSearch|BenchmarkMixedWriteHeavy|BenchmarkServeParallel|BenchmarkFig6' -benchmem -benchtime 2s . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	@echo wrote BENCH_PR3.json

@@ -442,6 +442,137 @@ func BenchmarkIngestParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkColdContentSearch measures the uncached §2.1.4 kernel — text
+// index probe, hit resolution, governing-context lookup, section
+// materialisation — over a deep-document corpus (long sibling runs,
+// nested blocks) where pointer-chasing is at its worst.  No query result
+// cache is involved: every iteration executes the full kernel.
+//
+//	baseline   = the pre-PR kernel: no node cache, pointer-chasing
+//	             ContextFor walk, serial section materialisation
+//	optimized  = decoded-node cache + derived node→CONTEXT index +
+//	             parallel materialisation (the default configuration)
+//
+// The acceptance bar for PR 3 is ≥5× fewer ns/op and allocs/op between
+// the two (see BENCH_PR3.json).
+func BenchmarkColdContentSearch(b *testing.B) {
+	newDeepStore := func(b *testing.B) *xmlstore.Store {
+		b.Helper()
+		s, err := experiments.NewStore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := corpus.New(61)
+		for _, d := range gen.DeepReports(20, 6, 24, 16) {
+			if _, err := s.StoreRaw(d.Name, d.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	run := func(b *testing.B, s *xmlstore.Store) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			secs, err := s.ContentSearch("cryogenic")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(secs) == 0 {
+				b.Fatal("no sections")
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		s := newDeepStore(b)
+		s.SetContextIndexEnabled(false)
+		s.SetQueryWorkers(1)
+		run(b, s)
+	})
+	b.Run("optimized", func(b *testing.B) {
+		s := newDeepStore(b)
+		s.EnableNodeCache(64 << 20)
+		s.SetQueryWorkers(0) // GOMAXPROCS
+		run(b, s)
+	})
+	b.Run("optimized-serial", func(b *testing.B) {
+		// Isolates the node cache + context index from the worker pool.
+		s := newDeepStore(b)
+		s.EnableNodeCache(64 << 20)
+		s.SetQueryWorkers(1)
+		run(b, s)
+	})
+}
+
+// BenchmarkMixedWriteHeavy measures the serving stack under write-heavy
+// mixed traffic: half of all operations are writes (1/3 ingests plus
+// 1/6 deletes of churn documents), the other half are queries over a
+// stable set of documents whose headings and terms the churn never
+// touches.  With PR 2's single
+// global cache generation every write invalidated everything and each
+// read ran the kernel cold; with per-term/per-heading keyed caching the
+// untouched-document queries keep being served from cache — the reported
+// hit metric is the proof (hits ≈ reads, misses ≈ distinct queries).
+func BenchmarkMixedWriteHeavy(b *testing.B) {
+	store := loadedStore(b, 200, 43)
+	store.EnableNodeCache(32 << 20)
+	e := xdb.NewEngine(store)
+	e.EnableCache(64 << 20)
+	srv, err := webdav.NewServer(e, nil, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	// Churn documents share no headings/terms with the proposal corpus
+	// queries below.
+	churn := `<report><heading>Warehouse Logistics</heading><para>inventory relocation memo</para></report>`
+	queries := []string{
+		"/xdb?context=Budget",
+		"/xdb?context=Schedule",
+		"/xdb?content=cryogenic",
+		"/xdb?context=Budget&content=request&limit=20",
+	}
+	var seq atomic.Int64
+	var lastDoc atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			switch {
+			case n%3 == 0: // write: ingest a churn doc
+				id, err := store.StoreRaw(fmt.Sprintf("churn-%d.xml", n), []byte(churn))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				lastDoc.Store(id)
+			case n%6 == 1: // write: delete a previous churn doc
+				if id := lastDoc.Swap(0); id != 0 {
+					if err := store.DeleteDocument(id); err != nil && !xmlstore.IsGone(err) {
+						b.Error(err)
+						return
+					}
+				}
+			default: // read over untouched documents
+				req := httptest.NewRequest(http.MethodGet, queries[n%int64(len(queries))], nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					b.Errorf("GET = %d: %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	if st, ok := e.CacheStats(); ok {
+		b.ReportMetric(float64(st.Hits), "hits")
+		b.ReportMetric(float64(st.Misses), "misses")
+		b.ReportMetric(float64(st.Stale), "stale")
+	}
+}
+
 // BenchmarkCombinedQueryPlans measures both sides of the Search planner
 // on the paper's Context=Technology Gap & Content=Shrinking shape.
 func BenchmarkCombinedQueryPlans(b *testing.B) {

@@ -35,6 +35,10 @@ func main() {
 	poll := flag.Duration("poll", time.Second, "drop folder poll interval")
 	cacheBytes := flag.Int64("cache-bytes", 0,
 		"query result cache cap in bytes (0 = default 64 MiB, negative = disabled)")
+	nodeCacheBytes := flag.Int64("node-cache-bytes", 0,
+		"decoded-node cache cap in bytes (0 = default 32 MiB, negative = disabled)")
+	queryWorkers := flag.Int("query-workers", 0,
+		"section materialisation workers per query (0 = GOMAXPROCS, 1 = serial)")
 	var banks stringList
 	flag.Var(&banks, "bank", "databank spec JSON file (repeatable)")
 	var sheets stringList
@@ -42,7 +46,8 @@ func main() {
 	flag.Parse()
 
 	nm, err := netmark.Open(netmark.Config{
-		Dir: *dir, DropDir: *drop, PollInterval: *poll, CacheBytes: *cacheBytes,
+		Dir: *dir, DropDir: *drop, PollInterval: *poll,
+		CacheBytes: *cacheBytes, NodeCacheBytes: *nodeCacheBytes, QueryWorkers: *queryWorkers,
 	})
 	if err != nil {
 		log.Fatalf("open: %v", err)

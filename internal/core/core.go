@@ -45,14 +45,27 @@ type Config struct {
 	IngestBatchSize int
 	// CacheBytes caps the invalidation-aware query result cache
 	// (0 = DefaultCacheBytes, negative = disabled).  The cache keys on
-	// the store's mutation generation, so results never outlive the data
-	// they were computed from; tune it to the working set of hot queries.
+	// per-term/per-heading mutation generations and validates entries
+	// against per-document generations, so results never outlive the
+	// data they were computed from while writes to other documents leave
+	// them cached; tune it to the working set of hot queries.
 	CacheBytes int64
+	// NodeCacheBytes caps the XML store's decoded-node cache, which
+	// accelerates the cold query path by keeping hot traversal rows
+	// decoded in memory (0 = DefaultNodeCacheBytes, negative = disabled).
+	NodeCacheBytes int64
+	// QueryWorkers bounds the section-materialisation fan-out of search
+	// queries (0 = GOMAXPROCS, 1 = serial).
+	QueryWorkers int
 }
 
 // DefaultCacheBytes is the query result cache cap used when Config
 // leaves CacheBytes zero.
 const DefaultCacheBytes int64 = 64 << 20
+
+// DefaultNodeCacheBytes is the decoded-node cache cap used when Config
+// leaves NodeCacheBytes zero.
+const DefaultNodeCacheBytes int64 = 32 << 20
 
 // DefaultIngestBatch is the batch size used when Config leaves
 // IngestBatchSize zero.
@@ -94,6 +107,14 @@ func Open(cfg Config) (*Netmark, error) {
 	if cacheBytes > 0 {
 		n.engine.EnableCache(cacheBytes)
 	}
+	nodeCacheBytes := cfg.NodeCacheBytes
+	if nodeCacheBytes == 0 {
+		nodeCacheBytes = DefaultNodeCacheBytes
+	}
+	if nodeCacheBytes > 0 {
+		store.EnableNodeCache(nodeCacheBytes)
+	}
+	store.SetQueryWorkers(cfg.QueryWorkers)
 	if cfg.DropDir != "" {
 		d, err := daemon.New(cfg.DropDir, store, cfg.PollInterval)
 		if err != nil {

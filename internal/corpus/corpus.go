@@ -161,6 +161,44 @@ func (g *Generator) proposalText(title, division string, amount int) string {
 	return sb.String()
 }
 
+// DeepReport generates one deeply structured XML engineering report:
+// sections headed by <heading> CONTEXT nodes whose bodies are long runs
+// of sibling blocks, each nesting paragraphs several levels deep.  The
+// shape stresses the §2.1.4 traversal kernel — resolving a text hit to
+// its governing context crosses the sibling run, and materialising a
+// section descends every nested block — which flat HTML corpora never
+// do.  sections controls the heading count, width the sibling blocks per
+// section, depth the nesting under each block.
+func (g *Generator) DeepReport(i, sections, width, depth int) Document {
+	var sb strings.Builder
+	sb.WriteString("<report>\n")
+	for s := 0; s < sections; s++ {
+		fmt.Fprintf(&sb, "<heading>%s %s Review %d</heading>\n",
+			titleCase(g.pick(adjectives)), g.pick(systems), s)
+		for w := 0; w < width; w++ {
+			for d := 0; d < depth; d++ {
+				sb.WriteString("<block>")
+			}
+			sb.WriteString("<para>" + g.sentence() + "</para>")
+			for d := 0; d < depth; d++ {
+				sb.WriteString("</block>")
+			}
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("</report>")
+	return Document{Name: fmt.Sprintf("deep-%04d.xml", i), Data: []byte(sb.String())}
+}
+
+// DeepReports generates n deep reports.
+func (g *Generator) DeepReports(n, sections, width, depth int) []Document {
+	out := make([]Document, n)
+	for i := range out {
+		out[i] = g.DeepReport(i, sections, width, depth)
+	}
+	return out
+}
+
 // TaskPlan generates one budget task plan (the IBPD inputs: "thousands of
 // NASA task plans containing the required budget information").
 func (g *Generator) TaskPlan(i int) Document {

@@ -270,15 +270,57 @@ func (t *Table) UpdateInPlace(rid RowID, rec []byte) error {
 	return t.heap.Update(rid, rec)
 }
 
-// Fetch returns the row at rid.
+// Fetch returns the row at rid.  The row is decoded directly from the
+// latched page — no intermediate record copy — because Decode copies
+// every payload anyway.
 func (t *Table) Fetch(rid RowID) (Row, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	rec, err := t.heap.Fetch(rid)
+	var row Row
+	err := t.heap.View(rid, func(rec []byte) error {
+		var derr error
+		row, derr = DecodeRow(rec)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
-	return DecodeRow(rec)
+	return row, nil
+}
+
+// FetchView invokes fn with the raw record bytes at rid under the table's
+// shared lock and the page read latch.  It is the cheapest read path:
+// callers with a fixed schema decode straight into stack storage with
+// DecodeRowInto, paying zero per-fetch heap allocations inside the
+// engine.  fn must not retain rec, block, or call back into the table.
+func (t *Table) FetchView(rid RowID, fn func(rec []byte) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.View(rid, fn)
+}
+
+// FetchMany fetches and decodes many rows under a single shared-lock
+// acquisition, reusing the page pin across consecutive rids on the same
+// page — the batched analogue of Fetch for traversal kernels that already
+// hold a sorted rid list.  out[i] is nil when rid i's record was deleted
+// (readers racing a document delete skip those rows); any other error
+// aborts the batch.
+func (t *Table) FetchMany(rids []RowID) ([]Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := make([]Row, len(rids))
+	err := t.heap.ViewMany(rids, func(i int, rec []byte) error {
+		row, derr := DecodeRow(rec)
+		if derr != nil {
+			return derr
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Delete removes the row at rid and its index entries.

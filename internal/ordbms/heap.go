@@ -174,6 +174,68 @@ func (h *HeapFile) Fetch(rid RowID) ([]byte, error) {
 	return cp, nil
 }
 
+// View invokes fn with the record bytes at rid while the page read latch
+// is held, skipping Fetch's per-record copy.  fn must not retain rec or
+// block; any byte slice needed after fn returns must be copied (note that
+// DecodeRow/DecodeRowInto copy every payload).
+func (h *HeapFile) View(rid RowID, fn func(rec []byte) error) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.RLock()
+	rec, gerr := f.Page.Get(int(rid.Slot))
+	if gerr == nil {
+		gerr = fn(rec)
+	}
+	f.Latch.RUnlock()
+	h.pool.Unpin(f, false)
+	return gerr
+}
+
+// ViewMany invokes fn for each live record among rids, in input order,
+// reusing the pinned page frame across consecutive rids on the same page
+// — callers that sort rids into physical order pay one pool fetch per
+// page, not per record.  Deleted records are silently skipped (readers
+// racing a delete want the survivors, not an error); any other fetch
+// error, or an error from fn, aborts the walk.  The fn contract is the
+// same as View's: rec is only valid during the call.
+func (h *HeapFile) ViewMany(rids []RowID, fn func(i int, rec []byte) error) error {
+	var f *Frame
+	var cur uint32
+	release := func() {
+		if f != nil {
+			h.pool.Unpin(f, false)
+			f = nil
+		}
+	}
+	defer release()
+	for i, rid := range rids {
+		if f == nil || cur != rid.Page {
+			release()
+			var err error
+			if f, err = h.pool.Fetch(rid.Page); err != nil {
+				return err
+			}
+			cur = rid.Page
+		}
+		f.Latch.RLock()
+		rec, gerr := f.Page.Get(int(rid.Slot))
+		var ferr error
+		if gerr == nil {
+			ferr = fn(i, rec)
+		}
+		f.Latch.RUnlock()
+		if gerr != nil && gerr != ErrRecordDeleted {
+			return gerr
+		}
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
 // Delete removes the record at rid.
 func (h *HeapFile) Delete(rid RowID) error {
 	f, err := h.pool.Fetch(rid.Page)

@@ -282,11 +282,34 @@ func DecodeRow(b []byte) (Row, error) {
 	if n > uint64(len(b)) {
 		return nil, fmt.Errorf("ordbms: implausible column count %d", n)
 	}
-	row := make(Row, 0, n)
-	pos := off
-	for i := uint64(0); i < n; i++ {
+	row := make(Row, n)
+	if err := decodeColumns(b, off, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// DecodeRowInto decodes a record into a caller-provided row, avoiding the
+// per-fetch Row allocation of DecodeRow — callers with a known schema keep
+// a fixed-size array on the stack.  The record must hold exactly len(row)
+// columns.  String and byte payloads are copied, never aliased, so the
+// decoded values outlive the source buffer.
+func DecodeRowInto(b []byte, row Row) error {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return fmt.Errorf("ordbms: corrupt record header")
+	}
+	if n != uint64(len(row)) {
+		return fmt.Errorf("ordbms: record has %d columns, caller expects %d", n, len(row))
+	}
+	return decodeColumns(b, off, row)
+}
+
+// decodeColumns parses len(row) column payloads starting at b[pos].
+func decodeColumns(b []byte, pos int, row Row) error {
+	for i := range row {
 		if pos >= len(b) {
-			return nil, fmt.Errorf("ordbms: truncated record at column %d", i)
+			return fmt.Errorf("ordbms: truncated record at column %d", i)
 		}
 		t := Type(b[pos])
 		pos++
@@ -297,20 +320,20 @@ func DecodeRow(b []byte) (Row, error) {
 		case TypeInt:
 			x, m := binary.Varint(b[pos:])
 			if m <= 0 {
-				return nil, fmt.Errorf("ordbms: corrupt int at column %d", i)
+				return fmt.Errorf("ordbms: corrupt int at column %d", i)
 			}
 			v.Int = x
 			pos += m
 		case TypeFloat:
 			if pos+8 > len(b) {
-				return nil, fmt.Errorf("ordbms: corrupt float at column %d", i)
+				return fmt.Errorf("ordbms: corrupt float at column %d", i)
 			}
 			v.Float = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
 			pos += 8
 		case TypeString:
 			l, m := binary.Uvarint(b[pos:])
 			if m <= 0 || pos+m+int(l) > len(b) {
-				return nil, fmt.Errorf("ordbms: corrupt string at column %d", i)
+				return fmt.Errorf("ordbms: corrupt string at column %d", i)
 			}
 			pos += m
 			v.Str = string(b[pos : pos+int(l)])
@@ -318,21 +341,21 @@ func DecodeRow(b []byte) (Row, error) {
 		case TypeBytes:
 			l, m := binary.Uvarint(b[pos:])
 			if m <= 0 || pos+m+int(l) > len(b) {
-				return nil, fmt.Errorf("ordbms: corrupt bytes at column %d", i)
+				return fmt.Errorf("ordbms: corrupt bytes at column %d", i)
 			}
 			pos += m
 			v.Bytes = append([]byte(nil), b[pos:pos+int(l)]...)
 			pos += int(l)
 		case TypeBool:
 			if pos >= len(b) {
-				return nil, fmt.Errorf("ordbms: corrupt bool at column %d", i)
+				return fmt.Errorf("ordbms: corrupt bool at column %d", i)
 			}
 			v.Bool = b[pos] == 1
 			pos++
 		default:
-			return nil, fmt.Errorf("ordbms: unknown value type %d at column %d", t, i)
+			return fmt.Errorf("ordbms: unknown value type %d at column %d", t, i)
 		}
-		row = append(row, v)
+		row[i] = v
 	}
-	return row, nil
+	return nil
 }

@@ -55,6 +55,12 @@ func Tokenize(text string) []Token {
 type postingList struct {
 	ids []uint64
 	pos map[uint64][]uint32
+	// gen is the term's mutation generation: assigned from the index-wide
+	// monotonic counter on every posting insert or removal.  Result caches
+	// fold the gens of a query's terms into their keys, so a write that
+	// never touches those terms leaves the cached results reachable —
+	// per-document invalidation collapsed to term granularity.
+	gen uint64
 }
 
 func (pl *postingList) add(id uint64, p uint32) {
@@ -97,6 +103,10 @@ type Index struct {
 	terms *btree.Tree[string, *postingList] // term -> single posting list
 	byID  map[uint64][]string               // reverse map for Remove
 	docs  int
+	// genCounter is the monotonic source for posting-list generations;
+	// values are never reused, so a term that vanishes and reappears gets
+	// a generation distinct from every one it ever had.
+	genCounter uint64
 }
 
 // New creates an empty index.
@@ -136,6 +146,8 @@ func (ix *Index) AddTokens(id uint64, toks []Token) {
 			ix.byID[id] = append(ix.byID[id], tok.Term)
 		}
 		pl.add(id, tok.Pos)
+		ix.genCounter++
+		pl.gen = ix.genCounter
 	}
 }
 
@@ -159,6 +171,8 @@ func (ix *Index) Remove(id uint64) {
 	for _, t := range terms {
 		if got := ix.terms.Get(t); len(got) > 0 {
 			got[0].remove(id)
+			ix.genCounter++
+			got[0].gen = ix.genCounter
 			if len(got[0].ids) == 0 {
 				ix.terms.DeleteKey(t)
 			}
@@ -201,6 +215,29 @@ func normTerm(t string) string {
 	return toks[0].Term
 }
 
+// QueryGen folds the mutation generations of every term a query depends
+// on into one fingerprint (FNV-1a over the per-term gens; absent terms
+// contribute zero).  Two calls return the same value iff none of the
+// query's posting lists changed in between, so result caches can key on
+// it: a write that never touches the query's terms leaves cached results
+// for the query reachable, while any posting insert or removal — a new
+// document containing a term, a deleted document that contained one —
+// makes every stale key unreachable.
+func (ix *Index) QueryGen(query string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	ix.mu.RLock()
+	for _, tok := range Tokenize(query) {
+		var g uint64
+		if got := ix.terms.Get(tok.Term); len(got) > 0 {
+			g = got[0].gen
+		}
+		h = (h ^ g) * prime64
+	}
+	ix.mu.RUnlock()
+	return h
+}
+
 // Lookup returns the sorted IDs containing term.
 func (ix *Index) Lookup(term string) []uint64 {
 	term = normTerm(term)
@@ -217,7 +254,48 @@ func (ix *Index) Lookup(term string) []uint64 {
 
 // And returns IDs containing every term.  The query string is tokenized,
 // so And("space shuttle") intersects the two terms.
+//
+// Only the smallest posting list is copied under the read lock; every
+// further intersection re-acquires the lock briefly per list, so a long
+// multi-term intersection over large lists never starves writers the way
+// holding one lock across the whole merge did.  The result therefore
+// reflects some interleaving of concurrent writes — the same guarantee
+// the traversal kernel already gives, since rows can vanish between the
+// index probe and the heap fetch anyway.
 func (ix *Index) And(query string) []uint64 {
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	pls := make([]*postingList, 0, len(toks))
+	for _, tok := range toks {
+		got := ix.terms.Get(tok.Term)
+		if len(got) == 0 {
+			ix.mu.RUnlock()
+			return nil
+		}
+		pls = append(pls, got[0])
+	}
+	sort.Slice(pls, func(i, j int) bool { return len(pls[i].ids) < len(pls[j].ids) })
+	res := append([]uint64(nil), pls[0].ids...)
+	ix.mu.RUnlock()
+	for _, pl := range pls[1:] {
+		ix.mu.RLock()
+		res = intersectInto(res, pl.ids)
+		ix.mu.RUnlock()
+		if len(res) == 0 {
+			break
+		}
+	}
+	return res
+}
+
+// Or returns IDs containing any term of the query.  The matching lists
+// are copied under one short read-lock hold; the k-way merge runs outside
+// the lock, replacing the old map+sort dedup (O(n) map inserts plus an
+// O(n log n) sort) with a linear merge over the already-sorted lists.
+func (ix *Index) Or(query string) []uint64 {
 	toks := Tokenize(query)
 	if len(toks) == 0 {
 		return nil
@@ -225,48 +303,12 @@ func (ix *Index) And(query string) []uint64 {
 	lists := make([][]uint64, 0, len(toks))
 	ix.mu.RLock()
 	for _, tok := range toks {
-		got := ix.terms.Get(tok.Term)
-		if len(got) == 0 {
-			ix.mu.RUnlock()
-			return nil
-		}
-		lists = append(lists, got[0].ids)
-	}
-	// Intersect smallest-first.
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	res := append([]uint64(nil), lists[0]...)
-	for _, l := range lists[1:] {
-		res = intersect(res, l)
-		if len(res) == 0 {
-			break
+		if got := ix.terms.Get(tok.Term); len(got) > 0 && len(got[0].ids) > 0 {
+			lists = append(lists, append([]uint64(nil), got[0].ids...))
 		}
 	}
 	ix.mu.RUnlock()
-	return res
-}
-
-// Or returns IDs containing any term of the query.
-func (ix *Index) Or(query string) []uint64 {
-	toks := Tokenize(query)
-	if len(toks) == 0 {
-		return nil
-	}
-	seen := make(map[uint64]bool)
-	var res []uint64
-	ix.mu.RLock()
-	for _, tok := range toks {
-		if got := ix.terms.Get(tok.Term); len(got) > 0 {
-			for _, id := range got[0].ids {
-				if !seen[id] {
-					seen[id] = true
-					res = append(res, id)
-				}
-			}
-		}
-	}
-	ix.mu.RUnlock()
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
-	return res
+	return mergeSorted(lists)
 }
 
 // Phrase returns IDs where the query terms occur adjacently in order.
@@ -312,41 +354,107 @@ func (ix *Index) Phrase(query string) []uint64 {
 	return res
 }
 
-// Prefix returns IDs containing any term starting with p.
+// Prefix returns IDs containing any term starting with p.  Matching
+// lists are copied under the lock and k-way merged outside it, like Or.
 func (ix *Index) Prefix(p string) []uint64 {
 	p = strings.ToLower(strings.TrimSpace(p))
 	if p == "" {
 		return nil
 	}
-	seen := make(map[uint64]bool)
-	var res []uint64
+	var lists [][]uint64
 	ix.mu.RLock()
 	ix.terms.AscendPrefixFunc(p,
 		func(k string) bool { return strings.HasPrefix(k, p) },
 		func(_ string, vals []*postingList) bool {
 			for _, pl := range vals {
-				for _, id := range pl.ids {
-					if !seen[id] {
-						seen[id] = true
-						res = append(res, id)
-					}
+				if len(pl.ids) > 0 {
+					lists = append(lists, append([]uint64(nil), pl.ids...))
 				}
 			}
 			return true
 		})
 	ix.mu.RUnlock()
-	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
-	return res
+	return mergeSorted(lists)
 }
 
-func intersect(a, b []uint64) []uint64 {
-	var out []uint64
+// intersectInto intersects res (privately owned by the caller) with the
+// sorted list l, writing the survivors into res's prefix.  When l is much
+// longer than res it gallops — a binary search per survivor candidate —
+// instead of scanning l linearly, so intersecting a rare term against a
+// stop-word-sized list costs O(|res| log |l|).
+func intersectInto(res, l []uint64) []uint64 {
+	out := res[:0]
+	if len(res) == 0 || len(l) == 0 {
+		return out
+	}
+	if len(l) >= 8*len(res) {
+		j := 0
+		for _, x := range res {
+			j += sort.Search(len(l)-j, func(k int) bool { return l[j+k] >= x })
+			if j >= len(l) {
+				break
+			}
+			if l[j] == x {
+				out = append(out, x)
+				j++
+			}
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(res) && j < len(l) {
+		switch {
+		case res[i] < l[j]:
+			i++
+		case res[i] > l[j]:
+			j++
+		default:
+			out = append(out, res[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// mergeSorted merges sorted ID lists into one sorted, deduplicated
+// list by pairwise rounds — O(total log k), with each round a linear
+// two-way merge — so a prefix matching thousands of terms never pays a
+// per-element scan over every cursor.  The lists are owned by the
+// caller (already copied out of the index).
+func mergeSorted(lists [][]uint64) []uint64 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	for len(lists) > 1 {
+		merged := lists[:0]
+		for i := 0; i < len(lists); i += 2 {
+			if i+1 == len(lists) {
+				merged = append(merged, lists[i])
+				break
+			}
+			merged = append(merged, mergeTwo(lists[i], lists[i+1]))
+		}
+		lists = merged
+	}
+	return lists[0]
+}
+
+// mergeTwo merges two sorted, deduplicated lists, dropping duplicates
+// across them.
+func mergeTwo(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
+			out = append(out, a[i])
 			i++
 		case a[i] > b[j]:
+			out = append(out, b[j])
 			j++
 		default:
 			out = append(out, a[i])
@@ -354,7 +462,8 @@ func intersect(a, b []uint64) []uint64 {
 			j++
 		}
 	}
-	return out
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 func containsPos(ps []uint32, want uint32) bool {

@@ -189,10 +189,21 @@ type Stats struct {
 		Misses    uint64 `json:"misses"`
 		Coalesced uint64 `json:"coalesced"`
 		Evictions uint64 `json:"evictions"`
+		Stale     uint64 `json:"stale"`
 		Entries   int    `json:"entries"`
 		Bytes     int64  `json:"bytes"`
 		Capacity  int64  `json:"capacity"`
 	} `json:"cache"`
+
+	NodeCache struct {
+		Enabled   bool   `json:"enabled"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+		Entries   int    `json:"entries"`
+		Bytes     int64  `json:"bytes"`
+		Capacity  int64  `json:"capacity"`
+	} `json:"node_cache"`
 }
 
 // Snapshot gathers the current counters.
@@ -211,9 +222,19 @@ func (s *Server) Snapshot() Stats {
 		st.Cache.Misses = cs.Misses
 		st.Cache.Coalesced = cs.Coalesced
 		st.Cache.Evictions = cs.Evictions
+		st.Cache.Stale = cs.Stale
 		st.Cache.Entries = cs.Entries
 		st.Cache.Bytes = cs.Bytes
 		st.Cache.Capacity = cs.Capacity
+	}
+	if ns, ok := store.NodeCacheStats(); ok {
+		st.NodeCache.Enabled = true
+		st.NodeCache.Hits = ns.Hits
+		st.NodeCache.Misses = ns.Misses
+		st.NodeCache.Evictions = ns.Evictions
+		st.NodeCache.Entries = ns.Entries
+		st.NodeCache.Bytes = ns.Bytes
+		st.NodeCache.Capacity = ns.Capacity
 	}
 	return st
 }

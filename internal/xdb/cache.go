@@ -9,11 +9,17 @@ import (
 )
 
 // This file implements the invalidation-aware LRU query result cache.
-// Entries are keyed by (store generation, stylesheet generation, canonical
-// query encoding): a store mutation or a stylesheet (re)registration bumps
-// the corresponding generation, so every previously cached result becomes
-// unreachable at once — invalidation costs one atomic increment, never a
-// scan.  Stale-generation entries age out of the LRU like any cold entry.
+// Entries are keyed by (stylesheet generation, store fingerprint,
+// canonical query encoding), where the fingerprint folds the per-term and
+// per-heading generations of exactly the structures the query reads: a
+// mutation bumps only the generations it touches, so it makes stale keys
+// unreachable for the queries it could affect and leaves everything else
+// cached — invalidation costs a few counter bumps, never a scan.  Stale
+// keys age out of the LRU like any cold entry.
+//
+// Beneath the keys, every entry carries per-document generation stamps of
+// the documents its result actually returned, re-validated on each hit —
+// a second, independent layer of per-document invalidation.
 //
 // Duplicate in-flight queries collapse: when N goroutines miss on the same
 // key simultaneously, one executes and the other N-1 wait for its result
@@ -26,15 +32,22 @@ type CacheStats struct {
 	Misses    uint64 // lookups that executed the query
 	Coalesced uint64 // lookups that waited on another goroutine's execution
 	Evictions uint64 // entries dropped to fit the byte cap
+	Stale     uint64 // hits rejected by per-document stamp validation
 	Entries   int    // live entries
 	Bytes     int64  // estimated bytes held
 	Capacity  int64  // configured byte cap
 }
 
+// docStamp pins one document's generation at result-insert time.
+type docStamp struct {
+	doc, gen uint64
+}
+
 type cacheEntry struct {
-	key  string
-	res  *Result
-	size int64
+	key    string
+	res    *Result
+	size   int64
+	stamps []docStamp // per-document generations of the result's documents
 
 	// rendered memoises the serialized XML response body, built on the
 	// first HTTP serve of this entry: repeated hot queries cost a byte
@@ -53,6 +66,11 @@ type flightCall struct {
 
 type resultCache struct {
 	capacity int64
+	// stamp captures per-document generations when a result is inserted;
+	// fresh re-validates them on every hit.  Either may be nil (no
+	// per-document validation).
+	stamp func(*Result) []docStamp
+	fresh func([]docStamp) bool
 
 	mu      sync.Mutex
 	lru     *list.List // front = most recently used; values are *cacheEntry
@@ -60,12 +78,14 @@ type resultCache struct {
 	flight  map[string]*flightCall
 	bytes   int64
 
-	hits, misses, coalesced, evictions uint64
+	hits, misses, coalesced, evictions, stale uint64
 }
 
-func newResultCache(capacity int64) *resultCache {
+func newResultCache(capacity int64, stamp func(*Result) []docStamp, fresh func([]docStamp) bool) *resultCache {
 	return &resultCache{
 		capacity: capacity,
+		stamp:    stamp,
+		fresh:    fresh,
 		lru:      list.New(),
 		entries:  make(map[string]*list.Element),
 		flight:   make(map[string]*flightCall),
@@ -79,11 +99,20 @@ func newResultCache(capacity int64) *resultCache {
 func (c *resultCache) fetch(key string, fn func() (*Result, error)) (*Result, *cacheEntry, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
 		e := el.Value.(*cacheEntry)
-		c.mu.Unlock()
-		return e.res, e, nil
+		if c.fresh == nil || c.fresh(e.stamps) {
+			c.lru.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			return e.res, e, nil
+		}
+		// A document this result returned has been mutated since: the
+		// entry is stale even though its key was reachable.  Drop it and
+		// fall through to executing the query.
+		c.stale++
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.bytes -= e.size
 	}
 	if fc, ok := c.flight[key]; ok {
 		c.coalesced++
@@ -127,7 +156,11 @@ func (c *resultCache) releaseFlight(key string, fc *flightCall) {
 // insertLocked adds an entry and evicts from the cold end until the cache
 // fits its byte cap.  Results bigger than the whole cap are not cached.
 func (c *resultCache) insertLocked(key string, res *Result) *cacheEntry {
-	size := int64(len(key)) + resultSize(res)
+	var stamps []docStamp
+	if c.stamp != nil {
+		stamps = c.stamp(res)
+	}
+	size := int64(len(key)) + resultSize(res) + int64(len(stamps))*16
 	if size > c.capacity {
 		return nil
 	}
@@ -136,7 +169,7 @@ func (c *resultCache) insertLocked(key string, res *Result) *cacheEntry {
 		c.lru.Remove(el)
 		delete(c.entries, key)
 	}
-	e := &cacheEntry{key: key, res: res, size: size}
+	e := &cacheEntry{key: key, res: res, size: size, stamps: stamps}
 	c.entries[key] = c.lru.PushFront(e)
 	c.bytes += size
 	c.evictLocked()
@@ -184,6 +217,7 @@ func (c *resultCache) stats() CacheStats {
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
 		Evictions: c.evictions,
+		Stale:     c.stale,
 		Entries:   len(c.entries),
 		Bytes:     c.bytes,
 		Capacity:  c.capacity,

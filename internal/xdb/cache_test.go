@@ -242,6 +242,75 @@ func TestConcurrentStylesheetRegistrationDuringQueries(t *testing.T) {
 	}
 }
 
+// TestCachePerDocumentInvalidation: a write to one document must not
+// invalidate cached queries that only touched other documents.  The
+// cache keys fold per-term/per-heading generations and entries validate
+// per-document stamps, so only queries whose predicates overlap the
+// written document go cold.
+func TestCachePerDocumentInvalidation(t *testing.T) {
+	e := cachedEngine(t, 1<<20)
+	load(t, e, "one.html", doc1)
+
+	// Prime the cache with queries that only touch doc1.
+	if got := mustExecute(t, e, "context=Technology+Gap"); len(got.Sections) != 1 {
+		t.Fatalf("prime sections = %d", len(got.Sections))
+	}
+	if got := mustExecute(t, e, "content=shuttle"); len(got.Sections) != 1 {
+		t.Fatalf("prime content sections = %d", len(got.Sections))
+	}
+
+	// Write a document sharing no headings or terms with the cached
+	// queries: both must still be served from cache.
+	load(t, e, "other.html", `<html><head><title>Other</title></head><body>
+<h1>Logistics</h1><p>Unrelated warehouse inventory memo.</p></body></html>`)
+	mustExecute(t, e, "context=Technology+Gap")
+	mustExecute(t, e, "content=shuttle")
+	st, _ := e.CacheStats()
+	if st.Hits != 2 {
+		t.Fatalf("hits = %d, want 2 (disjoint write must not invalidate)", st.Hits)
+	}
+
+	// Delete the unrelated document: still no invalidation.
+	info, err := e.Store().DocumentByName("other.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store().DeleteDocument(info.DocID); err != nil {
+		t.Fatal(err)
+	}
+	mustExecute(t, e, "context=Technology+Gap")
+	st, _ = e.CacheStats()
+	if st.Hits != 3 {
+		t.Fatalf("hits = %d, want 3 (disjoint delete must not invalidate)", st.Hits)
+	}
+
+	// A write that overlaps the predicate must invalidate: doc2 carries
+	// the terms "technology gap".
+	load(t, e, "two.html", doc2)
+	if got := mustExecute(t, e, "content=technology+gap"); len(got.Sections) != 2 {
+		t.Fatalf("overlap sections = %d, want 2", len(got.Sections))
+	}
+	if got := mustExecute(t, e, "context=Introduction"); len(got.Sections) != 2 {
+		t.Fatalf("introduction sections = %d, want 2", len(got.Sections))
+	}
+
+	// Deleting doc1 must invalidate the queries whose results contained
+	// it, even though they were cached before the delete.
+	info, err = e.Store().DocumentByName("one.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store().DeleteDocument(info.DocID); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustExecute(t, e, "context=Technology+Gap"); len(got.Sections) != 0 {
+		t.Fatalf("post-delete sections = %d, want 0 (stale cache served?)", len(got.Sections))
+	}
+	if got := mustExecute(t, e, "content=shuttle"); len(got.Sections) != 0 {
+		t.Fatalf("post-delete content sections = %d, want 0", len(got.Sections))
+	}
+}
+
 // TestGenerationBumpsAfterIndexing: by the time an ingest returns, the
 // store generation must be past any value a query could have snapshotted
 // while the derived indexes were still missing the document — otherwise

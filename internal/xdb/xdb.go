@@ -279,7 +279,7 @@ func (e *Engine) EnableCache(capacity int64) {
 		e.cache = nil
 		return
 	}
-	e.cache = newResultCache(capacity)
+	e.cache = newResultCache(capacity, e.stampResult, e.stampsFresh)
 }
 
 // CacheStats snapshots the result cache counters; ok is false when no
@@ -375,17 +375,89 @@ func resultTree(r *Result) *sgml.Node {
 	return r.XML()
 }
 
-// cacheKey builds the invalidation-aware cache key: both generation
-// counters prefix the canonical query encoding.
+// cacheKey builds the invalidation-aware cache key: the stylesheet
+// generation and the store fingerprint of exactly the structures the
+// query reads prefix the canonical query encoding.
+//
+// PR 2 keyed on one global store generation, so any write invalidated
+// every cached result and mixed read/write traffic ran every query cold.
+// The key now folds per-document generations collapsed to the structures
+// a query actually depends on: the per-term generations of its content
+// terms (each bumped only when a posting for that term is added or
+// removed — i.e. when a document containing the term is written or
+// deleted) and the per-heading generations of its context predicate.  A
+// write to document A therefore leaves cached queries that only touched
+// document B reachable; snapshotting the fingerprint *before* executing
+// preserves the PR 2 invariant that a result computed across a mutation
+// is cached under a key the mutation has already made unreachable.
 func (e *Engine) cacheKey(q Query) string {
 	var b strings.Builder
-	b.Grow(40)
-	b.WriteString(strconv.FormatUint(e.store.Generation(), 16))
-	b.WriteByte('|')
+	b.Grow(56)
 	b.WriteString(strconv.FormatUint(e.sheetGen.Load(), 16))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(e.storeFingerprint(q), 16))
 	b.WriteByte('|')
 	b.WriteString(q.Encode())
 	return b.String()
+}
+
+// storeFingerprint folds the generations of the store structures the
+// query's plan reads.
+func (e *Engine) storeFingerprint(q Query) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) { h = (h ^ v) * prime64 }
+	if q.XPath != "" {
+		// XPath plans reconstruct whole documents and may scan every one;
+		// any store mutation can change the answer, so they stay on the
+		// global generation.
+		mix(e.store.Generation())
+		return h
+	}
+	if q.Content != "" {
+		mix(e.store.ContentIndex().QueryGen(q.Content))
+	}
+	if q.Context != "" {
+		if q.ContextPrefix {
+			mix(e.store.ContextPrefixGen(q.Context))
+		} else {
+			mix(e.store.ContextGen(q.Context))
+		}
+	}
+	return h
+}
+
+// stampResult records the per-document generations of every document in
+// a result, captured at insert time; stampsFresh rechecks them on every
+// hit.  This is the belt-and-braces layer under the fingerprint keys: a
+// cached entry is served only while none of the documents it actually
+// returned has been mutated since.
+func (e *Engine) stampResult(r *Result) []docStamp {
+	var stamps []docStamp
+	seen := make(map[uint64]bool)
+	add := func(id uint64) {
+		if id == 0 || seen[id] {
+			return
+		}
+		seen[id] = true
+		stamps = append(stamps, docStamp{doc: id, gen: e.store.DocGeneration(id)})
+	}
+	for i := range r.Sections {
+		add(r.Sections[i].DocID)
+	}
+	for _, d := range r.Docs {
+		add(d.DocID)
+	}
+	return stamps
+}
+
+func (e *Engine) stampsFresh(stamps []docStamp) bool {
+	for _, st := range stamps {
+		if e.store.DocGeneration(st.doc) != st.gen {
+			return false
+		}
+	}
+	return true
 }
 
 // executeUncached evaluates the query against the store.

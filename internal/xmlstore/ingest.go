@@ -39,6 +39,10 @@ type preparedDoc struct {
 	recs  [][]byte     // pre-encoded pass-1 records
 	offs  [][]int      // per-record column payload offsets (for link patches)
 	toks  [][]textindex.Token
+	// governs[i] is the flat index of node i's governing CONTEXT (-1 =
+	// none), precomputed in the parse workers so the derived
+	// node→context index is a batch of map inserts, not a walk.
+	governs []int32
 }
 
 // prepareDocument runs every part of StoreDocument that does not touch
@@ -107,7 +111,66 @@ func (s *Store) prepareDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Co
 			p.toks[i] = textindex.Tokenize(fn.data)
 		}
 	}
+	p.governs = governingContexts(flat)
 	return p, nil
+}
+
+// governingContexts resolves, for every flattened node, the flat index of
+// its governing CONTEXT (-1 = none) using the memoized recurrence
+// equivalent to the §2.1.4 pointer-chasing walk:
+//
+//	govern(n) = prev != nil ? (prev is CONTEXT ? prev : govern(prev))
+//	          : parent != nil ? (parent is CONTEXT ? parent : govern(parent))
+//	          : none
+//
+// The resolution is iterative (an explicit chain instead of recursion) so
+// documents with ten-thousand-sibling runs cannot blow the stack, and
+// memoized so the whole document costs O(nodes).
+func governingContexts(flat []flatNode) []int32 {
+	const unresolved = -2
+	out := make([]int32, len(flat))
+	for i := range out {
+		out[i] = unresolved
+	}
+	var chain []int32
+	for i := range flat {
+		if out[i] != unresolved {
+			continue
+		}
+		chain = chain[:0]
+		j := int32(i)
+		for {
+			if out[j] != unresolved {
+				break
+			}
+			pred := flat[j].prev
+			if pred < 0 {
+				pred = flat[j].parent
+			}
+			switch {
+			case pred < 0:
+				out[j] = -1
+			case flat[pred].class == sgml.ClassContext:
+				out[j] = int32(pred)
+			case out[pred] != unresolved:
+				out[j] = out[pred]
+			default:
+				chain = append(chain, j)
+				j = int32(pred)
+				continue
+			}
+			break
+		}
+		for k := len(chain) - 1; k >= 0; k-- {
+			jj := chain[k]
+			pred := flat[jj].prev
+			if pred < 0 {
+				pred = flat[jj].parent
+			}
+			out[jj] = out[pred]
+		}
+	}
+	return out
 }
 
 // storePrepared performs the ordered write of a prepared document: the
@@ -125,6 +188,9 @@ func (s *Store) storePrepared(p *preparedDoc) (err error) {
 	defer func() {
 		if err != nil {
 			s.bumpGeneration()
+			// The document never became queryable, so no cached result
+			// can have stamped it; make sure no gen entry lingers.
+			s.pruneDocGeneration(p.docID)
 		}
 	}()
 	flat := p.flat
@@ -139,7 +205,9 @@ func (s *Store) storePrepared(p *preparedDoc) (err error) {
 	}
 
 	// Pass 2: patch physical links byte-for-byte (fixed-width payloads,
-	// unindexed columns — the record layout cannot change).
+	// unindexed columns — the record layout cannot change).  Each patch
+	// also fences the node cache: a concurrent query may have fetched and
+	// cached the pass-1 row (links still zeroed) between the two passes.
 	for i := range flat {
 		fn := &flat[i]
 		rec, offs := p.recs[i], p.offs[i]
@@ -149,6 +217,9 @@ func (s *Store) storePrepared(p *preparedDoc) (err error) {
 		putRID(rec[offs[xmlColChildRowID]:], linkRID(flat, fn.child))
 		if err := s.xml.UpdateInPlace(fn.rid, rec); err != nil {
 			return fmt.Errorf("xmlstore: patch links of node %d: %w", fn.nodeID, err)
+		}
+		if c := s.nodes; c != nil {
+			c.invalidate(fn.rid)
 		}
 	}
 
@@ -178,6 +249,21 @@ func (s *Store) storePrepared(p *preparedDoc) (err error) {
 // the derived indexes.  The indexes carry their own locks, so this stage
 // runs concurrently with the writer storing the next document.
 func (s *Store) indexPrepared(p *preparedDoc) {
+	// Governing-context entries land first: a text hit can only be found
+	// once its posting exists, and by then its ctxIdx entry must answer.
+	s.ctxIdxMu.Lock()
+	for i := range p.flat {
+		fn := &p.flat[i]
+		if fn.class != sgml.ClassText {
+			continue
+		}
+		if g := p.governs[i]; g >= 0 {
+			s.ctxIdx[fn.rid] = p.flat[g].rid
+		} else {
+			s.ctxIdx[fn.rid] = ordbms.ZeroRowID
+		}
+	}
+	s.ctxIdxMu.Unlock()
 	for i := range p.flat {
 		fn := &p.flat[i]
 		switch fn.class {
@@ -187,10 +273,11 @@ func (s *Store) indexPrepared(p *preparedDoc) {
 			s.addContextKey(fn.data, fn.rid)
 		}
 	}
-	// The ingest's generation bump: only now are tables AND derived
+	// The ingest's generation bumps: only now are tables AND derived
 	// indexes consistent, so only now may a query snapshot the new
-	// generation and cache what it sees.
+	// generations and cache what it sees.
 	s.bumpGeneration()
+	s.bumpDocGeneration(p.docID)
 }
 
 // putRID writes a RowID's 8-byte packed form into b — the single
@@ -377,19 +464,25 @@ func decodeAttrs(s string) []sgml.Attr {
 }
 
 // DeleteDocument removes a document: its DOC row, all its XML rows, and
-// their derived index entries.
+// their derived index entries (text postings, context keys, governing-
+// context map, cached node decodes).
 func (s *Store) DeleteDocument(docID uint64) error {
 	info, err := s.Document(docID)
 	if err != nil {
 		return err
 	}
 	// Past this point rows start disappearing; invalidate cached results
-	// whether or not the delete completes.
+	// whether or not the delete completes.  The doc generation is pruned
+	// rather than bumped: zero mismatches every stamp taken while the
+	// document was live, and dropping the entry keeps the map from
+	// growing with document churn.
 	defer s.bumpGeneration()
+	defer s.pruneDocGeneration(docID)
 	rids, err := s.xml.Lookup("docid", ordbms.I(int64(docID)))
 	if err != nil {
 		return err
 	}
+	var textRids []ordbms.RowID
 	for _, rid := range rids {
 		row, err := s.xml.Fetch(rid)
 		if err != nil {
@@ -401,12 +494,26 @@ func (s *Store) DeleteDocument(docID uint64) error {
 		switch sgml.NodeClass(row[xmlColNodeType].Int) {
 		case sgml.ClassText:
 			s.content.Remove(rid.Uint64())
+			textRids = append(textRids, rid)
 		case sgml.ClassContext:
 			s.removeContextKey(row[xmlColNodeData].Str, rid)
 		}
 		if err := s.xml.Delete(rid); err != nil && err != ordbms.ErrRecordDeleted {
 			return err
 		}
+		// Drop the cached decode after the row is gone, so a racing fill
+		// (which snapshotted its token before this invalidation) can never
+		// resurrect the record — essential once the heap reuses the slot.
+		if c := s.nodes; c != nil {
+			c.invalidate(rid)
+		}
+	}
+	if len(textRids) > 0 {
+		s.ctxIdxMu.Lock()
+		for _, rid := range textRids {
+			delete(s.ctxIdx, rid)
+		}
+		s.ctxIdxMu.Unlock()
 	}
 	return s.doc.Delete(info.RowID)
 }

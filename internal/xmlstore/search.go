@@ -1,8 +1,11 @@
 package xmlstore
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"netmark/internal/ordbms"
 	"netmark/internal/sgml"
@@ -19,11 +22,41 @@ import (
 //	found. [...] Once a particular CONTEXT is found, traversing back down
 //	the tree structure via the sibling node retrieves the corresponding
 //	content text."
+//
+// The implementation keeps the paper's plan but accelerates every stage
+// of the cold path: hits resolve to decoded nodes through the node cache
+// and batched heap fetches, the upward traversal is an O(1) probe of the
+// derived node→governing-CONTEXT index (the pointer-chasing walk remains
+// as the fallback and ablation baseline), and sections materialise on a
+// bounded worker pool with ordered emit and limit cancellation.
 
-// ContextFor walks from a node to its governing CONTEXT node: the nearest
+// ContextFor resolves a node to its governing CONTEXT node: the nearest
 // preceding heading in document order, at any ancestor level.  Returns
 // nil when the node has no governing context (raw XML with no headings).
+//
+// Text nodes resolve through the derived index maintained at ingest —
+// one map probe plus one (usually cached) node fetch, instead of an
+// O(siblings × depth) chain of row fetches.  Nodes without an index
+// entry fall back to the pointer-chasing walk.
 func (s *Store) ContextFor(n *Node) (*Node, error) {
+	if !s.ctxIdxOff {
+		s.ctxIdxMu.RLock()
+		rid, ok := s.ctxIdx[n.RowID]
+		s.ctxIdxMu.RUnlock()
+		if ok {
+			if rid.IsZero() {
+				return nil, nil
+			}
+			return s.FetchNode(rid)
+		}
+	}
+	return s.contextForWalk(n)
+}
+
+// contextForWalk is the paper's traversal: scan left across preceding
+// siblings, then climb, until the first CONTEXT node.  It is the
+// correctness baseline the derived index is tested against.
+func (s *Store) contextForWalk(n *Node) (*Node, error) {
 	cur := n
 	for cur != nil {
 		// Scan left across preceding siblings.
@@ -56,7 +89,9 @@ func (s *Store) ContextFor(n *Node) (*Node, error) {
 
 // SectionOf materialises the Section governed by a CONTEXT node:
 // the heading plus the text of everything between it and the next
-// CONTEXT at the same level (or the end of the parent).
+// CONTEXT at the same level (or the end of the parent).  The content is
+// assembled into one reused strings.Builder instead of a tree of
+// intermediate joins.
 func (s *Store) SectionOf(ctx *Node) (Section, error) {
 	sec := Section{
 		DocID:      ctx.DocID,
@@ -67,53 +102,74 @@ func (s *Store) SectionOf(ctx *Node) (Section, error) {
 		sec.DocName = info.FileName
 		sec.DocTitle = info.Title
 	}
-	var parts []string
+	var b strings.Builder
 	cur, err := s.NextSibling(ctx)
 	if err != nil {
 		return sec, err
 	}
 	for cur != nil && cur.Class != sgml.ClassContext {
-		txt, err := s.subtreeText(cur)
-		if err != nil {
+		if err := s.appendSubtreeText(cur, &b); err != nil {
 			return sec, err
-		}
-		if txt != "" {
-			parts = append(parts, txt)
 		}
 		cur, err = s.NextSibling(cur)
 		if err != nil {
 			return sec, err
 		}
 	}
-	sec.Content = strings.Join(parts, " ")
+	sec.Content = b.String()
 	return sec, nil
 }
 
-// subtreeText collects the text beneath a node by chasing child/sibling
-// links (physical hops only).
-func (s *Store) subtreeText(n *Node) (string, error) {
-	if n.Class == sgml.ClassText {
-		return strings.TrimSpace(n.Data), nil
+// appendSubtreeText walks the subtree under root in document order by
+// chasing child/sibling links iteratively (an explicit stack of pending
+// siblings instead of recursion-with-joins), appending each non-empty
+// trimmed text run to b, space-separated.
+func (s *Store) appendSubtreeText(root *Node, b *strings.Builder) error {
+	var stack []*Node
+	cur := root
+	for cur != nil {
+		if cur.Class == sgml.ClassText {
+			if t := strings.TrimSpace(cur.Data); t != "" {
+				if b.Len() > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(t)
+			}
+		}
+		// The next sibling comes after cur's whole subtree; queue it —
+		// except for root, whose siblings are outside the subtree.
+		if cur != root && !cur.NextRowID.IsZero() {
+			sib, err := s.FetchNode(cur.NextRowID)
+			if err != nil {
+				return err
+			}
+			stack = append(stack, sib)
+		}
+		if !cur.ChildRowID.IsZero() {
+			ch, err := s.FetchNode(cur.ChildRowID)
+			if err != nil {
+				return err
+			}
+			cur = ch
+			continue
+		}
+		if n := len(stack); n > 0 {
+			cur = stack[n-1]
+			stack = stack[:n-1]
+		} else {
+			cur = nil
+		}
 	}
-	var parts []string
-	child, err := s.FirstChild(n)
-	if err != nil {
+	return nil
+}
+
+// subtreeText collects the text beneath a node (physical hops only).
+func (s *Store) subtreeText(n *Node) (string, error) {
+	var b strings.Builder
+	if err := s.appendSubtreeText(n, &b); err != nil {
 		return "", err
 	}
-	for child != nil {
-		t, err := s.subtreeText(child)
-		if err != nil {
-			return "", err
-		}
-		if t != "" {
-			parts = append(parts, t)
-		}
-		child, err = s.NextSibling(child)
-		if err != nil {
-			return "", err
-		}
-	}
-	return strings.Join(parts, " "), nil
+	return b.String(), nil
 }
 
 // ContextSearch returns the sections whose heading matches the query
@@ -139,19 +195,80 @@ func (s *Store) ContextPrefixSearch(prefix string) ([]Section, error) {
 	return s.ContextPrefixSearchN(prefix, 0)
 }
 
-// ContextPrefixSearchN is ContextPrefixSearch with the limit pushed down.
+// ContextPrefixSearchN is ContextPrefixSearch with the limit pushed all
+// the way into candidate collection: instead of copying every matching
+// rowid under ctxMu, a capped query keeps only the `limit` physically
+// smallest candidates (a bounded max-heap), so Context=A*&limit=1 over a
+// million headings holds one rowid, not a million.  The physical-order
+// result prefix is unchanged; only a candidate deleted between the index
+// snapshot and materialisation can make a capped result shorter than an
+// uncapped one would have been.
 func (s *Store) ContextPrefixSearchN(prefix string, limit int) ([]Section, error) {
 	key := normalizeContext(prefix)
 	var rids []ordbms.RowID
 	s.ctxMu.RLock()
-	s.contexts.AscendPrefixFunc(key,
-		func(k string) bool { return strings.HasPrefix(k, key) },
-		func(_ string, vals []ordbms.RowID) bool {
-			rids = append(rids, vals...)
-			return true
-		})
+	if limit > 0 {
+		var bound ridBound
+		s.contexts.AscendPrefixFunc(key,
+			func(k string) bool { return strings.HasPrefix(k, key) },
+			func(_ string, vals []ordbms.RowID) bool {
+				for _, rid := range vals {
+					bound.push(rid, limit)
+				}
+				return true
+			})
+		rids = bound.rids
+	} else {
+		s.contexts.AscendPrefixFunc(key,
+			func(k string) bool { return strings.HasPrefix(k, key) },
+			func(_ string, vals []ordbms.RowID) bool {
+				rids = append(rids, vals...)
+				return true
+			})
+	}
 	s.ctxMu.RUnlock()
 	return s.sectionsForContexts(rids, limit)
+}
+
+// ridBound keeps the k physically-smallest RowIDs pushed into it, as a
+// max-heap rooted at rids[0].
+type ridBound struct {
+	rids []ordbms.RowID
+}
+
+func (h *ridBound) push(rid ordbms.RowID, k int) {
+	if len(h.rids) < k {
+		h.rids = append(h.rids, rid)
+		i := len(h.rids) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !h.rids[p].Less(h.rids[i]) {
+				break
+			}
+			h.rids[p], h.rids[i] = h.rids[i], h.rids[p]
+			i = p
+		}
+		return
+	}
+	if !rid.Less(h.rids[0]) {
+		return
+	}
+	h.rids[0] = rid
+	i, n := 0, len(h.rids)
+	for {
+		big, l, r := i, 2*i+1, 2*i+2
+		if l < n && h.rids[big].Less(h.rids[l]) {
+			big = l
+		}
+		if r < n && h.rids[big].Less(h.rids[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.rids[big], h.rids[i] = h.rids[i], h.rids[big]
+		i = big
+	}
 }
 
 func (s *Store) sectionsForContexts(rids []ordbms.RowID, limit int) ([]Section, error) {
@@ -163,35 +280,172 @@ func (s *Store) sectionsForContexts(rids []ordbms.RowID, limit int) ([]Section, 
 	return out, err
 }
 
+// sectionWorkers picks the materialisation fan-out for n candidates.
+func (s *Store) sectionWorkers(n int) int {
+	if n < 4 {
+		return 1
+	}
+	w := s.queryWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// sectionChunk bounds the per-batch bookkeeping of the parallel
+// materialisers, so a limit-capped query over a huge candidate list
+// allocates per chunk, not per corpus.
+const sectionChunk = 512
+
+// sectionOut is one materialised (or skipped, or failed) section slot.
+type sectionOut struct {
+	sec  Section
+	err  error
+	skip bool
+}
+
 // forEachContextSection materialises sections for CONTEXT rowids in
-// physical order, one at a time, until fn returns false — the shared
-// lazy kernel beneath every limit-aware context plan.  It sorts rids in
-// place; callers pass a private copy (snapshotted under ctxMu).
+// physical order until fn returns false — the shared lazy kernel beneath
+// every limit-aware context plan.  It sorts rids in place; callers pass
+// a private copy (snapshotted under ctxMu).  Candidates are resolved
+// through the node cache with batched heap fetches, and with more than
+// one query worker the sections themselves materialise concurrently with
+// ordered emit: results reach fn in exactly the physical order a serial
+// walk would produce, and a false return cancels the remaining work.
 func (s *Store) forEachContextSection(rids []ordbms.RowID, fn func(Section) bool) error {
 	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
-	for _, rid := range rids {
-		ctx, err := s.FetchNode(rid)
-		if err != nil {
-			if err == ordbms.ErrRecordDeleted {
-				continue
-			}
+	workers := s.sectionWorkers(len(rids))
+	for start := 0; start < len(rids); start += sectionChunk {
+		chunk := rids[start:min(start+sectionChunk, len(rids))]
+		stopped, err := s.emitContextChunk(chunk, workers, fn)
+		if err != nil || stopped {
 			return err
-		}
-		sec, err := s.SectionOf(ctx)
-		if err != nil {
-			if err == ordbms.ErrRecordDeleted {
-				// A concurrent delete removed part of this section between
-				// the index probe and the traversal: skip the section, the
-				// generation bump has already invalidated cached results.
-				continue
-			}
-			return err
-		}
-		if !fn(sec) {
-			return nil
 		}
 	}
 	return nil
+}
+
+// emitOrdered runs materialise(i) for i in [0, n) — serially when
+// workers <= 1, otherwise on a bounded worker pool — and feeds the
+// non-skipped results to fn in index order.  stopped reports that fn
+// returned false; remaining work is cancelled (workers check the stop
+// flag before claiming their next index, so overshoot is bounded by the
+// pool size).  This is the shared scaffold beneath every parallel
+// section materialiser.
+func (s *Store) emitOrdered(n, workers int, materialise func(int) sectionOut, fn func(Section) bool) (stopped bool, err error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			o := materialise(i)
+			if o.skip {
+				continue
+			}
+			if o.err != nil {
+				return false, o.err
+			}
+			if !fn(o.sec) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	outs := make([]sectionOut, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				outs[i] = materialise(i)
+				close(done[i])
+			}
+		}()
+	}
+	defer wg.Wait()
+	defer stop.Store(true)
+	for i := 0; i < n; i++ {
+		<-done[i]
+		o := &outs[i]
+		if o.skip {
+			continue
+		}
+		if o.err != nil {
+			return false, o.err
+		}
+		if !fn(o.sec) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// emitContextChunk materialises one chunk of CONTEXT rowids and emits the
+// sections in order.  stopped reports that fn returned false.
+func (s *Store) emitContextChunk(rids []ordbms.RowID, workers int, fn func(Section) bool) (stopped bool, err error) {
+	if workers <= 1 {
+		// Serial: one batched fetch resolves the whole chunk's headings.
+		nodes, err := s.fetchNodesBatch(rids)
+		if err != nil {
+			return false, err
+		}
+		return s.emitOrdered(len(nodes), 1, func(i int) sectionOut {
+			ctx := nodes[i]
+			if ctx == nil {
+				return sectionOut{skip: true} // deleted between snapshot and fetch
+			}
+			sec, serr := s.SectionOf(ctx)
+			if serr != nil {
+				if serr == ordbms.ErrRecordDeleted {
+					return sectionOut{skip: true}
+				}
+				return sectionOut{err: serr}
+			}
+			return sectionOut{sec: sec}
+		}, fn)
+	}
+	return s.emitOrdered(len(rids), workers, func(i int) sectionOut {
+		return s.materialiseContextSection(rids[i])
+	}, fn)
+}
+
+func (s *Store) materialiseContextSection(rid ordbms.RowID) sectionOut {
+	ctx, err := s.FetchNode(rid)
+	if err != nil {
+		if err == ordbms.ErrRecordDeleted {
+			return sectionOut{skip: true}
+		}
+		return sectionOut{err: err}
+	}
+	sec, err := s.SectionOf(ctx)
+	if err != nil {
+		if err == ordbms.ErrRecordDeleted {
+			// A concurrent delete removed part of this section between
+			// the index probe and the traversal: skip the section, the
+			// generation bump has already invalidated cached results.
+			return sectionOut{skip: true}
+		}
+		return sectionOut{err: err}
+	}
+	return sectionOut{sec: sec}
 }
 
 // ContentSearch returns the sections containing every term of the query:
@@ -214,63 +468,134 @@ func (s *Store) ContentSearchN(query string, limit int) ([]Section, error) {
 }
 
 // forEachContentSection runs the §2.1.4 kernel — text-index probe, then
-// upward traversal to each hit's governing context — yielding each
-// distinct section as soon as it is materialised, until fn returns
-// false.
+// resolution of each hit to its governing context — yielding each
+// distinct section as soon as it is materialised, in first-hit order,
+// until fn returns false.
+//
+// The kernel is a three-stage pipeline per chunk of hits: (1) batched
+// node-cache-aware fetch of the hit rows, (2) serial dedup of hits to
+// distinct section tasks via the derived context index (one map probe
+// per hit, no materialisation), (3) materialisation of the distinct
+// sections on the worker pool with ordered emit — so duplicate hits on
+// the same section cost a map probe, never a second traversal, and the
+// expensive stage parallelises over exactly the distinct sections.
 func (s *Store) forEachContentSection(query string, fn func(Section) bool) error {
 	hits := s.content.And(query)
-	seenCtx := make(map[ordbms.RowID]bool)
-	for _, h := range hits {
-		rid := ordbms.RowIDFromUint64(h)
-		node, err := s.FetchNode(rid)
+	if len(hits) == 0 {
+		return nil
+	}
+	rids := make([]ordbms.RowID, len(hits))
+	for i, h := range hits {
+		rids[i] = ordbms.RowIDFromUint64(h)
+	}
+	workers := s.sectionWorkers(len(rids))
+	seen := make(map[ordbms.RowID]bool)
+	var tasks []sectionTask
+	for start := 0; start < len(rids); start += sectionChunk {
+		chunk := rids[start:min(start+sectionChunk, len(rids))]
+		nodes, err := s.fetchNodesBatch(chunk)
 		if err != nil {
-			if err == ordbms.ErrRecordDeleted {
-				continue
-			}
 			return err
 		}
-		ctx, err := s.ContextFor(node)
-		if err != nil {
-			if err == ordbms.ErrRecordDeleted {
-				continue // hit's document being deleted concurrently
+		tasks = tasks[:0]
+		for _, node := range nodes {
+			if node == nil {
+				continue // deleted between index probe and fetch
 			}
-			return err
-		}
-		if ctx == nil {
-			// No governing heading (raw XML): report the parent element's
-			// subtree as the section, keyed by the hit itself.
-			if seenCtx[rid] {
-				continue
-			}
-			seenCtx[rid] = true
-			sec, err := s.fallbackSection(node)
+			task, key, skip, err := s.resolveSectionTask(node)
 			if err != nil {
-				if err == ordbms.ErrRecordDeleted {
-					continue
-				}
 				return err
 			}
-			if !fn(sec) {
-				return nil
-			}
-			continue
-		}
-		if seenCtx[ctx.RowID] {
-			continue
-		}
-		seenCtx[ctx.RowID] = true
-		sec, err := s.SectionOf(ctx)
-		if err != nil {
-			if err == ordbms.ErrRecordDeleted {
+			if skip || seen[key] {
 				continue
 			}
-			return err
+			seen[key] = true
+			tasks = append(tasks, task)
 		}
-		if !fn(sec) {
-			return nil
+		stopped, err := s.emitSectionTasks(tasks, workers, fn)
+		if err != nil || stopped {
+			return err
 		}
 	}
 	return nil
+}
+
+// sectionTask names one distinct section to materialise: a governing
+// CONTEXT (by rowid, or already fetched by the walk fallback), or a
+// heading-less hit to report through fallbackSection.
+type sectionTask struct {
+	ctxRID ordbms.RowID // governing context (zero = fallback section)
+	ctx    *Node        // already-fetched context, when the walk found it
+	hit    *Node        // the hit node (fallback sections only)
+}
+
+// resolveSectionTask maps a hit node to its section identity without
+// materialising anything: an O(1) probe of the derived index, with the
+// pointer-chasing walk as fallback.  key identifies the section for
+// dedup (the context rowid, or the hit's own rowid for heading-less
+// documents).
+func (s *Store) resolveSectionTask(node *Node) (task sectionTask, key ordbms.RowID, skip bool, err error) {
+	if !s.ctxIdxOff {
+		s.ctxIdxMu.RLock()
+		rid, ok := s.ctxIdx[node.RowID]
+		s.ctxIdxMu.RUnlock()
+		if ok {
+			if rid.IsZero() {
+				return sectionTask{hit: node}, node.RowID, false, nil
+			}
+			return sectionTask{ctxRID: rid}, rid, false, nil
+		}
+	}
+	ctx, werr := s.contextForWalk(node)
+	if werr != nil {
+		if werr == ordbms.ErrRecordDeleted {
+			return sectionTask{}, ordbms.ZeroRowID, true, nil // document mid-delete
+		}
+		return sectionTask{}, ordbms.ZeroRowID, false, werr
+	}
+	if ctx == nil {
+		return sectionTask{hit: node}, node.RowID, false, nil
+	}
+	return sectionTask{ctxRID: ctx.RowID, ctx: ctx}, ctx.RowID, false, nil
+}
+
+// materialiseSectionTask builds the section for one task.
+func (s *Store) materialiseSectionTask(task sectionTask) sectionOut {
+	ctx := task.ctx
+	if ctx == nil && !task.ctxRID.IsZero() {
+		var err error
+		if ctx, err = s.FetchNode(task.ctxRID); err != nil {
+			if err == ordbms.ErrRecordDeleted {
+				return sectionOut{skip: true}
+			}
+			return sectionOut{err: err}
+		}
+	}
+	var sec Section
+	var err error
+	if ctx != nil {
+		sec, err = s.SectionOf(ctx)
+	} else {
+		// No governing heading (raw XML): report the parent element's
+		// subtree as the section.
+		sec, err = s.fallbackSection(task.hit)
+	}
+	if err != nil {
+		if err == ordbms.ErrRecordDeleted {
+			return sectionOut{skip: true}
+		}
+		return sectionOut{err: err}
+	}
+	return sectionOut{sec: sec}
+}
+
+// emitSectionTasks materialises the distinct sections of one chunk and
+// emits them in first-hit order.  stopped reports that fn returned
+// false; remaining work is cancelled.
+func (s *Store) emitSectionTasks(tasks []sectionTask, workers int, fn func(Section) bool) (stopped bool, err error) {
+	return s.emitOrdered(len(tasks), workers, func(i int) sectionOut {
+		return s.materialiseSectionTask(tasks[i])
+	}, fn)
 }
 
 // fallbackSection builds a section for a text hit with no heading.
@@ -312,30 +637,34 @@ func (s *Store) ContentSearchDocsN(query string, limit int) ([]*DocInfo, error) 
 	hits := s.content.And(query)
 	seen := make(map[uint64]bool)
 	var out []*DocInfo
-	for _, h := range hits {
-		node, err := s.FetchNode(ordbms.RowIDFromUint64(h))
+	for start := 0; start < len(hits) && (limit <= 0 || len(out) < limit); start += sectionChunk {
+		end := min(start+sectionChunk, len(hits))
+		rids := make([]ordbms.RowID, end-start)
+		for i, h := range hits[start:end] {
+			rids[i] = ordbms.RowIDFromUint64(h)
+		}
+		nodes, err := s.fetchNodesBatch(rids)
 		if err != nil {
-			if err == ordbms.ErrRecordDeleted {
-				continue
-			}
 			return nil, err
 		}
-		if seen[node.DocID] {
-			continue
-		}
-		seen[node.DocID] = true
-		info, err := s.Document(node.DocID)
-		if err != nil {
-			if IsGone(err) {
-				// The DOC row vanished between the text hit and this
-				// lookup: the document is mid-delete, skip it.
+		for _, node := range nodes {
+			if node == nil || seen[node.DocID] {
 				continue
 			}
-			return nil, err
-		}
-		out = append(out, info)
-		if limit > 0 && len(out) >= limit {
-			break
+			seen[node.DocID] = true
+			info, err := s.Document(node.DocID)
+			if err != nil {
+				if IsGone(err) {
+					// The DOC row vanished between the text hit and this
+					// lookup: the document is mid-delete, skip it.
+					continue
+				}
+				return nil, err
+			}
+			out = append(out, info)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].DocID < out[j].DocID })

@@ -117,6 +117,44 @@ type Store struct {
 	// of CONTEXT nodes bearing it.
 	contexts *btree.Tree[string, ordbms.RowID]
 	ctxMu    sync.RWMutex
+	// ctxGens carries one mutation generation per normalised heading,
+	// assigned from ctxGenCounter on every insert or removal of a RowID
+	// under that heading.  Entries are never deleted (a tombstoned gen
+	// keeps "heading existed then vanished" distinguishable from "never
+	// existed"); result caches fold these into their keys the way they
+	// fold the text index's per-term gens.  Guarded by ctxMu.
+	ctxGens       map[string]uint64
+	ctxGenCounter uint64
+
+	// ctxIdx is the derived node→governing-CONTEXT index: for every TEXT
+	// node, the RowID of the heading that governs it (ZeroRowID when the
+	// document has no headings above the node).  Built from the flattened
+	// tree at ingest, rebuilt on open, patched on delete — it turns the
+	// §2.1.4 "traverse up via parent/sibling until the first context"
+	// walk into one map probe.
+	ctxIdxMu sync.RWMutex
+	ctxIdx   map[ordbms.RowID]ordbms.RowID
+	// ctxIdxOff disables the derived index so ContextFor falls back to
+	// the pointer-chasing walk — the kernel ablation knob, set during
+	// benchmark setup only.
+	ctxIdxOff bool
+
+	// nodes is the decoded-node cache (nil = disabled).  Set once via
+	// EnableNodeCache during setup, before the store serves traffic.
+	nodes *nodeCache
+
+	// queryWorkers bounds the section-materialisation fan-out of the
+	// search kernels (0 = GOMAXPROCS, 1 or negative = serial).  Set via
+	// SetQueryWorkers during setup.
+	queryWorkers int
+
+	// docGens tracks one mutation generation per document ID: bumped when
+	// the document becomes fully visible (tables + derived indexes) and
+	// again when a delete starts tearing it down.  Result caches validate
+	// entries against the generations of the documents they touched.
+	docGenMu      sync.RWMutex
+	docGens       map[uint64]uint64
+	docGenCounter uint64
 
 	// Stats counters.
 	statsMu       sync.Mutex
@@ -164,6 +202,9 @@ func Open(db *ordbms.DB) (*Store, error) {
 		db:         db,
 		content:    textindex.New(),
 		contexts:   btree.New[string, ordbms.RowID](strings.Compare),
+		ctxGens:    make(map[string]uint64),
+		ctxIdx:     make(map[ordbms.RowID]ordbms.RowID),
+		docGens:    make(map[uint64]uint64),
 		nextNodeID: 1,
 		nextDocID:  1,
 	}
@@ -202,9 +243,19 @@ func Open(db *ordbms.DB) (*Store, error) {
 	return s, nil
 }
 
-// rebuildDerived rescans the XML table to rebuild the text and context
-// indexes and the ID counters after reopening a persistent store.
+// rebuildDerived rescans the XML table to rebuild the text index, the
+// context index, the node→governing-CONTEXT index and the ID counters
+// after reopening a persistent store.
 func (s *Store) rebuildDerived() error {
+	// The scan collects a flatNode view of the stored forest (structural
+	// links remapped from RowIDs to slice indexes) so the governing-
+	// context resolution reuses the exact ingest-time algorithm
+	// (governingContexts) instead of a second implementation that could
+	// drift from it.
+	var flat []flatNode
+	idxOf := make(map[ordbms.RowID]int)
+	type pendingLinks struct{ prev, parent ordbms.RowID }
+	var pend []pendingLinks
 	maxNode, maxDoc := uint64(0), uint64(0)
 	err := s.xml.Scan(func(rid ordbms.RowID, row ordbms.Row) bool {
 		nodeID := uint64(row[xmlColNodeID].Int)
@@ -216,6 +267,12 @@ func (s *Store) rebuildDerived() error {
 			maxDoc = docID
 		}
 		class := sgml.NodeClass(row[xmlColNodeType].Int)
+		idxOf[rid] = len(flat)
+		flat = append(flat, flatNode{class: class, rid: rid, prev: -1, parent: -1, next: -1, child: -1})
+		pend = append(pend, pendingLinks{
+			prev:   bytesToRID(row[xmlColPrevRowID].Bytes),
+			parent: bytesToRID(row[xmlColParentRowID].Bytes),
+		})
 		switch class {
 		case sgml.ClassText:
 			s.content.Add(rid.Uint64(), row[xmlColNodeData].Str)
@@ -226,6 +283,25 @@ func (s *Store) rebuildDerived() error {
 	})
 	if err != nil {
 		return err
+	}
+	for i := range flat {
+		if j, ok := idxOf[pend[i].prev]; ok && !pend[i].prev.IsZero() {
+			flat[i].prev = j
+		}
+		if j, ok := idxOf[pend[i].parent]; ok && !pend[i].parent.IsZero() {
+			flat[i].parent = j
+		}
+	}
+	governs := governingContexts(flat)
+	for i := range flat {
+		if flat[i].class != sgml.ClassText {
+			continue
+		}
+		if g := governs[i]; g >= 0 {
+			s.ctxIdx[flat[i].rid] = flat[g].rid
+		} else {
+			s.ctxIdx[flat[i].rid] = ordbms.ZeroRowID
+		}
 	}
 	err = s.doc.Scan(func(_ ordbms.RowID, row ordbms.Row) bool {
 		if id := uint64(row[docColDocID].Int); id > maxDoc {
@@ -248,6 +324,8 @@ func (s *Store) addContextKey(heading string, rid ordbms.RowID) {
 	}
 	s.ctxMu.Lock()
 	s.contexts.Insert(key, rid)
+	s.ctxGenCounter++
+	s.ctxGens[key] = s.ctxGenCounter
 	s.ctxMu.Unlock()
 }
 
@@ -258,7 +336,92 @@ func (s *Store) removeContextKey(heading string, rid ordbms.RowID) {
 	}
 	s.ctxMu.Lock()
 	s.contexts.Delete(key, func(r ordbms.RowID) bool { return r == rid })
+	if len(s.contexts.Get(key)) == 0 {
+		// Last bearer gone: prune the gen entry so heading churn cannot
+		// grow the map without bound.  ContextGen reverts to 0, which
+		// differs from every generation the heading held while live, and
+		// the only results ever cached under 0 were computed while the
+		// heading was absent — i.e. empty, which is again correct.
+		delete(s.ctxGens, key)
+	} else {
+		s.ctxGenCounter++
+		s.ctxGens[key] = s.ctxGenCounter
+	}
 	s.ctxMu.Unlock()
+}
+
+// ContextGen returns the heading's mutation generation: it changes
+// exactly when a CONTEXT node bearing the (normalised) heading is added
+// or removed, and is zero for headings the store has never held.  Result
+// caches fold it into the key of an exact-context query, so writes that
+// never touch the heading leave cached results reachable.
+func (s *Store) ContextGen(heading string) uint64 {
+	key := normalizeContext(heading)
+	s.ctxMu.RLock()
+	g := s.ctxGens[key]
+	s.ctxMu.RUnlock()
+	return g
+}
+
+// ContextPrefixGen fingerprints the part of the context index a prefix
+// query reads: the set of matching headings and each one's generation.
+// Any heading added under, removed from, or mutated within the prefix
+// changes the value.  The ascent is bounded: a prefix matching more
+// than prefixGenKeyBudget headings folds the global generation instead,
+// so a cache-key computation never scans an unbounded slice of the
+// index under ctxMu (broad prefixes trade invalidation precision for
+// O(1) lookups).
+func (s *Store) ContextPrefixGen(prefix string) uint64 {
+	const prefixGenKeyBudget = 64
+	key := normalizeContext(prefix)
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	n := 0
+	s.ctxMu.RLock()
+	s.contexts.AscendPrefixFunc(key,
+		func(k string) bool { return strings.HasPrefix(k, key) },
+		func(k string, _ []ordbms.RowID) bool {
+			if n++; n > prefixGenKeyBudget {
+				return false
+			}
+			for i := 0; i < len(k); i++ {
+				h = (h ^ uint64(k[i])) * prime64
+			}
+			h = (h ^ s.ctxGens[k]) * prime64
+			return true
+		})
+	s.ctxMu.RUnlock()
+	if n > prefixGenKeyBudget {
+		h = (h ^ s.generation.Load()) * prime64
+	}
+	return h
+}
+
+// DocGeneration returns a document's mutation generation: assigned when
+// the document becomes fully queryable, pruned to zero when a delete
+// starts tearing it down.  Zero therefore means "not live" (never
+// stored, or deleted) — which mismatches every nonzero stamp a cached
+// result captured while the document was live, so stamp validation
+// still catches deletes while doc churn cannot grow the map without
+// bound.
+func (s *Store) DocGeneration(docID uint64) uint64 {
+	s.docGenMu.RLock()
+	g := s.docGens[docID]
+	s.docGenMu.RUnlock()
+	return g
+}
+
+func (s *Store) bumpDocGeneration(docID uint64) {
+	s.docGenMu.Lock()
+	s.docGenCounter++
+	s.docGens[docID] = s.docGenCounter
+	s.docGenMu.Unlock()
+}
+
+func (s *Store) pruneDocGeneration(docID uint64) {
+	s.docGenMu.Lock()
+	delete(s.docGens, docID)
+	s.docGenMu.Unlock()
 }
 
 // normalizeContext lowercases and squeezes whitespace so context matching
@@ -344,13 +507,136 @@ func bytesToRID(b []byte) ordbms.RowID {
 	return ordbms.RowIDFromUint64(v)
 }
 
+// EnableNodeCache attaches a decoded-node cache capped at capacity
+// bytes.  Call during setup, before the store serves traffic; capacity
+// <= 0 disables caching.  Nodes served from the cache are shared across
+// callers and must be treated as read-only (every traversal already
+// does).
+func (s *Store) EnableNodeCache(capacity int64) {
+	if capacity <= 0 {
+		s.nodes = nil
+		return
+	}
+	s.nodes = newNodeCache(capacity)
+}
+
+// NodeCacheStats snapshots the decoded-node cache counters; ok is false
+// when no cache is enabled.
+func (s *Store) NodeCacheStats() (stats NodeCacheStats, ok bool) {
+	if s.nodes == nil {
+		return NodeCacheStats{}, false
+	}
+	return s.nodes.stats(), true
+}
+
+// SetQueryWorkers bounds the section-materialisation fan-out used by the
+// search kernels: n <= 0 means GOMAXPROCS, 1 means serial.  Call during
+// setup.
+func (s *Store) SetQueryWorkers(n int) { s.queryWorkers = n }
+
+// SetContextIndexEnabled toggles the derived node→governing-CONTEXT
+// index consulted by ContextFor.  It exists for the kernel ablation
+// benchmarks (compare the O(1) probe against the paper's pointer-chasing
+// walk); call during setup only.
+func (s *Store) SetContextIndexEnabled(enabled bool) { s.ctxIdxOff = !enabled }
+
 // FetchNode reads the node at a physical RowID — one traversal hop.
+// With the node cache enabled a warm hop is a shard map probe; a cold
+// hop decodes straight from the latched page into a fresh Node with no
+// intermediate Row or record copy.
 func (s *Store) FetchNode(rid ordbms.RowID) (*Node, error) {
-	row, err := s.xml.Fetch(rid)
+	c := s.nodes
+	if c == nil {
+		return s.fetchNodeUncached(rid)
+	}
+	if n, ok := c.get(rid); ok {
+		return n, nil
+	}
+	token := c.beginFill(rid)
+	n, err := s.fetchNodeUncached(rid)
 	if err != nil {
 		return nil, err
 	}
-	return rowToNode(rid, row), nil
+	c.completeFill(rid, n, token)
+	return n, nil
+}
+
+// fetchNodeUncached is the cold fetch path: one shared table lock, one
+// page latch, and a decode into stack storage — no per-hop Row
+// allocation, no record copy.
+func (s *Store) fetchNodeUncached(rid ordbms.RowID) (*Node, error) {
+	var cols [xmlColAttrs + 1]ordbms.Value
+	err := s.xml.FetchView(rid, func(rec []byte) error {
+		return ordbms.DecodeRowInto(rec, cols[:])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		Attrs:       decodeAttrs(cols[xmlColAttrs].Str),
+		NodeID:      uint64(cols[xmlColNodeID].Int),
+		DocID:       uint64(cols[xmlColDocID].Int),
+		Class:       sgml.NodeClass(cols[xmlColNodeType].Int),
+		Name:        cols[xmlColNodeName].Str,
+		Data:        cols[xmlColNodeData].Str,
+		Ordinal:     int(cols[xmlColOrdinal].Int),
+		ParentID:    uint64(cols[xmlColParentNodeID].Int),
+		RowID:       rid,
+		ParentRowID: bytesToRID(cols[xmlColParentRowID].Bytes),
+		PrevRowID:   bytesToRID(cols[xmlColPrevRowID].Bytes),
+		NextRowID:   bytesToRID(cols[xmlColNextRowID].Bytes),
+		ChildRowID:  bytesToRID(cols[xmlColChildRowID].Bytes),
+	}, nil
+}
+
+// fetchNodesBatch resolves many RowIDs (sorted into physical order by
+// the caller) to decoded nodes: cache hits are probed first, the misses
+// go through Table.FetchMany in one lock acquisition, and the fresh
+// decodes are published to the cache under their fill tokens.  out[i] is
+// nil when rid i's record was deleted.
+func (s *Store) fetchNodesBatch(rids []ordbms.RowID) ([]*Node, error) {
+	out := make([]*Node, len(rids))
+	c := s.nodes
+	if c == nil {
+		rows, err := s.xml.FetchMany(rids)
+		if err != nil {
+			return nil, err
+		}
+		for i, row := range rows {
+			if row != nil {
+				out[i] = rowToNode(rids[i], row)
+			}
+		}
+		return out, nil
+	}
+	var missIdx []int
+	var missRids []ordbms.RowID
+	var tokens []uint64
+	for i, rid := range rids {
+		if n, ok := c.get(rid); ok {
+			out[i] = n
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missRids = append(missRids, rid)
+		tokens = append(tokens, c.beginFill(rid))
+	}
+	if len(missRids) == 0 {
+		return out, nil
+	}
+	rows, err := s.xml.FetchMany(missRids)
+	if err != nil {
+		return nil, err
+	}
+	for j, row := range rows {
+		if row == nil {
+			continue
+		}
+		n := rowToNode(missRids[j], row)
+		out[missIdx[j]] = n
+		c.completeFill(missRids[j], n, tokens[j])
+	}
+	return out, nil
 }
 
 // FetchNodeByID resolves a node through the NODEID secondary index — the
