@@ -22,17 +22,19 @@ race:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# bench-smoke runs each serving / cold-kernel benchmark case once: it
-# proves the serving path, both caches, the write-heavy mixed workload
-# and the accelerated query kernel still execute, without the cost of a
-# timed benchmark run.
+# bench-smoke runs each serving / cold-kernel / reopen benchmark case
+# once: it proves the serving path, both caches, the write-heavy mixed
+# workload, the accelerated query kernel and the snapshot reopen path
+# still execute, without the cost of a timed benchmark run.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkServeParallel|BenchmarkMixedWriteHeavy|BenchmarkColdContentSearch' -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkServeParallel|BenchmarkMixedWriteHeavy|BenchmarkColdContentSearch|BenchmarkReopen' -benchtime 1x .
 
 # bench-json runs the perf-trajectory benchmark suite and records the
 # results (parsed numbers + benchstat-parseable raw lines) in
-# BENCH_PR3.json, so regressions are diffable across PRs.
+# $(BENCH_OUT), so regressions are diffable across PRs.  Override the
+# output file per PR: make bench-json BENCH_OUT=BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR4.json
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkColdContentSearch|BenchmarkMixedWriteHeavy|BenchmarkServeParallel|BenchmarkFig6' -benchmem -benchtime 2s . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+	$(GO) test -run xxx -bench 'BenchmarkColdContentSearch|BenchmarkMixedWriteHeavy|BenchmarkServeParallel|BenchmarkFig6|BenchmarkReopen' -benchmem -benchtime 2s . \
+		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)

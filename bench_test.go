@@ -673,3 +673,61 @@ func BenchmarkServeParallel(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkReopen measures restarting the middle tier over an existing
+// persistent store — the paper keeps everything derivable in the ORDBMS,
+// so before PR 4 every reopen rebuilt the text index, context btree,
+// node→CONTEXT map, and all secondary indexes by scanning the entire
+// heap, making restart O(corpus).
+//
+//	snapshot = load every derived structure from the checkpoint
+//	           snapshots (stamp-validated against catalog + WAL)
+//	scan     = the ablation: force the full-scan rebuild
+//
+// The acceptance bar for PR 4 is snapshot reopen ≥10x faster than scan
+// reopen on the DeepReports corpus, with the gap widening as the corpus
+// grows (snapshot cost tracks derived-state size, not heap size).
+func BenchmarkReopen(b *testing.B) {
+	for _, docs := range []int{8, 32} {
+		dir := b.TempDir()
+		db, err := ordbms.Open(ordbms.Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := xmlstore.Open(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := corpus.New(61)
+		for _, d := range gen.DeepReports(docs, 6, 24, 16) {
+			if _, err := s.StoreRaw(d.Name, d.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		reopen := func(b *testing.B, disable bool) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db, err := ordbms.Open(ordbms.Options{Dir: dir, NoDerivedSnapshot: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := xmlstore.OpenWith(db, xmlstore.OpenOptions{DisableSnapshot: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st := s.SnapshotStats(); st.Loaded == disable {
+					b.Fatalf("unexpected snapshot state: %+v", st)
+				}
+				b.StopTimer()
+				db.CloseDiscard()
+				b.StartTimer()
+			}
+		}
+		b.Run(fmt.Sprintf("snapshot/docs=%d", docs), func(b *testing.B) { reopen(b, false) })
+		b.Run(fmt.Sprintf("scan/docs=%d", docs), func(b *testing.B) { reopen(b, true) })
+	}
+}

@@ -39,6 +39,8 @@ func main() {
 		"decoded-node cache cap in bytes (0 = default 32 MiB, negative = disabled)")
 	queryWorkers := flag.Int("query-workers", 0,
 		"section materialisation workers per query (0 = GOMAXPROCS, 1 = serial)")
+	snapshots := flag.Bool("snapshots", true,
+		"load/save derived-index snapshots at checkpoints; disable to force the full-scan rebuild on open")
 	var banks stringList
 	flag.Var(&banks, "bank", "databank spec JSON file (repeatable)")
 	var sheets stringList
@@ -48,6 +50,7 @@ func main() {
 	nm, err := netmark.Open(netmark.Config{
 		Dir: *dir, DropDir: *drop, PollInterval: *poll,
 		CacheBytes: *cacheBytes, NodeCacheBytes: *nodeCacheBytes, QueryWorkers: *queryWorkers,
+		DisableSnapshots: !*snapshots,
 	})
 	if err != nil {
 		log.Fatalf("open: %v", err)

@@ -335,3 +335,101 @@ func (t *Tree[K, V]) Max() (K, bool) {
 		}
 	}
 }
+
+// Builder constructs a tree from keys fed in strictly ascending order in
+// O(n), bypassing per-insert descent, splits, and copying.  Snapshot
+// loaders use it: checkpointed indexes are serialised in tree order, so
+// reloading them need not pay n log n re-insertion.
+type Builder[K any, V any] struct {
+	cmp   func(a, b K) int
+	order int
+	fill  int // keys per leaf / children per interior while building
+	leaf  *leaf[K, V]
+	prev  *leaf[K, V]
+	// level 0 collects (minKey, leaf) pairs; build folds them upward.
+	minKeys []K
+	nodes   []node[K, V]
+	keys    int
+	size    int
+}
+
+// NewBuilder starts a bulk build with the given comparison and order
+// (minimum 4, as NewWithOrder).
+func NewBuilder[K any, V any](cmp func(a, b K) int, order int) *Builder[K, V] {
+	if order < 4 {
+		order = 4
+	}
+	// Three-quarter fill leaves room for later inserts without immediate
+	// splits while keeping the tree shallow.
+	fill := (order * 3) / 4
+	if fill < 2 {
+		fill = 2
+	}
+	return &Builder[K, V]{cmp: cmp, order: order, fill: fill}
+}
+
+// Append adds the next key with its values.  Keys must arrive in strictly
+// ascending order; vals is retained (not copied) exactly as Insert would
+// have accumulated it.
+func (b *Builder[K, V]) Append(k K, vals []V) {
+	if b.leaf == nil {
+		b.leaf = &leaf[K, V]{
+			keys: make([]K, 0, b.fill),
+			vals: make([][]V, 0, b.fill),
+			prev: b.prev,
+		}
+		if b.prev != nil {
+			b.prev.next = b.leaf
+		}
+		b.minKeys = append(b.minKeys, k)
+		b.nodes = append(b.nodes, b.leaf)
+	}
+	b.leaf.keys = append(b.leaf.keys, k)
+	b.leaf.vals = append(b.leaf.vals, vals)
+	b.keys++
+	b.size += len(vals)
+	if len(b.leaf.keys) == b.fill {
+		b.prev = b.leaf
+		b.leaf = nil
+	}
+}
+
+// Tree finishes the build and returns the tree.  The builder must not be
+// used afterwards.
+func (b *Builder[K, V]) Tree() *Tree[K, V] {
+	t := &Tree[K, V]{cmp: b.cmp, order: b.order, keys: b.keys, size: b.size}
+	if len(b.nodes) == 0 {
+		t.root = &leaf[K, V]{}
+		t.height = 1
+		return t
+	}
+	minKeys, nodes := b.minKeys, b.nodes
+	t.height = 1
+	for len(nodes) > 1 {
+		var upKeys []K
+		var upNodes []node[K, V]
+		for i := 0; i < len(nodes); {
+			end := i + b.fill
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			if len(nodes)-end == 1 {
+				// Never leave a single orphan child for the final chunk: an
+				// interior node needs at least two children (fill >= 3, so
+				// this chunk keeps at least two as well).
+				end--
+			}
+			in := &interior[K, V]{
+				keys:     append([]K(nil), minKeys[i+1:end]...),
+				children: append([]node[K, V](nil), nodes[i:end]...),
+			}
+			upKeys = append(upKeys, minKeys[i])
+			upNodes = append(upNodes, in)
+			i = end
+		}
+		minKeys, nodes = upKeys, upNodes
+		t.height++
+	}
+	t.root = nodes[0]
+	return t
+}

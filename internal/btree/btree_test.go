@@ -342,3 +342,65 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(i % 100000)
 	}
 }
+
+// TestBuilderMatchesInsert builds trees of many sizes and orders via the
+// bulk Builder and verifies they are indistinguishable from insert-built
+// trees: same lookups, ranges, ascents, and continued mutability.
+func TestBuilderMatchesInsert(t *testing.T) {
+	cmp := func(a, b int) int { return a - b }
+	for _, order := range []int{4, 8, 64} {
+		for _, n := range []int{0, 1, 2, 3, 5, 17, 64, 65, 1000} {
+			b := NewBuilder[int, int](cmp, order)
+			want := NewWithOrder[int, int](cmp, order)
+			for k := 0; k < n; k++ {
+				vals := []int{k * 10}
+				if k%3 == 0 {
+					vals = append(vals, k*10+1)
+				}
+				b.Append(k*2, vals)
+				for _, v := range vals {
+					want.Insert(k*2, v)
+				}
+			}
+			got := b.Tree()
+			if got.Keys() != want.Keys() || got.Len() != want.Len() {
+				t.Fatalf("order=%d n=%d: keys/len = %d/%d, want %d/%d",
+					order, n, got.Keys(), got.Len(), want.Keys(), want.Len())
+			}
+			for k := -1; k <= n*2+1; k++ {
+				g, w := got.Get(k), want.Get(k)
+				if len(g) != len(w) {
+					t.Fatalf("order=%d n=%d: Get(%d) = %v, want %v", order, n, k, g, w)
+				}
+				for i := range g {
+					if g[i] != w[i] {
+						t.Fatalf("order=%d n=%d: Get(%d) = %v, want %v", order, n, k, g, w)
+					}
+				}
+			}
+			var ks []int
+			got.Ascend(func(k int, _ []int) bool { ks = append(ks, k); return true })
+			for i := 1; i < len(ks); i++ {
+				if ks[i-1] >= ks[i] {
+					t.Fatalf("order=%d n=%d: ascend out of order at %d", order, n, i)
+				}
+			}
+			if len(ks) != n {
+				t.Fatalf("order=%d n=%d: ascend saw %d keys", order, n, len(ks))
+			}
+			// The built tree must keep accepting inserts and deletes.
+			got.Insert(1, 999) // odd key, never built
+			if vs := got.Get(1); len(vs) != 1 || vs[0] != 999 {
+				t.Fatalf("order=%d n=%d: post-build insert lost", order, n)
+			}
+			if n > 2 {
+				if removed := got.DeleteKey(2); removed == 0 {
+					t.Fatalf("order=%d n=%d: post-build delete found nothing", order, n)
+				}
+				if got.Get(2) != nil {
+					t.Fatalf("order=%d n=%d: deleted key still present", order, n)
+				}
+			}
+		}
+	}
+}

@@ -57,6 +57,13 @@ type Config struct {
 	// QueryWorkers bounds the section-materialisation fan-out of search
 	// queries (0 = GOMAXPROCS, 1 = serial).
 	QueryWorkers int
+	// DisableSnapshots turns off the derived-state snapshots written at
+	// every checkpoint (the engine's heap-metadata/secondary-index
+	// snapshot and the XML store's text/context/generation snapshot) and
+	// forces the full-scan rebuild on open.  Snapshots make reopening a
+	// large store independent of corpus size; disable only for ablation
+	// measurements or when a snapshot is suspected of divergence.
+	DisableSnapshots bool
 }
 
 // DefaultCacheBytes is the query result cache cap used when Config
@@ -84,11 +91,15 @@ type Netmark struct {
 
 // Open creates or reopens an instance.
 func Open(cfg Config) (*Netmark, error) {
-	db, err := ordbms.Open(ordbms.Options{Dir: cfg.Dir, PoolPages: cfg.PoolPages})
+	db, err := ordbms.Open(ordbms.Options{
+		Dir:               cfg.Dir,
+		PoolPages:         cfg.PoolPages,
+		NoDerivedSnapshot: cfg.DisableSnapshots,
+	})
 	if err != nil {
 		return nil, err
 	}
-	store, err := xmlstore.Open(db)
+	store, err := xmlstore.OpenWith(db, xmlstore.OpenOptions{DisableSnapshot: cfg.DisableSnapshots})
 	if err != nil {
 		db.Close()
 		return nil, err

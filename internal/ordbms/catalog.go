@@ -13,7 +13,13 @@ import (
 // reproduction (a production engine would self-host it in pages).
 
 type catalogFile struct {
-	Tables []catalogTable `json:"tables"`
+	// Generation counts catalog saves.  Derived-state snapshots (the
+	// engine's own index/heap-meta snapshot and any store-level snapshot
+	// written by a pre-checkpoint hook) are stamped with the generation
+	// they were written under; a snapshot whose stamp does not match the
+	// catalog on disk is from a different checkpoint and must be ignored.
+	Generation uint64         `json:"generation"`
+	Tables     []catalogTable `json:"tables"`
 }
 
 type catalogTable struct {
@@ -30,11 +36,16 @@ type catalogColumn struct {
 
 const catalogName = "catalog.json"
 
-func (db *DB) saveCatalogLocked() error {
+// saveCatalogLocked persists the catalog under the given generation.
+// The write is crash-durable: temp file, fsync, rename, directory fsync.
+// Without the fsync a crash right after DB.Checkpoint truncates the WAL
+// could lose the catalog while the log that could have reconstructed the
+// table layout is already gone.
+func (db *DB) saveCatalogLocked(gen uint64) error {
 	if db.dir == "" {
 		return nil
 	}
-	var cf catalogFile
+	cf := catalogFile{Generation: gen}
 	for _, name := range db.tableNamesLocked() {
 		t := db.tables[name]
 		ct := catalogTable{Name: t.name, Pages: t.heap.Pages()}
@@ -50,11 +61,38 @@ func (db *DB) saveCatalogLocked() error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(db.dir, catalogName+".tmp")
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	ci := CheckpointInfo{Dir: db.dir, Fault: db.ckptFault}
+	return ci.WriteSnapshotFile(catalogName, b, "catalog")
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(db.dir, catalogName))
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (db *DB) loadCatalog() error {
@@ -70,6 +108,10 @@ func (db *DB) loadCatalog() error {
 	if err := json.Unmarshal(b, &cf); err != nil {
 		return fmt.Errorf("ordbms: corrupt catalog: %w", err)
 	}
+	db.catalogGen = cf.Generation
+	// A valid derived snapshot replaces the per-table heap scans (row
+	// count, free-space map, secondary index rebuilds) with direct loads.
+	der := db.loadDerivedSnapshot(cf.Generation)
 	for _, ct := range cf.Tables {
 		cols := make([]Column, len(ct.Columns))
 		for i, c := range ct.Columns {
@@ -79,10 +121,36 @@ func (db *DB) loadCatalog() error {
 		if err != nil {
 			return err
 		}
+		// Adopt pages the WAL allocated to this table after the catalog
+		// was last saved — the catalog only learns about pages at
+		// checkpoints, so after a crash the log is the page-ownership
+		// truth for the gap.
+		grew := false
+		known := make(map[uint32]bool, len(ct.Pages))
+		for _, p := range ct.Pages {
+			known[p] = true
+		}
+		for _, p := range db.walAllocs[ct.Name] {
+			if !known[p] {
+				known[p] = true
+				ct.Pages = append(ct.Pages, p)
+				grew = true
+				db.allocsGrew = true
+			}
+		}
+		if der != nil && !grew {
+			if t, ok := der.openTable(db, ct, schema); ok {
+				t.heap.tag = ct.Name
+				db.tables[ct.Name] = t
+				db.DerivedLoads++
+				continue
+			}
+		}
 		heap, err := OpenHeapFile(db.pool, db.wal, ct.Pages)
 		if err != nil {
 			return err
 		}
+		heap.tag = ct.Name
 		t := &Table{db: db, name: ct.Name, schema: schema, heap: heap, indexes: make(map[string]*Index)}
 		for _, col := range ct.Indexes {
 			if err := t.buildIndex(col); err != nil {

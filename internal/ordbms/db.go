@@ -18,6 +18,11 @@ type Options struct {
 	// SyncOnCommit forces an fsync of the WAL on every Commit call.
 	// Defaults to true for durable stores.
 	NoSyncOnCommit bool
+	// NoDerivedSnapshot disables writing and loading the engine's derived
+	// snapshot (heap metadata + secondary index contents), forcing the
+	// full-scan rebuild on every open — the ablation knob for measuring
+	// what the snapshot buys.
+	NoDerivedSnapshot bool
 }
 
 // DB is the database engine facade: a disk manager, buffer pool, WAL and a
@@ -32,9 +37,84 @@ type DB struct {
 
 	tables map[string]*Table
 
+	// catalogGen is the generation of the catalog as loaded from disk,
+	// advanced on every successful checkpoint.  Snapshot stamps compare
+	// against it.
+	catalogGen uint64
+
+	// preCkpt holds the registered pre-checkpoint hooks, run inside the
+	// checkpoint critical section after all pages are flushed and before
+	// the catalog is saved and the WAL truncated.
+	preCkpt []func(CheckpointInfo) error
+
+	// ckptFault, when set, injects a simulated crash at a named step of
+	// the checkpoint sequence (test-only; see SetCheckpointFault).
+	ckptFault func(step string) error
+
+	// walAllocs maps table name to pages the WAL says it adopted —
+	// collected during recovery, merged into the catalog page lists by
+	// loadCatalog (the catalog only learns about pages at checkpoints).
+	walAllocs map[string][]uint32
+	// allocsGrew reports that some table's page list had to be extended
+	// beyond what the catalog recorded.
+	allocsGrew bool
+	// walEndAtOpen is the WAL's end LSN captured right after recovery —
+	// the stamp persisted derived snapshots must carry to be current.
+	walEndAtOpen uint64
+
 	// Replayed reports how many WAL records crash recovery applied when
 	// the store was opened (0 for clean shutdowns and fresh stores).
 	Replayed int
+
+	// DerivedLoads reports how many tables were opened from the derived
+	// snapshot instead of a heap scan (0 when the snapshot was missing,
+	// stale, corrupt, or disabled).
+	DerivedLoads int
+}
+
+// CheckpointInfo is handed to pre-checkpoint hooks.  At hook time every
+// dirty page is flushed and fsynced; CatalogGen and LSN are the stamps
+// the checkpoint is about to commit, so derived state persisted under
+// them is exactly as current as the catalog and WAL the reopening
+// process will observe.
+type CheckpointInfo struct {
+	// Dir is the database directory the hook should persist into.
+	Dir string
+	// CatalogGen is the catalog generation this checkpoint will write.
+	CatalogGen uint64
+	// LSN is the WAL LSN the checkpoint truncates through — the new base
+	// LSN after the checkpoint completes.
+	LSN uint64
+	// Fault is the test-only crash injector (nil in production): hooks
+	// performing multi-step writes call it between steps and abort when
+	// it returns an error, leaving files as a crash would.
+	Fault func(step string) error
+}
+
+// WriteSnapshotFile commits a snapshot into the checkpoint's directory
+// with the engine's crash-durability sequence — temp file, fsync,
+// rename, directory fsync — calling the fault injector (when armed) at
+// "<step>-temp" and "<step>-rename".  Hooks use it so every snapshot in
+// the checkpoint shares one implementation of the atomic write.
+func (ci CheckpointInfo) WriteSnapshotFile(name string, data []byte, step string) error {
+	path := filepath.Join(ci.Dir, name)
+	if err := writeFileSync(path+".tmp", data); err != nil {
+		return err
+	}
+	if ci.Fault != nil {
+		if err := ci.Fault(step + "-temp"); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	if ci.Fault != nil {
+		if err := ci.Fault(step + "-rename"); err != nil {
+			return err
+		}
+	}
+	return syncDir(ci.Dir)
 }
 
 // Open creates or reopens a database.
@@ -64,17 +144,39 @@ func Open(opts Options) (*DB, error) {
 	db.wal = wal
 	db.pool = NewBufferPool(disk, opts.PoolPages)
 	wal.AttachTo(db.pool)
-	replayed, err := Recover(disk, db.pool, wal)
+	replayed, allocs, ops, torn, err := Recover(disk, db.pool, wal)
 	if err != nil {
 		wal.Close()
 		disk.Close()
 		return nil, fmt.Errorf("ordbms: recovery failed: %w", err)
 	}
 	db.Replayed = replayed
+	db.walAllocs = allocs
+	db.walEndAtOpen = wal.SyncedLSN()
 	if err := db.loadCatalog(); err != nil {
 		wal.Close()
 		disk.Close()
 		return nil, err
+	}
+	if err := db.applyRecoveredOps(ops); err != nil {
+		wal.Close()
+		disk.Close()
+		return nil, err
+	}
+	if replayed > 0 || db.allocsGrew || torn {
+		// Re-establish the checkpoint invariants recovery consumed: the
+		// catalog must record every page the replayed records adopted
+		// before those records can be dropped, so run the full sequence
+		// (derived snapshot, catalog, WAL truncation) rather than bare
+		// WAL surgery.  A torn tail forces this too — new records
+		// appended after surviving garbage would be unreachable by the
+		// next replay, so the garbage must be truncated away before any
+		// append happens.
+		if err := db.Checkpoint(); err != nil {
+			wal.Close()
+			disk.Close()
+			return nil, fmt.Errorf("ordbms: post-recovery checkpoint: %w", err)
+		}
 	}
 	return db, nil
 }
@@ -102,8 +204,60 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 		heap:    NewHeapFile(db.pool, db.wal),
 		indexes: make(map[string]*Index),
 	}
+	t.heap.tag = name
+	if db.wal != nil {
+		db.wal.LogCreateTable(name, schema)
+	}
 	db.tables[name] = t
 	return t, nil
+}
+
+// applyRecoveredOps replays logged DDL the catalog has not seen: tables
+// created (with their committed pages), indexes added, tables dropped —
+// all since the last checkpoint.  Ops the catalog already reflects are
+// skipped; applying anything marks the catalog stale so Open runs a
+// full checkpoint to persist the merged state.
+func (db *DB) applyRecoveredOps(ops []RecoveredOp) error {
+	for _, op := range ops {
+		switch op.Kind {
+		case walCreateTable:
+			if _, exists := db.tables[op.Table]; exists {
+				continue
+			}
+			schema, err := NewSchema(op.Cols...)
+			if err != nil {
+				return fmt.Errorf("ordbms: recovered create of %q: %w", op.Table, err)
+			}
+			heap, err := OpenHeapFile(db.pool, db.wal, db.walAllocs[op.Table])
+			if err != nil {
+				return err
+			}
+			heap.tag = op.Table
+			db.tables[op.Table] = &Table{
+				db: db, name: op.Table, schema: schema,
+				heap: heap, indexes: make(map[string]*Index),
+			}
+			db.allocsGrew = true
+		case walCreateIndex:
+			t := db.tables[op.Table]
+			if t == nil {
+				continue
+			}
+			if _, dup := t.indexes[op.Column]; dup {
+				continue
+			}
+			if err := t.buildIndex(op.Column); err != nil {
+				return err
+			}
+			db.allocsGrew = true
+		case walDropTable:
+			if _, ok := db.tables[op.Table]; ok {
+				delete(db.tables, op.Table)
+				db.allocsGrew = true
+			}
+		}
+	}
+	return nil
 }
 
 // Table returns the named table, or nil.
@@ -120,6 +274,9 @@ func (db *DB) DropTable(name string) error {
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
 		return fmt.Errorf("ordbms: no table %q", name)
+	}
+	if db.wal != nil {
+		db.wal.LogDropTable(name)
 	}
 	delete(db.tables, name)
 	return nil
@@ -164,24 +321,108 @@ func (db *DB) WALStats() (appends, syncs uint64) {
 	return db.wal.Appends(), db.wal.Syncs()
 }
 
-// Checkpoint flushes all pages, persists the catalog, and truncates the
-// WAL.  After a checkpoint, reopening replays nothing.
+// RegisterPreCheckpointHook installs fn to run inside every checkpoint's
+// critical section, after all pages are flushed and before the catalog
+// is saved and the WAL truncated.  Stores layered on the engine persist
+// their derived state here, stamped with the CheckpointInfo values, so a
+// reopen can tell exactly whether that state matches the heap.  A hook
+// error aborts the checkpoint (the WAL keeps its records, so nothing is
+// lost).  Hooks must not call back into DB methods.
+func (db *DB) RegisterPreCheckpointHook(fn func(CheckpointInfo) error) {
+	db.mu.Lock()
+	db.preCkpt = append(db.preCkpt, fn)
+	db.mu.Unlock()
+}
+
+// CatalogGen returns the catalog generation currently on disk.
+func (db *DB) CatalogGen() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.catalogGen
+}
+
+// WALBaseLSN returns the LSN the on-disk log starts at (0 for in-memory
+// stores).
+func (db *DB) WALBaseLSN() uint64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.BaseLSN()
+}
+
+// WALEndLSN returns the log's end LSN as captured at open, before any
+// new activity.  A derived snapshot is current exactly when it is
+// stamped with this LSN and recovery replayed nothing: every logged
+// record was already reflected in the flushed heap the snapshot
+// serialised, and nothing was logged since.
+func (db *DB) WALEndLSN() uint64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.walEndAtOpen
+}
+
+// Dir returns the storage directory ("" for in-memory stores).
+func (db *DB) Dir() string { return db.dir }
+
+// SetCheckpointFault installs a test-only crash injector: fn is invoked
+// at each named step of the checkpoint sequence ("snapshot-temp",
+// "snapshot-rename", "derived-temp", "derived-rename", "catalog-temp",
+// "catalog-rename", "wal-temp", "wal-rename") and a returned error
+// aborts the checkpoint at that point, leaving the files exactly as a
+// crash there would.  Never set in production.
+func (db *DB) SetCheckpointFault(fn func(step string) error) {
+	db.mu.Lock()
+	db.ckptFault = fn
+	db.mu.Unlock()
+}
+
+// Checkpoint flushes all pages, persists derived snapshots and the
+// catalog, and truncates the WAL.  After a clean checkpoint, reopening
+// replays nothing and loads derived state directly.
+//
+// The sequence is crash-safe at every step: the catalog and the WAL
+// successor are written temp-file-first with fsyncs and committed by
+// rename, and every derived snapshot is stamped with the catalog
+// generation and checkpoint LSN so a reopen after a mid-sequence crash
+// either sees matching stamps (state is current) or falls back to the
+// WAL replay + full-scan rebuild path.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	var cut uint64
 	if db.wal != nil {
 		if err := db.wal.Sync(); err != nil {
 			return err
 		}
+		// Records at or below cut are covered by the page flush below;
+		// records appended after it (concurrent writers) survive the
+		// truncation as the new log's tail.
+		cut = db.wal.SyncedLSN()
 	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
-	if err := db.saveCatalogLocked(); err != nil {
-		return err
+	if db.dir != "" {
+		gen := db.catalogGen + 1
+		info := CheckpointInfo{Dir: db.dir, CatalogGen: gen, LSN: cut, Fault: db.ckptFault}
+		for _, hook := range db.preCkpt {
+			if err := hook(info); err != nil {
+				return err
+			}
+		}
+		if !db.opts.NoDerivedSnapshot {
+			if err := db.saveDerivedLocked(gen, cut); err != nil {
+				return err
+			}
+		}
+		if err := db.saveCatalogLocked(gen); err != nil {
+			return err
+		}
+		db.catalogGen = gen
 	}
 	if db.wal != nil {
-		return db.wal.Checkpoint()
+		return db.wal.checkpointTo(cut, db.ckptFault)
 	}
 	return nil
 }
@@ -195,6 +436,18 @@ func (db *DB) Close() error {
 		if err := db.wal.Close(); err != nil {
 			return err
 		}
+	}
+	return db.disk.Close()
+}
+
+// CloseDiscard releases file handles without checkpointing or flushing —
+// the "process died" close.  Tests use it to materialise a crash;
+// read-only opens (benchmark reopen loops) use it to avoid paying a
+// checkpoint for a store they never mutated.  Anything not already
+// durable is lost, exactly as in a crash.
+func (db *DB) CloseDiscard() error {
+	if db.wal != nil {
+		db.wal.closeFile()
 	}
 	return db.disk.Close()
 }
@@ -396,7 +649,13 @@ func (t *Table) Scan(fn func(rid RowID, row Row) bool) error {
 func (t *Table) CreateIndex(column string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.buildIndex(column)
+	if err := t.buildIndex(column); err != nil {
+		return err
+	}
+	if t.db != nil && t.db.wal != nil {
+		t.db.wal.LogCreateIndex(t.name, column)
+	}
+	return nil
 }
 
 // buildIndex creates and populates an index.  Caller holds t.mu.

@@ -131,7 +131,7 @@ func TestWALTornTailIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.mu.Lock()
-	db.saveCatalogLocked()
+	db.saveCatalogLocked(db.catalogGen + 1)
 	db.mu.Unlock()
 	// Crash, then corrupt the WAL tail.
 	walPath := filepath.Join(dir, "wal.nmlog")
@@ -168,7 +168,7 @@ func TestWALMidRecordCorruption(t *testing.T) {
 	}
 	db.Commit()
 	db.mu.Lock()
-	db.saveCatalogLocked()
+	db.saveCatalogLocked(db.catalogGen + 1)
 	db.mu.Unlock()
 
 	walPath := filepath.Join(dir, "wal.nmlog")
@@ -255,4 +255,414 @@ func TestConcurrentTablesIndependent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+// TestCheckpointCrashMatrix simulates a crash at every step of the
+// checkpoint sequence — derived-snapshot write, catalog write, WAL
+// truncation — and proves each aborted state recovers to the exact
+// pre-crash contents, and that LSNs handed out after recovery never lag
+// already-flushed page LSNs (the old truncate-before-header-rewrite bug:
+// an empty log carrying the stale base made recovery skip the next
+// session's records).
+func TestCheckpointCrashMatrix(t *testing.T) {
+	steps := []string{
+		"derived-temp", "derived-rename",
+		"catalog-temp", "catalog-rename",
+		"wal-temp", "wal-rename",
+	}
+	for _, step := range steps {
+		t.Run(step, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := db.CreateTable("t", MustSchema(Column{"v", TypeInt}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.CreateIndex("v"); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				if _, err := tbl.Insert(Row{I(int64(i))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("baseline checkpoint: %v", err)
+			}
+			for i := 40; i < 80; i++ {
+				if _, err := tbl.Insert(Row{I(int64(i))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			db.SetCheckpointFault(func(s string) error {
+				if s == step {
+					return errInjected
+				}
+				return nil
+			})
+			if err := db.Checkpoint(); !errors.Is(err, errInjected) {
+				t.Fatalf("checkpoint survived the injected crash at %s: %v", step, err)
+			}
+			db.CloseDiscard() // the crash
+
+			db2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("reopen after crash at %s: %v", step, err)
+			}
+			tbl2 := db2.Table("t")
+			if tbl2 == nil || tbl2.Rows() != 80 {
+				t.Fatalf("after crash at %s: rows = %v", step, tbl2.Rows())
+			}
+			for i := 0; i < 80; i++ {
+				rids, err := tbl2.Lookup("v", I(int64(i)))
+				if err != nil || len(rids) != 1 {
+					t.Fatalf("after crash at %s: lookup %d -> %v, %v", step, i, rids, err)
+				}
+			}
+			// LSN-regression guard: a fresh record must be replayable.  If
+			// recovery handed out LSNs lagging flushed page LSNs, this
+			// insert's record would be skipped on the next replay.
+			if _, err := tbl2.Insert(Row{I(80)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := db2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			db2.CloseDiscard() // crash again, before any checkpoint
+
+			db3, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("second reopen: %v", err)
+			}
+			defer db3.Close()
+			if got := db3.Table("t").Rows(); got != 81 {
+				t.Fatalf("post-recovery insert lost: rows = %d, want 81 (LSN regression)", got)
+			}
+			if rids, err := db3.Table("t").Lookup("v", I(80)); err != nil || len(rids) != 1 {
+				t.Fatalf("post-recovery insert unreadable: %v, %v", rids, err)
+			}
+		})
+	}
+}
+
+// TestCheckpointKeepsConcurrentTail proves records appended while a
+// checkpoint is in flight survive its WAL truncation: the truncate drops
+// only records covered by the page flush, so a crash right after the
+// checkpoint cannot lose a write that raced it.
+func TestCheckpointKeepsConcurrentTail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("t", MustSchema(Column{"v", TypeInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tbl.Insert(Row{I(int64(i))})
+	}
+	db.Commit()
+	// Sneak a write into the middle of the checkpoint (after the page
+	// flush, before the WAL truncation) via the fault hook, then let the
+	// checkpoint complete.
+	raced := false
+	db.SetCheckpointFault(func(step string) error {
+		if step == "catalog-temp" && !raced {
+			raced = true
+			if _, err := tbl.Insert(Row{I(999)}); err != nil {
+				t.Errorf("racing insert: %v", err)
+			}
+			if err := db.Commit(); err != nil {
+				t.Errorf("racing commit: %v", err)
+			}
+		}
+		return nil
+	})
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !raced {
+		t.Fatal("fault hook never fired")
+	}
+	db.CloseDiscard() // crash: the raced write's page never reached disk
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Replayed == 0 {
+		t.Fatal("expected the raced record to survive truncation and replay")
+	}
+	if got := db2.Table("t").Rows(); got != 11 {
+		t.Fatalf("raced write lost by checkpoint truncation: rows = %d, want 11", got)
+	}
+	if rids, err := db2.Table("t").Lookup("v", I(999)); err != nil || len(rids) != 1 {
+		t.Fatalf("raced row unreadable: %v, %v", rids, err)
+	}
+}
+
+// TestDerivedSnapshotReopen proves a clean close/reopen loads heap
+// metadata and secondary indexes from the derived snapshot (no scans)
+// and that the loaded state behaves identically to a scan rebuild.
+func TestDerivedSnapshotReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.CreateTable("t", MustSchema(Column{"v", TypeInt}, Column{"s", TypeString}))
+	tbl.CreateIndex("v")
+	tbl.CreateIndex("s")
+	var deleted RowID
+	for i := 0; i < 200; i++ {
+		rid, err := tbl.Insert(Row{I(int64(i)), S(fmt.Sprintf("row-%03d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 77 {
+			deleted = rid
+		}
+	}
+	if err := tbl.Delete(deleted); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(db *DB, wantDerived int) {
+		t.Helper()
+		if db.DerivedLoads != wantDerived {
+			t.Fatalf("DerivedLoads = %d, want %d", db.DerivedLoads, wantDerived)
+		}
+		tbl := db.Table("t")
+		if tbl.Rows() != 199 {
+			t.Fatalf("rows = %d", tbl.Rows())
+		}
+		if rids, _ := tbl.Lookup("v", I(77)); len(rids) != 0 {
+			t.Fatal("deleted row resurfaced in index")
+		}
+		if rids, _ := tbl.Lookup("s", S("row-123")); len(rids) != 1 {
+			t.Fatal("string index lookup failed")
+		}
+		if rids := tbl.Index("s").Prefix("row-12"); len(rids) != 10 {
+			t.Fatalf("prefix scan = %d rids, want 10", len(rids))
+		}
+		// The free-space map must still be usable: inserting lands rows
+		// without corrupting pages.
+		if _, err := tbl.Insert(Row{I(1000), S("post-reopen")}); err != nil {
+			t.Fatal(err)
+		}
+		if rids, _ := tbl.Lookup("v", I(1000)); len(rids) != 1 {
+			t.Fatal("post-reopen insert not indexed")
+		}
+	}
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(db2, 1)
+	db2.CloseDiscard()
+
+	// Ablation: the same on-disk state opened with snapshots disabled
+	// must scan-rebuild to identical answers.
+	db3, err := Open(Options{Dir: dir, NoDerivedSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(db3, 0)
+	db3.CloseDiscard()
+}
+
+// TestFreshStoreCrashBeforeFirstCheckpoint commits rows into tables that
+// have never been checkpointed (no catalog entry exists at all), then
+// crashes: the logged DDL (creates, index creates) plus page adoptions
+// must rebuild the tables with every committed row.  Before DDL logging,
+// recovery replayed the pages but no table claimed them, and the
+// post-recovery checkpoint then truncated the log — permanent loss of
+// durably committed data.
+func TestFreshStoreCrashBeforeFirstCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("t", MustSchema(Column{"v", TypeInt}, Column{"s", TypeString}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	// A second table that is created and dropped must not resurrect.
+	if _, err := db.CreateTable("gone", MustSchema(Column{"x", TypeInt})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("gone"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ { // enough rows to span several pages
+		if _, err := tbl.Insert(Row{I(int64(i)), S(fmt.Sprintf("value-%04d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.CloseDiscard() // crash: no checkpoint ever ran, catalog.json absent
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Table("gone") != nil {
+		t.Fatal("dropped table resurrected by recovery")
+	}
+	tbl2 := db2.Table("t")
+	if tbl2 == nil {
+		t.Fatal("table created before first checkpoint lost on crash")
+	}
+	if got := tbl2.Rows(); got != 300 {
+		t.Fatalf("rows = %d, want 300 (committed rows lost)", got)
+	}
+	for _, i := range []int64{0, 150, 299} {
+		rids, err := tbl2.Lookup("v", I(i))
+		if err != nil || len(rids) != 1 {
+			t.Fatalf("index lookup %d after recovery: %v, %v", i, rids, err)
+		}
+	}
+	// The post-recovery checkpoint persisted the merged catalog: a second
+	// crash (WAL now truncated) must still reopen to the same state.
+	db2.CloseDiscard()
+	db3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Replayed != 0 {
+		t.Fatalf("second reopen replayed %d records (post-recovery checkpoint missing)", db3.Replayed)
+	}
+	if got := db3.Table("t").Rows(); got != 300 {
+		t.Fatalf("second reopen rows = %d, want 300", got)
+	}
+}
+
+// TestTornTailThenNewCommitsSurvive covers the replayed==0 torn-tail
+// window: garbage after the last intact record (a crash mid-flush whose
+// records were all already reflected in flushed pages) must be truncated
+// at open, or records committed by the next session would sit behind the
+// garbage where replay can never reach them.
+func TestTornTailThenNewCommitsSurvive(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.CreateTable("t", MustSchema(Column{"v", TypeInt}))
+	for i := 0; i < 20; i++ {
+		tbl.Insert(Row{I(int64(i))})
+	}
+	if err := db.Close(); err != nil { // clean checkpoint: WAL empty
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-flush that wrote only garbage (no intact
+	// record): replay will apply nothing (replayed == 0) yet the tail
+	// must still be cleaned up.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.nmlog"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xba, 0xad, 0xf0, 0x0d, 0x99}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Replayed != 0 {
+		t.Fatalf("setup: expected replayed == 0, got %d", db2.Replayed)
+	}
+	// Commit a new row, crash, and reopen: the row must be recovered.
+	if _, err := db2.Table("t").Insert(Row{I(777)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db2.CloseDiscard()
+
+	db3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if got := db3.Table("t").Rows(); got != 21 {
+		t.Fatalf("rows = %d, want 21 (commit after torn tail lost)", got)
+	}
+}
+
+// TestDropRecreateCrashDoesNotResurrectRows drops a table and recreates
+// the name with a different schema, all since the last checkpoint, then
+// crashes: the new incarnation must adopt only its own pages, never the
+// dropped predecessor's rows.
+func TestDropRecreateCrashDoesNotResurrectRows(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := db.CreateTable("t", MustSchema(Column{"v", TypeInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		old.Insert(Row{I(int64(i))})
+	}
+	if err := db.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := db.CreateTable("t", MustSchema(Column{"s", TypeString}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Insert(Row{S("only-me")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.CloseDiscard() // crash before any checkpoint
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl := db2.Table("t")
+	if tbl == nil {
+		t.Fatal("recreated table lost")
+	}
+	if got := tbl.Rows(); got != 1 {
+		t.Fatalf("rows = %d, want 1 (dropped incarnation's rows resurrected)", got)
+	}
+	tbl.Scan(func(_ RowID, row Row) bool {
+		if row[0].Type != TypeString || row[0].Str != "only-me" {
+			t.Fatalf("unexpected row %v", row)
+		}
+		return true
+	})
 }

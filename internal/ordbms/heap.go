@@ -15,6 +15,7 @@ type HeapFile struct {
 	mu    sync.Mutex
 	pool  *BufferPool
 	wal   *WAL // may be nil for unlogged heaps
+	tag   string
 	pages []uint32
 	// freeHint maps pageNo -> approximate free bytes, only for pages with
 	// meaningful free space.
@@ -48,6 +49,37 @@ func OpenHeapFile(pool *BufferPool, wal *WAL, pages []uint32) (*HeapFile, error)
 		h.rows += int64(live)
 	}
 	return h, nil
+}
+
+// OpenHeapFileWithMeta reattaches a heap using checkpointed metadata —
+// row count and free-space map from the derived snapshot — instead of
+// fetching and scanning every page.  Only valid when the snapshot's
+// stamps prove the heap is byte-identical to checkpoint time (see
+// loadDerivedSnapshot); it is what makes reopening O(1) in corpus size.
+func OpenHeapFileWithMeta(pool *BufferPool, wal *WAL, pages []uint32, rows int64, free map[uint32]int) *HeapFile {
+	h := &HeapFile{
+		pool:     pool,
+		wal:      wal,
+		pages:    append([]uint32(nil), pages...),
+		freeHint: make(map[uint32]int, len(free)),
+		rows:     rows,
+	}
+	for p, f := range free {
+		h.freeHint[p] = f
+	}
+	return h
+}
+
+// Meta snapshots the heap's derived metadata (live row count and
+// free-space map) for the checkpoint's derived snapshot.
+func (h *HeapFile) Meta() (rows int64, free map[uint32]int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	free = make(map[uint32]int, len(h.freeHint))
+	for p, f := range h.freeHint {
+		free[p] = f
+	}
+	return h.rows, free
 }
 
 // Pages returns the page numbers owned by this heap (for the catalog).
@@ -106,6 +138,10 @@ func (h *HeapFile) Insert(rec []byte) (RowID, error) {
 	f.Latch.Lock()
 	slot, err := f.Page.Insert(rec)
 	if err == nil && h.wal != nil {
+		// The adoption must be logged before the insert record: recovery
+		// re-attaches the page to this heap even when the catalog predates
+		// the allocation (see walAlloc).
+		h.wal.LogAlloc(h.tag, f.PageNo)
 		lsn := h.wal.LogInsert(f.PageNo, uint16(slot), rec)
 		f.Page.SetLSN(lsn)
 	}

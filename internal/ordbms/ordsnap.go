@@ -1,0 +1,333 @@
+package ordbms
+
+// The derived snapshot (derived.nmds) persists the engine's own derived
+// state — per-heap row counts and free-space maps, and the full contents
+// of every secondary index — so reopening a store does not pay a heap
+// scan per table.  The heap pages stay the durable truth: the snapshot
+// is written only at checkpoints, stamped with the catalog generation
+// and the WAL LSN the checkpoint truncates through, and is trusted on
+// open only when those stamps still match and recovery replayed nothing.
+// Any mismatch (crash mid-checkpoint, mutations after the checkpoint,
+// corruption, version skew) silently falls back to the scan rebuild.
+//
+// File layout: magic(8) version(4) crc32-of-payload(4) payloadLen(8)
+// payload.  The payload is varint-packed, tables and index columns in
+// sorted order, index keys in tree order.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"netmark/internal/btree"
+)
+
+const (
+	derivedName    = "derived.nmds"
+	derivedVersion = 1
+)
+
+var derivedMagic = [8]byte{'N', 'M', 'D', 'E', 'R', 'V', '1', 0}
+
+// saveDerivedLocked serialises heap metadata and index contents for all
+// tables and writes the snapshot atomically (temp + fsync + rename +
+// dir fsync).  Caller holds db.mu; each table's read lock is taken while
+// that table is serialised, so writers racing the checkpoint append WAL
+// records past the cut LSN and invalidate the snapshot rather than
+// tearing it.
+func (db *DB) saveDerivedLocked(gen, lsn uint64) error {
+	if db.dir == "" {
+		return nil
+	}
+	buf := make([]byte, 0, 1<<16)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	names := db.tableNamesLocked()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		t := db.tables[name]
+		t.mu.RLock()
+		buf = appendSnapString(buf, name)
+		rows, free := t.heap.Meta()
+		buf = binary.AppendUvarint(buf, uint64(rows))
+		pages := make([]uint32, 0, len(free))
+		for p := range free {
+			pages = append(pages, p)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		buf = binary.AppendUvarint(buf, uint64(len(pages)))
+		for _, p := range pages {
+			buf = binary.AppendUvarint(buf, uint64(p))
+			buf = binary.AppendUvarint(buf, uint64(free[p]))
+		}
+		cols := make([]string, 0, len(t.indexes))
+		for c := range t.indexes {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		buf = binary.AppendUvarint(buf, uint64(len(cols)))
+		for _, c := range cols {
+			ix := t.indexes[c]
+			buf = appendSnapString(buf, c)
+			buf = binary.AppendUvarint(buf, uint64(ix.tree.Keys()))
+			ix.tree.Ascend(func(v Value, rids []RowID) bool {
+				buf = appendSnapValue(buf, v)
+				buf = binary.AppendUvarint(buf, uint64(len(rids)))
+				for _, rid := range rids {
+					buf = binary.AppendUvarint(buf, rid.Uint64())
+				}
+				return true
+			})
+		}
+		t.mu.RUnlock()
+	}
+
+	out := make([]byte, 0, len(buf)+24)
+	out = append(out, derivedMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, derivedVersion)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(buf))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(buf)))
+	out = append(out, buf...)
+
+	ci := CheckpointInfo{Dir: db.dir, Fault: db.ckptFault}
+	return ci.WriteSnapshotFile(derivedName, out, "derived")
+}
+
+// derivedSnapshot is the decoded snapshot, keyed by table name.
+type derivedSnapshot struct {
+	tables map[string]*derivedTable
+}
+
+type derivedTable struct {
+	rows    int64
+	free    map[uint32]int
+	indexes map[string][]derivedKey
+}
+
+type derivedKey struct {
+	v    Value
+	rids []RowID
+}
+
+// loadDerivedSnapshot reads and validates the snapshot.  It returns nil
+// — caller falls back to heap scans — when the file is missing, corrupt,
+// version-skewed, disabled, or stale (stamps do not match the catalog
+// generation and WAL base, or recovery applied records after it).
+func (db *DB) loadDerivedSnapshot(gen uint64) *derivedSnapshot {
+	if db.dir == "" || db.opts.NoDerivedSnapshot || db.wal == nil || db.Replayed != 0 {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(db.dir, derivedName))
+	if err != nil {
+		return nil
+	}
+	if len(data) < 24 || [8]byte(data[:8]) != derivedMagic {
+		return nil
+	}
+	if binary.LittleEndian.Uint32(data[8:12]) != derivedVersion {
+		return nil
+	}
+	crc := binary.LittleEndian.Uint32(data[12:16])
+	if binary.LittleEndian.Uint64(data[16:24]) != uint64(len(data)-24) {
+		return nil
+	}
+	payload := data[24:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil
+	}
+	r := &snapReader{b: payload}
+	if r.u64() != gen || r.u64() != db.walEndAtOpen {
+		return nil
+	}
+	ds := &derivedSnapshot{tables: make(map[string]*derivedTable)}
+	for nt := r.uvarint(); nt > 0; nt-- {
+		name := r.str()
+		dt := &derivedTable{free: make(map[uint32]int), indexes: make(map[string][]derivedKey)}
+		dt.rows = int64(r.uvarint())
+		for nf := r.uvarint(); nf > 0; nf-- {
+			p := uint32(r.uvarint())
+			dt.free[p] = int(r.uvarint())
+		}
+		for nc := r.uvarint(); nc > 0; nc-- {
+			col := r.str()
+			nk := r.uvarint()
+			if nk > uint64(len(r.b)) { // every key costs >= 1 byte
+				return nil
+			}
+			keys := make([]derivedKey, 0, nk)
+			for ; nk > 0; nk-- {
+				var dk derivedKey
+				dk.v = r.value()
+				n := r.uvarint()
+				if n > uint64(len(r.b)) {
+					return nil
+				}
+				dk.rids = make([]RowID, n)
+				for i := range dk.rids {
+					dk.rids[i] = RowIDFromUint64(r.uvarint())
+				}
+				keys = append(keys, dk)
+			}
+			dt.indexes[col] = keys
+		}
+		if r.failed {
+			return nil
+		}
+		ds.tables[name] = dt
+	}
+	if r.failed || r.off != len(r.b) {
+		return nil
+	}
+	return ds
+}
+
+// openTable builds a Table from the snapshot, or reports false when the
+// snapshot does not cover this table (caller falls back to scans).
+func (ds *derivedSnapshot) openTable(db *DB, ct catalogTable, schema Schema) (*Table, bool) {
+	dt, ok := ds.tables[ct.Name]
+	if !ok {
+		return nil, false
+	}
+	for _, col := range ct.Indexes {
+		if _, ok := dt.indexes[col]; !ok {
+			return nil, false
+		}
+	}
+	t := &Table{
+		db:      db,
+		name:    ct.Name,
+		schema:  schema,
+		heap:    OpenHeapFileWithMeta(db.pool, db.wal, ct.Pages, dt.rows, dt.free),
+		indexes: make(map[string]*Index),
+	}
+	for _, col := range ct.Indexes {
+		ci := schema.ColIndex(col)
+		if ci < 0 {
+			return nil, false
+		}
+		// Keys were serialised in tree order, so the O(n) bulk builder
+		// replaces n log n re-insertion.
+		b := btree.NewBuilder[Value, RowID](func(a, b Value) int { return a.Compare(b) }, btree.DefaultOrder)
+		for _, dk := range dt.indexes[col] {
+			b.Append(dk.v, dk.rids)
+		}
+		t.indexes[col] = &Index{Column: col, colIdx: ci, tree: b.Tree()}
+	}
+	return t, true
+}
+
+// appendSnapString appends a length-prefixed string.
+func appendSnapString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendSnapValue appends a type-tagged index key.
+func appendSnapValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Type))
+	switch v.Type {
+	case TypeInt:
+		buf = binary.AppendVarint(buf, v.Int)
+	case TypeFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float))
+	case TypeString:
+		buf = appendSnapString(buf, v.Str)
+	case TypeBytes:
+		buf = binary.AppendUvarint(buf, uint64(len(v.Bytes)))
+		buf = append(buf, v.Bytes...)
+	case TypeBool:
+		if v.Bool {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// snapReader is a cursor over a snapshot payload.  Any decode past the
+// end or malformed varint sets failed; callers check it once at the end
+// (the CRC makes mid-payload corruption vanishingly unlikely, so the
+// flag mostly guards against version-skew bugs).
+type snapReader struct {
+	b      []byte
+	off    int
+	failed bool
+}
+
+func (r *snapReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.failed = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *snapReader) varint() int64 {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.failed = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *snapReader) u64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.failed = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *snapReader) byte() byte {
+	if r.off >= len(r.b) {
+		r.failed = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *snapReader) take(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		r.failed = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *snapReader) str() string {
+	return string(r.take(int(r.uvarint())))
+}
+
+func (r *snapReader) value() Value {
+	switch Type(r.byte()) {
+	case TypeNull:
+		return Null()
+	case TypeInt:
+		return I(r.varint())
+	case TypeFloat:
+		return F(math.Float64frombits(r.u64()))
+	case TypeString:
+		return S(r.str())
+	case TypeBytes:
+		return B(append([]byte(nil), r.take(int(r.uvarint()))...))
+	case TypeBool:
+		return Bl(r.byte() != 0)
+	default:
+		r.failed = true
+		return Null()
+	}
+}

@@ -1,6 +1,9 @@
 package ordbms
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // applyInsertAt places rec at an exact slot during recovery.  Unlike
 // Insert, the slot number is dictated by the log record; the slot
@@ -35,12 +38,72 @@ func (p *Page) applyInsertAt(slot int, rec []byte) error {
 }
 
 // Recover replays the WAL against the disk, bringing pages forward to the
-// log's end state.  It must run before any heap is opened.  Pages touched
-// during recovery are flushed and the log is checkpointed, so a second
-// crash during recovery is safe (replay is idempotent thanks to page
-// LSNs).
-func Recover(disk DiskManager, pool *BufferPool, wal *WAL) (replayed int, err error) {
-	err = wal.Replay(func(r WALRecord) error {
+// log's end state.  It must run before any heap is opened.  Replay is
+// idempotent thanks to page LSNs, so a crash during recovery is safe: the
+// next open replays again.  The log itself is left untouched — DB.Open
+// runs a full checkpoint afterwards when anything was replayed, so the
+// catalog (including pages adopted since its last save) is rewritten
+// before the records backing them are dropped.
+//
+// allocs maps table name to the pages it adopted per the log — the pages
+// a crash-time catalog may not know about yet.  ops lists the DDL the
+// log carries (table creates with schemas, index creates, drops) in log
+// order, so tables whose entire existence postdates the catalog can be
+// rebuilt instead of silently losing their committed rows.
+func Recover(disk DiskManager, pool *BufferPool, wal *WAL) (replayed int, allocs map[string][]uint32, ops []RecoveredOp, torn bool, err error) {
+	allocs = make(map[string][]uint32)
+	torn, err = wal.Replay(func(r WALRecord) error {
+		switch r.Type {
+		case walAlloc:
+			name := string(r.Rec)
+			allocs[name] = append(allocs[name], r.Page)
+		case walCreateTable:
+			name, rest, ok := readWALString(r.Rec)
+			if !ok {
+				return nil
+			}
+			// A create starts a fresh incarnation: any pages logged for
+			// this name so far belong to a dropped predecessor and must
+			// not be adopted by the new table.
+			delete(allocs, name)
+			ncols, sz := binary.Uvarint(rest)
+			if sz <= 0 {
+				return nil
+			}
+			rest = rest[sz:]
+			cols := make([]Column, 0, ncols)
+			for ; ncols > 0; ncols-- {
+				var cname string
+				if cname, rest, ok = readWALString(rest); !ok || len(rest) < 1 {
+					return nil
+				}
+				cols = append(cols, Column{Name: cname, Type: Type(rest[0])})
+				rest = rest[1:]
+			}
+			ops = append(ops, RecoveredOp{Kind: walCreateTable, Table: name, Cols: cols})
+			return nil
+		case walCreateIndex:
+			name, rest, ok := readWALString(r.Rec)
+			if !ok {
+				return nil
+			}
+			col, _, ok := readWALString(rest)
+			if !ok {
+				return nil
+			}
+			ops = append(ops, RecoveredOp{Kind: walCreateIndex, Table: name, Column: col})
+			return nil
+		case walDropTable:
+			name, _, ok := readWALString(r.Rec)
+			if !ok {
+				return nil
+			}
+			// The dropped incarnation's pages are abandoned (DropTable
+			// semantics); they must not leak into a later same-named table.
+			delete(allocs, name)
+			ops = append(ops, RecoveredOp{Kind: walDropTable, Table: name})
+			return nil
+		}
 		if r.Page == 0 || r.Page >= disk.NumPages() {
 			// The page was allocated after the last page flush but its
 			// allocation never reached the data file: re-extend the file.
@@ -49,6 +112,9 @@ func Recover(disk DiskManager, pool *BufferPool, wal *WAL) (replayed int, err er
 					return aerr
 				}
 			}
+		}
+		if r.Type == walAlloc || r.Type == walCheckpoint {
+			return nil // no page mutation to apply
 		}
 		f, ferr := pool.Fetch(r.Page)
 		if ferr != nil {
@@ -87,16 +153,13 @@ func Recover(disk DiskManager, pool *BufferPool, wal *WAL) (replayed int, err er
 		replayed++
 		return nil
 	})
-	if err != nil {
-		return replayed, err
-	}
-	if replayed > 0 {
-		if err := pool.FlushAll(); err != nil {
-			return replayed, err
-		}
-	}
-	if err := wal.Checkpoint(); err != nil {
-		return replayed, err
-	}
-	return replayed, nil
+	return replayed, allocs, ops, torn, err
+}
+
+// RecoveredOp is one logged DDL operation, in log order.
+type RecoveredOp struct {
+	Kind   byte // walCreateTable, walCreateIndex, or walDropTable
+	Table  string
+	Column string   // index creates
+	Cols   []Column // table creates
 }

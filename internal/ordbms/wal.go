@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -19,6 +20,8 @@ import (
 type WAL struct {
 	mu       sync.Mutex
 	f        *os.File
+	path     string // log file path (checkpoints swap the file atomically)
+	dir      string // parent directory, fsynced after the swap
 	base     uint64 // LSN of physical file offset 0
 	buf      []byte // appended but not yet written records
 	bufStart uint64 // LSN of buf[0]
@@ -39,6 +42,20 @@ const (
 	walDelete
 	walUpdate
 	walCheckpoint
+	// walAlloc records that a table adopted a freshly allocated page.
+	// The catalog persists page ownership only at checkpoints, so without
+	// these records a crash would orphan every page allocated since the
+	// last checkpoint: replay could rebuild the page bytes, but no table
+	// would know to include the page in its heap.
+	walAlloc
+	// walCreateTable / walCreateIndex / walDropTable log DDL for the same
+	// reason: a table created (or an index added, or a table dropped)
+	// after the last catalog save exists only in the log until the next
+	// checkpoint, and a crash in that window must not lose committed rows
+	// in it — or resurrect a dropped table.
+	walCreateTable
+	walCreateIndex
+	walDropTable
 )
 
 const walHeaderSize = 16 // magic(8) + baseLSN(8)
@@ -47,6 +64,9 @@ var walMagic = [8]byte{'N', 'M', 'W', 'A', 'L', 'v', '1', 0}
 
 // OpenWAL opens or creates the log at path.
 func OpenWAL(path string) (*WAL, error) {
+	// A leftover checkpoint temp means a crash before the atomic rename:
+	// the live log is authoritative, the half-built successor is garbage.
+	os.Remove(path + walCkptSuffix)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ordbms: open wal: %w", err)
@@ -56,7 +76,7 @@ func OpenWAL(path string) (*WAL, error) {
 		f.Close()
 		return nil, err
 	}
-	w := &WAL{f: f}
+	w := &WAL{f: f, path: path, dir: filepath.Dir(path)}
 	if st.Size() == 0 {
 		var hdr [walHeaderSize]byte
 		copy(hdr[:8], walMagic[:])
@@ -143,6 +163,53 @@ func (w *WAL) LogUpdate(page uint32, slot uint16, rec []byte) uint64 {
 	return w.appendRecord(walUpdate, p)
 }
 
+// LogAlloc records that table now owns page (logged before the first
+// insert record touching the page).
+func (w *WAL) LogAlloc(table string, page uint32) uint64 {
+	p := make([]byte, 4+len(table))
+	binary.LittleEndian.PutUint32(p[0:4], page)
+	copy(p[4:], table)
+	return w.appendRecord(walAlloc, p)
+}
+
+// LogCreateTable records a table creation with its schema, so recovery
+// can rebuild a table the catalog has never seen.
+func (w *WAL) LogCreateTable(table string, schema Schema) uint64 {
+	p := appendWALString(nil, table)
+	p = binary.AppendUvarint(p, uint64(len(schema.Columns)))
+	for _, c := range schema.Columns {
+		p = appendWALString(p, c.Name)
+		p = append(p, byte(c.Type))
+	}
+	return w.appendRecord(walCreateTable, p)
+}
+
+// LogCreateIndex records a secondary-index creation.
+func (w *WAL) LogCreateIndex(table, column string) uint64 {
+	p := appendWALString(nil, table)
+	p = appendWALString(p, column)
+	return w.appendRecord(walCreateIndex, p)
+}
+
+// LogDropTable records a table drop (so recovery does not resurrect it
+// from an earlier create record).
+func (w *WAL) LogDropTable(table string) uint64 {
+	return w.appendRecord(walDropTable, appendWALString(nil, table))
+}
+
+func appendWALString(p []byte, s string) []byte {
+	p = binary.AppendUvarint(p, uint64(len(s)))
+	return append(p, s...)
+}
+
+func readWALString(p []byte) (string, []byte, bool) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || n > uint64(len(p)-sz) {
+		return "", nil, false
+	}
+	return string(p[sz : sz+int(n)]), p[sz+int(n):], true
+}
+
 // Flush writes buffered records through lsn to the file (no fsync).
 func (w *WAL) Flush(lsn uint64) error {
 	w.mu.Lock()
@@ -226,33 +293,115 @@ func (w *WAL) SyncTo(lsn uint64) error {
 	}
 }
 
-// Checkpoint truncates the log after the caller has flushed all pages.
-// The LSN base advances so LSNs remain monotone across truncation.
-func (w *WAL) Checkpoint() error {
+// walCkptSuffix names the temp file a checkpoint builds next to the log.
+const walCkptSuffix = ".ckpt"
+
+// checkpointTo drops every record with LSN <= cut and advances the base
+// to cut; records past cut (appended while the checkpoint's page flush
+// was in flight) survive as the new log's tail, so a crash after the
+// checkpoint cannot lose them.
+//
+// The switch is crash-atomic: the successor log — new header first, then
+// the surviving tail — is built in a temp file, fsynced, and renamed over
+// the live log.  At no instant does an empty log carry the old base LSN
+// (the bug the old truncate-then-rewrite-header order had: a crash in
+// that window made recovery hand out LSNs lagging already-flushed page
+// LSNs, so post-crash records were skipped on the next replay).  fault,
+// when non-nil, is the test-only crash injector: returning an error
+// aborts mid-sequence, leaving the files exactly as a crash would.
+func (w *WAL) checkpointTo(cut uint64, fault func(step string) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.flushLocked(w.bufStart + uint64(len(w.buf))); err != nil {
 		return err
 	}
-	newBase := w.flushed
+	if cut < w.base {
+		cut = w.base
+	}
+	if cut > w.flushed {
+		cut = w.flushed
+	}
+	if cut == w.base {
+		return nil // nothing to drop; the log already starts at cut
+	}
+	var tail []byte
+	if n := w.flushed - cut; n > 0 {
+		tail = make([]byte, n)
+		if _, err := w.f.ReadAt(tail, int64(cut-w.base)+walHeaderSize); err != nil {
+			return fmt.Errorf("ordbms: wal checkpoint tail read: %w", err)
+		}
+	}
+	tmp := w.path + walCkptSuffix
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ordbms: wal checkpoint temp: %w", err)
+	}
 	var hdr [walHeaderSize]byte
 	copy(hdr[:8], walMagic[:])
-	binary.LittleEndian.PutUint64(hdr[8:16], newBase)
-	if err := w.f.Truncate(walHeaderSize); err != nil {
+	binary.LittleEndian.PutUint64(hdr[8:16], cut)
+	if _, err := nf.WriteAt(hdr[:], 0); err != nil {
+		nf.Close()
 		return err
 	}
-	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
+	if len(tail) > 0 {
+		if _, err := nf.WriteAt(tail, walHeaderSize); err != nil {
+			nf.Close()
+			return err
+		}
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if fault != nil {
+		if err := fault("wal-temp"); err != nil {
+			nf.Close()
+			return err
+		}
+	}
+	// The rename is the commit point of the truncation.
+	if err := os.Rename(tmp, w.path); err != nil {
+		nf.Close()
 		return err
 	}
+	// Adopt the successor immediately: from here on nf IS the log at
+	// w.path, and even if the directory fsync below fails, later appends
+	// and fsyncs must land in the live file, not the unlinked old inode.
+	w.f.Close()
+	w.f = nf
 	w.syncs++
-	w.base = newBase
-	w.flushed = newBase
-	w.synced = newBase
-	w.bufStart = newBase
-	return nil
+	w.base = cut
+	w.synced = w.flushed
+	if fault != nil {
+		if err := fault("wal-rename"); err != nil {
+			return err
+		}
+	}
+	return syncDir(w.dir)
+}
+
+// BaseLSN returns the LSN of physical file offset 0 — the point the last
+// completed checkpoint truncated through.  Snapshot stamps compare
+// against it to decide whether persisted derived state is current.
+func (w *WAL) BaseLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base
+}
+
+// SyncedLSN returns the LSN through which the log is durable.
+func (w *WAL) SyncedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.synced
+}
+
+// closeFile releases the file handle without flushing — the crash-close
+// path (CloseDiscard) for tests and read-only benchmark reopens.
+func (w *WAL) closeFile() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
 }
 
 // Appends returns the number of records appended (for tests and stats).
@@ -288,13 +437,16 @@ type WALRecord struct {
 }
 
 // Replay scans the physical log and calls fn for each intact record.
-// A torn or corrupt tail terminates the scan cleanly (crash semantics).
-func (w *WAL) Replay(fn func(r WALRecord) error) error {
+// A torn or corrupt tail terminates the scan cleanly (crash semantics);
+// torn=true reports that garbage bytes follow the last intact record —
+// the caller must checkpoint the log before appending new records, or
+// the next replay would stop at the garbage and never reach them.
+func (w *WAL) Replay(fn func(r WALRecord) error) (torn bool, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	st, err := w.f.Stat()
 	if err != nil {
-		return err
+		return false, err
 	}
 	pos := int64(walHeaderSize)
 	lsn := w.base
@@ -302,21 +454,21 @@ func (w *WAL) Replay(fn func(r WALRecord) error) error {
 	for pos < st.Size() {
 		if _, err := w.f.ReadAt(frame[:], pos); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // torn tail
+				return true, nil // torn tail
 			}
-			return err
+			return false, err
 		}
 		n := binary.LittleEndian.Uint32(frame[0:4])
 		crc := binary.LittleEndian.Uint32(frame[4:8])
 		if n == 0 || int64(n) > st.Size()-pos-8 {
-			return nil // torn tail
+			return true, nil // torn tail
 		}
 		body := make([]byte, n)
 		if _, err := w.f.ReadAt(body, pos+8); err != nil {
-			return nil
+			return true, nil
 		}
 		if crc32.ChecksumIEEE(body) != crc {
-			return nil // corrupt tail
+			return true, nil // corrupt tail
 		}
 		pos += 8 + int64(n)
 		lsn = w.base + uint64(pos-walHeaderSize)
@@ -324,25 +476,33 @@ func (w *WAL) Replay(fn func(r WALRecord) error) error {
 		switch body[0] {
 		case walInsert, walUpdate:
 			if len(body) < 7 {
-				return nil
+				return true, nil
 			}
 			r.Page = binary.LittleEndian.Uint32(body[1:5])
 			r.Slot = binary.LittleEndian.Uint16(body[5:7])
 			r.Rec = body[7:]
 		case walDelete:
 			if len(body) < 7 {
-				return nil
+				return true, nil
 			}
 			r.Page = binary.LittleEndian.Uint32(body[1:5])
 			r.Slot = binary.LittleEndian.Uint16(body[5:7])
+		case walAlloc:
+			if len(body) < 5 {
+				return true, nil
+			}
+			r.Page = binary.LittleEndian.Uint32(body[1:5])
+			r.Rec = body[5:] // table name
+		case walCreateTable, walCreateIndex, walDropTable:
+			r.Rec = body[1:] // DDL payload, decoded by recovery
 		case walCheckpoint:
 			// informational only
 		default:
-			return nil
+			return true, nil
 		}
 		if err := fn(r); err != nil {
-			return err
+			return false, err
 		}
 	}
-	return nil
+	return false, nil
 }

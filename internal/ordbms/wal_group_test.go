@@ -40,13 +40,17 @@ func TestWALGroupCommitConcurrent(t *testing.T) {
 		t.Fatalf("syncs = %d, want in (0, %d]", syncs, goroutines*perG)
 	}
 	count := 0
-	if err := w.Replay(func(r WALRecord) error {
+	torn, err := w.Replay(func(r WALRecord) error {
 		if r.Type == walInsert {
 			count++
 		}
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("fully synced log reported a torn tail")
 	}
 	if count != goroutines*perG {
 		t.Fatalf("replayed %d inserts, want %d", count, goroutines*perG)

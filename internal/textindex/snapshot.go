@@ -1,0 +1,145 @@
+package textindex
+
+// Posting-list (de)serialisation.  The index is derived state — the heap
+// is the durable truth — but rebuilding it on every open costs a full
+// corpus scan, so the XML store checkpoints it inside the engine's
+// checkpoint critical section and reloads it on open when the snapshot's
+// stamps prove the heap has not moved (see xmlstore's snapshot).
+//
+// Encoding: terms in tree (sorted) order; IDs are ascending within a
+// posting list, so they delta-varint-pack well (IDs are packed physical
+// RowIDs, which cluster by page).  Token positions are stored verbatim
+// per ID — phrase queries need them and they are not guaranteed sorted
+// across multiple Add calls for the same ID.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"netmark/internal/btree"
+)
+
+// AppendSnapshot serialises the index onto buf and returns the extended
+// slice.  The encoding is self-delimiting: LoadSnapshot reports how many
+// bytes it consumed, so callers can embed the index inside a larger
+// snapshot payload.
+func (ix *Index) AppendSnapshot(buf []byte) []byte {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	buf = binary.AppendUvarint(buf, ix.genCounter)
+	buf = binary.AppendUvarint(buf, uint64(ix.terms.Keys()))
+	ix.terms.Ascend(func(term string, pls []*postingList) bool {
+		pl := pls[0]
+		buf = binary.AppendUvarint(buf, uint64(len(term)))
+		buf = append(buf, term...)
+		buf = binary.AppendUvarint(buf, pl.gen)
+		buf = binary.AppendUvarint(buf, uint64(len(pl.ids)))
+		prev := uint64(0)
+		for _, id := range pl.ids {
+			buf = binary.AppendUvarint(buf, id-prev)
+			prev = id
+		}
+		for _, id := range pl.ids {
+			pos := pl.pos[id]
+			buf = binary.AppendUvarint(buf, uint64(len(pos)))
+			for _, p := range pos {
+				buf = binary.AppendUvarint(buf, uint64(p))
+			}
+		}
+		return true
+	})
+	return buf
+}
+
+// LoadSnapshot decodes an index serialised by AppendSnapshot from the
+// front of data, returning the rebuilt index and the number of bytes
+// consumed.
+func LoadSnapshot(data []byte) (*Index, int, error) {
+	off := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("textindex: truncated snapshot at byte %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	ix := New()
+	var err error
+	if ix.genCounter, err = uv(); err != nil {
+		return nil, 0, err
+	}
+	nTerms, err := uv()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Terms were serialised in tree order: bulk-build the term tree
+	// instead of paying a descent per insert.
+	tb := btree.NewBuilder[string, *postingList](strings.Compare, btree.DefaultOrder)
+	for t := uint64(0); t < nTerms; t++ {
+		tlen, err := uv()
+		if err != nil {
+			return nil, 0, err
+		}
+		if off+int(tlen) > len(data) {
+			return nil, 0, fmt.Errorf("textindex: truncated term at byte %d", off)
+		}
+		term := string(data[off : off+int(tlen)])
+		off += int(tlen)
+		pl := &postingList{}
+		if pl.gen, err = uv(); err != nil {
+			return nil, 0, err
+		}
+		nids, err := uv()
+		if err != nil {
+			return nil, 0, err
+		}
+		if nids > uint64(len(data)) { // every id costs >= 1 byte
+			return nil, 0, fmt.Errorf("textindex: implausible posting count %d", nids)
+		}
+		pl.ids = make([]uint64, nids)
+		pl.pos = make(map[uint64][]uint32, nids)
+		id := uint64(0)
+		for i := range pl.ids {
+			d, err := uv()
+			if err != nil {
+				return nil, 0, err
+			}
+			id += d
+			pl.ids[i] = id
+		}
+		// Per-ID position slices are carved from shared backing arrays:
+		// one allocation per chunk instead of one per (term, id) pair.
+		var backing []uint32
+		for _, id := range pl.ids {
+			npos, err := uv()
+			if err != nil {
+				return nil, 0, err
+			}
+			if uint64(cap(backing)-len(backing)) < npos {
+				n := 1024
+				if int(npos) > n {
+					n = int(npos)
+				}
+				backing = make([]uint32, 0, n)
+			}
+			start := len(backing)
+			backing = backing[:start+int(npos)]
+			pos := backing[start : start+int(npos) : start+int(npos)]
+			for i := range pos {
+				p, err := uv()
+				if err != nil {
+					return nil, 0, err
+				}
+				pos[i] = uint32(p)
+			}
+			pl.pos[id] = pos
+			ix.byID[id] = append(ix.byID[id], term)
+		}
+		tb.Append(term, []*postingList{pl})
+	}
+	ix.terms = tb.Tree()
+	ix.docs = len(ix.byID)
+	return ix, off, nil
+}

@@ -1,0 +1,116 @@
+package textindex
+
+import (
+	"bytes"
+
+	"reflect"
+	"testing"
+)
+
+// buildIndex fills an index with a small synthetic corpus, including a
+// multi-call id (positions restart per call) and removed ids.
+func buildIndex() *Index {
+	ix := New()
+	docs := []string{
+		"the liquid oxygen turbopump showed cryogenic stress fractures",
+		"budget request for the cryogenic test stand",
+		"turbine blade review: cryogenic turbopump redesign",
+		"the quick brown fox jumps over the lazy dog",
+		"liquid hydrogen feed line pressure anomaly",
+	}
+	for i, d := range docs {
+		ix.Add(uint64(1000+i*7), d)
+	}
+	ix.Add(1000, "appendix: turbopump cavitation margins") // second Add, same id
+	ix.Remove(1021)                                        // fox doc vanishes
+	return ix
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ix := buildIndex()
+	buf := ix.AppendSnapshot([]byte("prefix"))
+	if !bytes.HasPrefix(buf, []byte("prefix")) {
+		t.Fatal("AppendSnapshot must extend the given buffer")
+	}
+	tail := []byte("trailing-bytes")
+	got, n, err := LoadSnapshot(append(buf[len("prefix"):], tail...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf)-len("prefix") {
+		t.Fatalf("consumed %d bytes, want %d (must stop before trailing data)", n, len(buf)-len("prefix"))
+	}
+
+	if got.Docs() != ix.Docs() || got.Terms() != ix.Terms() {
+		t.Fatalf("docs/terms = %d/%d, want %d/%d", got.Docs(), got.Terms(), ix.Docs(), ix.Terms())
+	}
+	for _, q := range []string{"cryogenic", "turbopump", "liquid", "fox", "absent"} {
+		if !reflect.DeepEqual(got.Lookup(q), ix.Lookup(q)) {
+			t.Fatalf("Lookup(%q) diverges: %v vs %v", q, got.Lookup(q), ix.Lookup(q))
+		}
+		if got.DF(q) != ix.DF(q) {
+			t.Fatalf("DF(%q) diverges", q)
+		}
+	}
+	for _, q := range []string{"cryogenic turbopump", "liquid oxygen", "budget request"} {
+		if !reflect.DeepEqual(got.And(q), ix.And(q)) {
+			t.Fatalf("And(%q) diverges", q)
+		}
+		if !reflect.DeepEqual(got.Or(q), ix.Or(q)) {
+			t.Fatalf("Or(%q) diverges", q)
+		}
+		if !reflect.DeepEqual(got.Phrase(q), ix.Phrase(q)) {
+			t.Fatalf("Phrase(%q) diverges: %v vs %v", q, got.Phrase(q), ix.Phrase(q))
+		}
+		if got.QueryGen(q) != ix.QueryGen(q) {
+			t.Fatalf("QueryGen(%q) diverges (per-term gens must survive the round trip)", q)
+		}
+	}
+	if !reflect.DeepEqual(got.Prefix("turb"), ix.Prefix("turb")) {
+		t.Fatal("Prefix diverges")
+	}
+
+	// The loaded index must keep evolving identically: same mutation on
+	// both sides yields the same lookups and a working Remove (byID was
+	// rebuilt from the posting lists).
+	ix.Add(5000, "cryogenic margins")
+	got.Add(5000, "cryogenic margins")
+	if !reflect.DeepEqual(got.Lookup("cryogenic"), ix.Lookup("cryogenic")) {
+		t.Fatal("post-load Add diverges")
+	}
+	ix.Remove(1000)
+	got.Remove(1000)
+	if !reflect.DeepEqual(got.Lookup("turbopump"), ix.Lookup("turbopump")) {
+		t.Fatal("post-load Remove diverges")
+	}
+	if got.Docs() != ix.Docs() {
+		t.Fatalf("post-mutation docs = %d, want %d", got.Docs(), ix.Docs())
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	ix := buildIndex()
+	buf := ix.AppendSnapshot(nil)
+	for _, cut := range []int{0, 1, len(buf) / 2, len(buf) - 1} {
+		if _, _, err := LoadSnapshot(buf[:cut]); err == nil && cut < len(buf) {
+			// A short prefix can only decode cleanly if it happens to end
+			// exactly on a record boundary covering the whole term count —
+			// impossible for a strict prefix of a valid snapshot.
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	buf := New().AppendSnapshot(nil)
+	got, n, err := LoadSnapshot(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("empty round trip: %v (n=%d)", err, n)
+	}
+	if got.Docs() != 0 || got.Terms() != 0 {
+		t.Fatal("empty index not empty after round trip")
+	}
+	if got.Lookup("anything") != nil {
+		t.Fatal("lookup on empty loaded index")
+	}
+}

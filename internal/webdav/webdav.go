@@ -173,9 +173,22 @@ type Stats struct {
 	NodesInserted uint64 `json:"nodes_inserted"`
 
 	WAL struct {
-		Appends uint64 `json:"appends"`
-		Syncs   uint64 `json:"syncs"`
+		Appends  uint64 `json:"appends"`
+		Syncs    uint64 `json:"syncs"`
+		Replayed int    `json:"replayed"`
 	} `json:"wal"`
+
+	// Snapshot reports how this process's store came up and how its
+	// checkpoint snapshots are faring: loaded=true means reopen skipped
+	// the full-corpus scan; fallback names why it could not.
+	Snapshot struct {
+		Enabled       bool   `json:"enabled"`
+		Loaded        bool   `json:"loaded"`
+		Fallback      string `json:"fallback,omitempty"`
+		Saves         uint64 `json:"saves"`
+		SaveErrors    uint64 `json:"save_errors"`
+		DerivedTables int    `json:"derived_tables"`
+	} `json:"snapshot"`
 
 	Pool struct {
 		Hits      uint64 `json:"hits"`
@@ -215,7 +228,15 @@ func (s *Server) Snapshot() Stats {
 	st.Generation = store.Generation()
 	st.DocsIngested, st.NodesInserted = store.Stats()
 	st.WAL.Appends, st.WAL.Syncs = store.DB().WALStats()
+	st.WAL.Replayed = store.DB().Replayed
 	st.Pool.Hits, st.Pool.Misses, st.Pool.Evictions = store.DB().Pool().Stats()
+	ss := store.SnapshotStats()
+	st.Snapshot.Enabled = ss.Enabled
+	st.Snapshot.Loaded = ss.Loaded
+	st.Snapshot.Fallback = ss.Fallback
+	st.Snapshot.Saves = ss.Saves
+	st.Snapshot.SaveErrors = ss.SaveErrors
+	st.Snapshot.DerivedTables = store.DB().DerivedLoads
 	if cs, ok := s.engine.CacheStats(); ok {
 		st.Cache.Enabled = true
 		st.Cache.Hits = cs.Hits

@@ -92,13 +92,17 @@ func (s *Store) StoreBatch(docs []BatchDoc, workers int) []BatchResult {
 
 	// Derived indexing runs one stage downstream of the writer: the
 	// indexes have their own locks, so document N's postings land while
-	// document N+1's rows are being written.
+	// document N+1's rows are being written.  Each document's checkpoint-
+	// barrier hold (acquired by the writer before its rows land) is
+	// released here once its index entries land, so a snapshot
+	// serialisation never slips into the gap between the two stages.
 	idxCh := make(chan *preparedDoc, workers)
 	idxDone := make(chan struct{})
 	go func() {
 		defer close(idxDone)
 		for p := range idxCh {
 			s.indexPrepared(p)
+			s.ckptMu.RUnlock()
 		}
 	}()
 
@@ -109,7 +113,9 @@ func (s *Store) StoreBatch(docs []BatchDoc, workers int) []BatchResult {
 		if results[i].Err != nil {
 			continue
 		}
+		s.ckptMu.RLock()
 		if err := s.storePrepared(preps[i]); err != nil {
+			s.ckptMu.RUnlock()
 			results[i].Err = err
 			preps[i] = nil
 			continue

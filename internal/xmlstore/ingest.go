@@ -325,6 +325,10 @@ func (s *Store) StoreDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Conf
 	if err != nil {
 		return 0, err
 	}
+	// The checkpoint barrier spans table writes and derived indexing, so
+	// a snapshot never serialises the gap between them.
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	if err := s.storePrepared(p); err != nil {
 		return 0, err
 	}
@@ -467,6 +471,12 @@ func decodeAttrs(s string) []sgml.Attr {
 // their derived index entries (text postings, context keys, governing-
 // context map, cached node decodes).
 func (s *Store) DeleteDocument(docID uint64) error {
+	// The checkpoint barrier keeps the multi-step teardown (DOC row, XML
+	// rows, postings, context keys, ctxIdx entries) out of any snapshot
+	// serialisation; a snapshot sees the document fully present or fully
+	// gone from the derived indexes it persists.
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	info, err := s.Document(docID)
 	if err != nil {
 		return err

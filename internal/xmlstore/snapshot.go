@@ -1,0 +1,365 @@
+package xmlstore
+
+// The derived-index snapshot makes reopening a large store O(1) in
+// corpus size.  On every DB.Checkpoint (and therefore on Close) the
+// store serialises everything rebuildDerived would otherwise reconstruct
+// by scanning the whole heap — the text-index posting lists, the context
+// btree and its per-heading generations, the node→governing-CONTEXT map,
+// the per-document generations, and the ID counters — into a versioned,
+// CRC-checked file written inside the checkpoint critical section.
+//
+// Validity is decided purely by stamps: the snapshot records the catalog
+// generation and WAL checkpoint LSN it was written under.  On Open it is
+// loaded only when
+//
+//   - crash recovery replayed nothing (the heap is exactly its
+//     checkpointed bytes),
+//   - the WAL's base LSN equals the snapshot's LSN stamp (no later
+//     checkpoint truncated past it, no earlier one preceded it), and
+//   - the catalog generation matches (the snapshot belongs to this
+//     checkpoint, not one that half-completed).
+//
+// Anything else — a crash at any step of the checkpoint sequence,
+// mutations after the checkpoint, corruption, version skew, the ablation
+// flag — falls back to the full-scan rebuild, which remains the source
+// of truth.  The snapshot is an accelerator, never an authority.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"netmark/internal/btree"
+	"netmark/internal/ordbms"
+	"netmark/internal/textindex"
+)
+
+const (
+	snapshotName    = "xmlstore.nmsnap"
+	snapshotVersion = 1
+)
+
+var snapshotMagic = [8]byte{'N', 'M', 'X', 'S', 'N', 'P', '1', 0}
+
+// SnapshotStats reports the derived-snapshot lifecycle for /stats.
+type SnapshotStats struct {
+	// Enabled is true when the store participates in snapshotting (a
+	// persistent store without the ablation flag).
+	Enabled bool
+	// Loaded is true when this Open was served by a valid snapshot
+	// instead of the full-scan rebuild.
+	Loaded bool
+	// Fallback names why the snapshot was not used ("" when Loaded):
+	// "missing", "unreadable", "corrupt", "stale", or "wal-replay".
+	Fallback string
+	// Saves and SaveErrors count snapshot writes since this Open.
+	Saves      uint64
+	SaveErrors uint64
+}
+
+// SnapshotStats returns the snapshot lifecycle counters.
+func (s *Store) SnapshotStats() SnapshotStats {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapStat
+}
+
+// snapshotHook runs inside the engine's checkpoint critical section:
+// every dirty page is already flushed and the stamps in ci are the ones
+// the checkpoint is about to commit.  Holding ckptMu for writing excludes
+// every mutation path across its whole table+derived-index span, so the
+// serialised state never captures a document between its rows landing
+// and its index entries landing.
+func (s *Store) snapshotHook(ci ordbms.CheckpointInfo) error {
+	s.ckptMu.Lock()
+	payload := s.encodeSnapshot(ci.CatalogGen, ci.LSN)
+	s.ckptMu.Unlock()
+
+	out := make([]byte, 0, len(payload)+24)
+	out = append(out, snapshotMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, snapshotVersion)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+
+	err := ci.WriteSnapshotFile(snapshotName, out, "snapshot")
+	s.snapMu.Lock()
+	if err != nil {
+		s.snapStat.SaveErrors++
+	} else {
+		s.snapStat.Saves++
+	}
+	s.snapMu.Unlock()
+	return err
+}
+
+// encodeSnapshot serialises the derived state.  Caller holds ckptMu for
+// writing; the per-structure locks are still taken so readers (queries
+// never touch ckptMu) stay race-free.
+func (s *Store) encodeSnapshot(catalogGen, walLSN uint64) []byte {
+	buf := make([]byte, 0, 1<<16)
+	buf = binary.LittleEndian.AppendUint64(buf, catalogGen)
+	buf = binary.LittleEndian.AppendUint64(buf, walLSN)
+
+	s.mu.RLock()
+	buf = binary.AppendUvarint(buf, s.nextNodeID)
+	buf = binary.AppendUvarint(buf, s.nextDocID)
+	s.mu.RUnlock()
+	buf = binary.AppendUvarint(buf, s.generation.Load())
+	s.statsMu.Lock()
+	buf = binary.AppendUvarint(buf, s.docsIngested)
+	buf = binary.AppendUvarint(buf, s.nodesInserted)
+	s.statsMu.Unlock()
+
+	buf = s.content.AppendSnapshot(buf)
+
+	s.ctxMu.RLock()
+	buf = binary.AppendUvarint(buf, s.ctxGenCounter)
+	buf = binary.AppendUvarint(buf, uint64(s.contexts.Keys()))
+	s.contexts.Ascend(func(key string, rids []ordbms.RowID) bool {
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		buf = append(buf, key...)
+		buf = binary.AppendUvarint(buf, s.ctxGens[key])
+		buf = binary.AppendUvarint(buf, uint64(len(rids)))
+		for _, rid := range rids {
+			buf = binary.AppendUvarint(buf, rid.Uint64())
+		}
+		return true
+	})
+	s.ctxMu.RUnlock()
+
+	s.ctxIdxMu.RLock()
+	rids := make([]ordbms.RowID, 0, len(s.ctxIdx))
+	for rid := range s.ctxIdx {
+		rids = append(rids, rid)
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+	buf = binary.AppendUvarint(buf, uint64(len(rids)))
+	prev := uint64(0)
+	for _, rid := range rids {
+		v := rid.Uint64()
+		buf = binary.AppendUvarint(buf, v-prev)
+		prev = v
+		buf = binary.AppendUvarint(buf, s.ctxIdx[rid].Uint64())
+	}
+	s.ctxIdxMu.RUnlock()
+
+	s.docGenMu.RLock()
+	ids := make([]uint64, 0, len(s.docGens))
+	for id := range s.docGens {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, s.docGenCounter)
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, id)
+		buf = binary.AppendUvarint(buf, s.docGens[id])
+	}
+	s.docGenMu.RUnlock()
+
+	return buf
+}
+
+// loadSnapshot reads, validates, and applies the snapshot.  It reports
+// ok=false with a reason (never an error — a bad snapshot means scan
+// rebuild, not a failed open) unless the snapshot was fully applied.
+// Called during Open, before the store is shared.
+func (s *Store) loadSnapshot(db *ordbms.DB) (ok bool, reason string) {
+	if db.Replayed != 0 {
+		// Recovery applied WAL records: the heap moved past the last
+		// checkpoint, so any snapshot on disk describes an older state.
+		return false, "wal-replay"
+	}
+	data, err := os.ReadFile(filepath.Join(db.Dir(), snapshotName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, "missing"
+		}
+		return false, "unreadable"
+	}
+	if len(data) < 24 || [8]byte(data[:8]) != snapshotMagic {
+		return false, "corrupt"
+	}
+	if binary.LittleEndian.Uint32(data[8:12]) != snapshotVersion {
+		return false, "corrupt"
+	}
+	crc := binary.LittleEndian.Uint32(data[12:16])
+	if binary.LittleEndian.Uint64(data[16:24]) != uint64(len(data)-24) {
+		return false, "corrupt"
+	}
+	payload := data[24:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return false, "corrupt"
+	}
+	if len(payload) < 16 {
+		return false, "corrupt"
+	}
+	if binary.LittleEndian.Uint64(payload[0:8]) != db.CatalogGen() ||
+		binary.LittleEndian.Uint64(payload[8:16]) != db.WALEndLSN() {
+		return false, "stale"
+	}
+	if err := s.applySnapshot(payload[16:]); err != nil {
+		// The CRC passed, so this is version-skew territory; the scan
+		// rebuild below starts from the fresh structures applySnapshot
+		// left untouched on failure.
+		return false, "corrupt"
+	}
+	return true, ""
+}
+
+// applySnapshot decodes the payload into fresh structures and installs
+// them only if the whole decode succeeds.
+func (s *Store) applySnapshot(p []byte) error {
+	off := 0
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(p[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("xmlstore: truncated snapshot at byte %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	nextNodeID, err := uv()
+	if err != nil {
+		return err
+	}
+	nextDocID, err := uv()
+	if err != nil {
+		return err
+	}
+	generation, err := uv()
+	if err != nil {
+		return err
+	}
+	docsIngested, err := uv()
+	if err != nil {
+		return err
+	}
+	nodesInserted, err := uv()
+	if err != nil {
+		return err
+	}
+
+	content, n, err := textindex.LoadSnapshot(p[off:])
+	if err != nil {
+		return err
+	}
+	off += n
+
+	ctxGenCounter, err := uv()
+	if err != nil {
+		return err
+	}
+	nHeadings, err := uv()
+	if err != nil {
+		return err
+	}
+	type heading struct {
+		key  string
+		gen  uint64
+		rids []ordbms.RowID
+	}
+	headings := make([]heading, 0, nHeadings)
+	for i := uint64(0); i < nHeadings; i++ {
+		klen, err := uv()
+		if err != nil {
+			return err
+		}
+		if off+int(klen) > len(p) {
+			return fmt.Errorf("xmlstore: truncated heading at byte %d", off)
+		}
+		h := heading{key: string(p[off : off+int(klen)])}
+		off += int(klen)
+		if h.gen, err = uv(); err != nil {
+			return err
+		}
+		nr, err := uv()
+		if err != nil {
+			return err
+		}
+		if nr > uint64(len(p)) { // every rid costs >= 1 byte
+			return fmt.Errorf("xmlstore: implausible rid count %d", nr)
+		}
+		h.rids = make([]ordbms.RowID, nr)
+		for j := range h.rids {
+			v, err := uv()
+			if err != nil {
+				return err
+			}
+			h.rids[j] = ordbms.RowIDFromUint64(v)
+		}
+		headings = append(headings, h)
+	}
+
+	nCtx, err := uv()
+	if err != nil {
+		return err
+	}
+	if nCtx > uint64(len(p)) {
+		return fmt.Errorf("xmlstore: implausible ctxIdx count %d", nCtx)
+	}
+	ctxIdx := make(map[ordbms.RowID]ordbms.RowID, nCtx)
+	prev := uint64(0)
+	for i := uint64(0); i < nCtx; i++ {
+		d, err := uv()
+		if err != nil {
+			return err
+		}
+		prev += d
+		g, err := uv()
+		if err != nil {
+			return err
+		}
+		ctxIdx[ordbms.RowIDFromUint64(prev)] = ordbms.RowIDFromUint64(g)
+	}
+
+	docGenCounter, err := uv()
+	if err != nil {
+		return err
+	}
+	nDocs, err := uv()
+	if err != nil {
+		return err
+	}
+	docGens := make(map[uint64]uint64, nDocs)
+	for i := uint64(0); i < nDocs; i++ {
+		id, err := uv()
+		if err != nil {
+			return err
+		}
+		g, err := uv()
+		if err != nil {
+			return err
+		}
+		docGens[id] = g
+	}
+	if off != len(p) {
+		return fmt.Errorf("xmlstore: %d trailing snapshot bytes", len(p)-off)
+	}
+
+	// Whole decode succeeded: install.  Headings were serialised in tree
+	// order, so the context btree bulk-builds in O(n) like the other
+	// loaded indexes.
+	s.nextNodeID = nextNodeID
+	s.nextDocID = nextDocID
+	s.generation.Store(generation)
+	s.docsIngested = docsIngested
+	s.nodesInserted = nodesInserted
+	s.content = content
+	s.ctxGenCounter = ctxGenCounter
+	tb := btree.NewBuilder[string, ordbms.RowID](strings.Compare, btree.DefaultOrder)
+	for _, h := range headings {
+		s.ctxGens[h.key] = h.gen
+		tb.Append(h.key, h.rids)
+	}
+	s.contexts = tb.Tree()
+	s.ctxIdx = ctxIdx
+	s.docGenCounter = docGenCounter
+	s.docGens = docGens
+	return nil
+}

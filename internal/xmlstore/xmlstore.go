@@ -161,6 +161,18 @@ type Store struct {
 	docsIngested  uint64
 	nodesInserted uint64
 
+	// ckptMu is the checkpoint barrier.  Every mutation path (ingest,
+	// batch writer+indexer, delete) holds it for reading across its whole
+	// table-plus-derived-index span; the snapshot hook holds it for
+	// writing, so a serialised snapshot never captures a document between
+	// its rows landing in the tables and its entries landing in the
+	// derived indexes.  Queries never touch it.
+	ckptMu sync.RWMutex
+
+	// snapStat tracks the derived-snapshot lifecycle (see SnapshotStats).
+	snapMu   sync.Mutex
+	snapStat SnapshotStats
+
 	// generation counts store mutations: every document ingest (including
 	// its link patches) and every delete bumps it.  Result caches key on
 	// it, so a bump implicitly invalidates everything cached against the
@@ -194,10 +206,27 @@ var docSchema = ordbms.MustSchema(
 	ordbms.Column{Name: "nnodes", Type: ordbms.TypeInt},
 )
 
+// OpenOptions tunes Open's behaviour.
+type OpenOptions struct {
+	// DisableSnapshot forces the full-scan derived rebuild on open and
+	// stops the store from writing snapshots at checkpoints — the
+	// ablation knob for measuring what snapshotting buys (and the escape
+	// hatch should a snapshot ever be suspected of divergence).
+	DisableSnapshot bool
+}
+
 // Open attaches the store to a database, creating the universal tables on
-// first use and rebuilding the derived indexes (text + context) from the
-// heap otherwise.
+// first use.  On a persistent reopen the derived indexes (text index,
+// context btree, node→CONTEXT map, generation maps, ID counters) are
+// loaded from the checkpoint snapshot when its stamps prove the heap has
+// not moved since it was written; otherwise — and always for in-memory
+// stores — they are rebuilt by the full heap scan.
 func Open(db *ordbms.DB) (*Store, error) {
+	return OpenWith(db, OpenOptions{})
+}
+
+// OpenWith is Open with explicit options.
+func OpenWith(db *ordbms.DB, opts OpenOptions) (*Store, error) {
 	s := &Store{
 		db:         db,
 		content:    textindex.New(),
@@ -237,8 +266,21 @@ func Open(db *ordbms.DB) (*Store, error) {
 		}
 		s.doc = t
 	}
-	if err := s.rebuildDerived(); err != nil {
-		return nil, err
+	if db.Dir() != "" && !opts.DisableSnapshot {
+		s.snapStat.Enabled = true
+		s.snapStat.Loaded, s.snapStat.Fallback = s.loadSnapshot(db)
+	}
+	if !s.snapStat.Loaded {
+		if err := s.rebuildDerived(); err != nil {
+			return nil, err
+		}
+	}
+	// Register the save hook only now that the derived state is known
+	// complete (loaded or fully rebuilt): a failed Open must never leave
+	// a hook behind that could checkpoint half-built indexes under
+	// current-looking stamps.
+	if s.snapStat.Enabled {
+		db.RegisterPreCheckpointHook(s.snapshotHook)
 	}
 	return s, nil
 }
@@ -304,9 +346,14 @@ func (s *Store) rebuildDerived() error {
 		}
 	}
 	err = s.doc.Scan(func(_ ordbms.RowID, row ordbms.Row) bool {
-		if id := uint64(row[docColDocID].Int); id > maxDoc {
+		id := uint64(row[docColDocID].Int)
+		if id > maxDoc {
 			maxDoc = id
 		}
+		// Every stored document is live and queryable: give it a nonzero
+		// generation so reopened stores expose the same "zero means not
+		// live" stamp semantics a snapshot-loaded store does.
+		s.bumpDocGeneration(id)
 		return true
 	})
 	if err != nil {
