@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench bench-smoke bench-json
+.PHONY: check fmt vet lint test race bench bench-smoke bench-json bench-diff
 
-# check is the CI gate: formatting, vet, the full suite under -race, and
-# one pass of the serving and cold-kernel benchmarks as a smoke test.
-check: fmt vet race bench-smoke
+# check is the local CI gate: formatting, vet, lint, the full suite
+# under -race, and one pass of the serving and cold-kernel benchmarks
+# as a smoke test.  CI runs the same targets split across parallel jobs
+# (see .github/workflows/ci.yml).
+check: fmt vet lint race bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -12,6 +14,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck (or golangci-lint) when installed; the tools
+# are not vendored, so a machine without them only loses the extra
+# checks — go vet still gates.  CI always installs staticcheck.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "lint: staticcheck/golangci-lint not installed; skipping (go vet still runs)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -32,9 +46,20 @@ bench-smoke:
 # bench-json runs the perf-trajectory benchmark suite and records the
 # results (parsed numbers + benchstat-parseable raw lines) in
 # $(BENCH_OUT), so regressions are diffable across PRs.  Override the
-# output file per PR: make bench-json BENCH_OUT=BENCH_PR5.json
-BENCH_OUT ?= BENCH_PR4.json
+# output file per PR: make bench-json BENCH_OUT=BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR5.json
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkColdContentSearch|BenchmarkMixedWriteHeavy|BenchmarkServeParallel|BenchmarkFig6|BenchmarkReopen' -benchmem -benchtime 2s . \
 		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
+
+# bench-diff gates $(BENCH_OUT) against the newest committed
+# BENCH_PR*.json — excluding $(BENCH_OUT) itself, so recording this
+# PR's own baseline file never degrades into a self-comparison.  >2x
+# ns/op on any serving/cold-kernel/reopen benchmark fails.  This is
+# what the CI bench-regression job runs (with BENCH_OUT=BENCH_CI.json).
+bench-diff:
+	@base=$$(ls BENCH_PR*.json | grep -vx '$(BENCH_OUT)' | sort -V | tail -1); \
+	if [ -z "$$base" ]; then echo "bench-diff: no committed baseline"; exit 1; fi; \
+	echo "baseline: $$base"; \
+	$(GO) run ./cmd/benchdiff -old $$base -new $(BENCH_OUT) -threshold 2

@@ -494,6 +494,13 @@ func BenchmarkColdContentSearch(b *testing.B) {
 		s.EnableNodeCache(64 << 20)
 		s.SetQueryWorkers(0) // GOMAXPROCS
 		run(b, s)
+		b.StopTimer()
+		// Record the block-compressed text index's resident footprint and
+		// its multiple over the flat 8-bytes-per-id layout it replaced, so
+		// BENCH_PR*.json tracks the memory side of this kernel too.
+		st := s.TextIndexStats()
+		b.ReportMetric(float64(st.BytesResident), "index-bytes")
+		b.ReportMetric(st.CompressionRatio, "index-compression-x")
 	})
 	b.Run("optimized-serial", func(b *testing.B) {
 		// Isolates the node cache + context index from the worker pool.

@@ -1,0 +1,131 @@
+// Command benchdiff compares two benchmark recordings produced by
+// cmd/benchjson and fails (exit 1) when any benchmark present in both
+// regressed beyond a threshold — the CI bench-regression gate:
+//
+//	go run ./cmd/benchdiff -old BENCH_PR4.json -new BENCH_CI.json -threshold 2
+//
+// Only ns/op is compared, and only for benchmarks matching -match, so
+// one noisy micro-benchmark cannot veto a merge.  The threshold is deliberately loose: committed
+// baselines come from whatever machine recorded them, so the gate
+// catches algorithmic regressions (2x and worse), not hardware skew.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+
+	"netmark/internal/benchfmt"
+)
+
+// defaultMatch covers the serving / cold-kernel / reopen trajectory
+// benchmarks recorded in every BENCH_PR*.json.
+const defaultMatch = "BenchmarkServeParallel|BenchmarkColdContentSearch|BenchmarkMixedWriteHeavy|BenchmarkReopen"
+
+type row struct {
+	name      string
+	oldNs     float64
+	newNs     float64
+	ratio     float64
+	regressed bool
+}
+
+// gomaxprocsSuffix is the "-N" the benchmark framework appends to every
+// name.  Baselines are recorded on whatever machine the developer had,
+// so pairing must ignore it — a 1-CPU recording says
+// "BenchmarkMixedWriteHeavy" where a 4-vCPU CI runner says
+// "BenchmarkMixedWriteHeavy-4".
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalizeName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// diff pairs benchmarks by GOMAXPROCS-normalised name and flags every
+// matched one whose ns/op grew by more than threshold.
+func diff(oldRep, newRep *benchfmt.Report, match *regexp.Regexp, threshold float64) []row {
+	old := make(map[string]benchfmt.Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		old[normalizeName(b.Name)] = b
+	}
+	var rows []row
+	for _, nb := range newRep.Benchmarks {
+		name := normalizeName(nb.Name)
+		if !match.MatchString(name) {
+			continue
+		}
+		ob, ok := old[name]
+		if !ok || ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			continue
+		}
+		r := row{
+			name:  name,
+			oldNs: ob.NsPerOp,
+			newNs: nb.NsPerOp,
+			ratio: nb.NsPerOp / ob.NsPerOp,
+		}
+		r.regressed = r.ratio > threshold
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+func render(rows []row, threshold float64) (string, bool) {
+	var sb strings.Builder
+	regressed := false
+	if len(rows) == 0 {
+		// An empty overlap proves nothing, which for a gate means FAIL:
+		// a renamed benchmark must come with a refreshed baseline, not a
+		// silently green job.
+		sb.WriteString("benchdiff: no comparable benchmarks (name overlap empty) — refresh the baseline\n")
+		return sb.String(), true
+	}
+	for _, r := range rows {
+		verdict := "ok"
+		if r.regressed {
+			verdict = fmt.Sprintf("REGRESSED (> %.2gx)", threshold)
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "%-60s %14.0f -> %14.0f ns/op  %5.2fx  %s\n",
+			r.name, r.oldNs, r.newNs, r.ratio, verdict)
+	}
+	return sb.String(), regressed
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchjson file (e.g. newest committed BENCH_PR*.json)")
+	newPath := flag.String("new", "", "candidate benchjson file (e.g. BENCH_CI.json)")
+	threshold := flag.Float64("threshold", 2.0, "fail when new ns/op exceeds old by more than this factor")
+	match := flag.String("match", defaultMatch, "regexp of benchmark names to gate")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old OLD.json -new NEW.json [-threshold 2] [-match regexp]")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -match:", err)
+		os.Exit(2)
+	}
+	oldRep, err := benchfmt.ReadFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := benchfmt.ReadFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	out, regressed := render(diff(oldRep, newRep, re, *threshold), *threshold)
+	fmt.Printf("benchdiff: %s (%s/%s) vs %s (%s/%s), threshold %.2gx\n",
+		*oldPath, oldRep.GOOS, oldRep.GoVersion, *newPath, newRep.GOOS, newRep.GoVersion, *threshold)
+	fmt.Print(out)
+	if regressed {
+		fmt.Println("benchdiff: FAIL — performance regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"netmark/internal/benchfmt"
+)
+
+func report(ns map[string]float64) *benchfmt.Report {
+	rep := &benchfmt.Report{GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64"}
+	for name, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, benchfmt.Benchmark{Name: name, Runs: 10, NsPerOp: v})
+	}
+	return rep
+}
+
+// TestInjectedSlowdownFails is the gate's proof of life: a 2x+ slowdown
+// on a gated benchmark must fail, a mild one must not.
+func TestInjectedSlowdownFails(t *testing.T) {
+	match := regexp.MustCompile(defaultMatch)
+	base := report(map[string]float64{
+		"BenchmarkColdContentSearch/optimized-4": 6_400_000,
+		"BenchmarkServeParallel/hot/cached-4":    50_000,
+		"BenchmarkReopen/snapshot/docs=8-4":      2_000_000,
+	})
+
+	// Injected 2.5x regression on the cold kernel.
+	slow := report(map[string]float64{
+		"BenchmarkColdContentSearch/optimized-4": 16_000_000,
+		"BenchmarkServeParallel/hot/cached-4":    50_000,
+		"BenchmarkReopen/snapshot/docs=8-4":      2_000_000,
+	})
+	out, regressed := render(diff(base, slow, match, 2.0), 2.0)
+	if !regressed {
+		t.Fatalf("2.5x slowdown not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "BenchmarkColdContentSearch/optimized") {
+		t.Fatalf("regression not named:\n%s", out)
+	}
+
+	// 1.5x drift stays under the 2x gate (hardware skew tolerance).
+	drift := report(map[string]float64{
+		"BenchmarkColdContentSearch/optimized-4": 9_600_000,
+		"BenchmarkServeParallel/hot/cached-4":    75_000,
+		"BenchmarkReopen/snapshot/docs=8-4":      2_000_000,
+	})
+	if out, regressed := render(diff(base, drift, match, 2.0), 2.0); regressed {
+		t.Fatalf("1.5x drift wrongly flagged:\n%s", out)
+	}
+}
+
+// TestUnmatchedBenchmarksIgnored: benchmarks outside -match or missing
+// from the baseline never gate the build.
+func TestUnmatchedBenchmarksIgnored(t *testing.T) {
+	match := regexp.MustCompile(defaultMatch)
+	base := report(map[string]float64{
+		"BenchmarkColdContentSearch/optimized-4": 6_400_000,
+	})
+	cand := report(map[string]float64{
+		"BenchmarkColdContentSearch/optimized-4": 6_400_000,
+		"BenchmarkAdd-4":                         9_999_999_999, // not gated
+		"BenchmarkReopen/scan/docs=32-4":         5_000_000,     // gated but no baseline
+	})
+	rows := diff(base, cand, match, 2.0)
+	if len(rows) != 1 || rows[0].name != "BenchmarkColdContentSearch/optimized" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if _, regressed := render(rows, 2.0); regressed {
+		t.Fatal("unmatched benchmarks gated the build")
+	}
+}
+
+// TestGomaxprocsSuffixPairing: a baseline recorded on a 1-CPU machine
+// has no "-N" suffix while a multi-core CI runner emits one; pairing
+// must still match, or the gate never compares anything.
+func TestGomaxprocsSuffixPairing(t *testing.T) {
+	match := regexp.MustCompile(defaultMatch)
+	base := report(map[string]float64{
+		"BenchmarkColdContentSearch/optimized-serial": 6_000_000, // 1-CPU recording
+		"BenchmarkMixedWriteHeavy":                    80_000,
+	})
+	ci := report(map[string]float64{
+		"BenchmarkColdContentSearch/optimized-serial-4": 19_000_000, // 4-vCPU runner, 3.2x
+		"BenchmarkMixedWriteHeavy-4":                    90_000,
+	})
+	rows := diff(base, ci, match, 2.0)
+	if len(rows) != 2 {
+		t.Fatalf("suffix-skewed names not paired: %+v", rows)
+	}
+	out, regressed := render(rows, 2.0)
+	if !regressed || !strings.Contains(out, "BenchmarkColdContentSearch/optimized-serial") {
+		t.Fatalf("regression lost across suffix skew:\n%s", out)
+	}
+}
+
+// TestEmptyOverlap: disjoint recordings must FAIL the gate — an empty
+// comparison proves nothing, and a benchmark rename has to arrive with
+// a refreshed baseline rather than a silently green job.
+func TestEmptyOverlap(t *testing.T) {
+	match := regexp.MustCompile(defaultMatch)
+	out, regressed := render(diff(report(nil), report(map[string]float64{
+		"BenchmarkReopen/snapshot/docs=8-4": 1,
+	}), match, 2.0), 2.0)
+	if !regressed || !strings.Contains(out, "no comparable benchmarks") {
+		t.Fatalf("empty overlap mishandled: %v %q", regressed, out)
+	}
+}

@@ -4,6 +4,8 @@
 // trajectories can be committed and diffed across PRs:
 //
 //	go test -run xxx -bench . -benchmem . | go run ./cmd/benchjson > BENCH.json
+//
+// Compare two recordings with cmd/benchdiff.
 package main
 
 import (
@@ -12,32 +14,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
+
+	"netmark/internal/benchfmt"
 )
 
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	Name        string             `json:"name"`
-	Runs        int64              `json:"runs"`
-	NsPerOp     float64            `json:"ns_per_op,omitempty"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the whole output document.
-type Report struct {
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	// Raw holds the verbatim benchmark lines; feed them to benchstat.
-	Raw []string `json:"raw"`
-}
-
 func main() {
-	rep := Report{
+	rep := benchfmt.Report{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -50,7 +33,7 @@ func main() {
 			continue
 		}
 		rep.Raw = append(rep.Raw, line)
-		if b, ok := parseLine(line); ok {
+		if b, ok := benchfmt.ParseLine(line); ok {
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
 	}
@@ -64,39 +47,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-// parseLine parses one result line:
-//
-//	BenchmarkX/case-8   100   123 ns/op   9 hits   456 B/op   7 allocs/op
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return Benchmark{}, false
-	}
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: fields[0], Runs: runs}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			b.NsPerOp = v
-		case "B/op":
-			b.BytesPerOp = v
-		case "allocs/op":
-			b.AllocsPerOp = v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = make(map[string]float64)
-			}
-			b.Metrics[unit] = v
-		}
-	}
-	return b, true
 }

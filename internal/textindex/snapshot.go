@@ -6,11 +6,20 @@ package textindex
 // checkpoint critical section and reloads it on open when the snapshot's
 // stamps prove the heap has not moved (see xmlstore's snapshot).
 //
-// Encoding: terms in tree (sorted) order; IDs are ascending within a
-// posting list, so they delta-varint-pack well (IDs are packed physical
-// RowIDs, which cluster by page).  Token positions are stored verbatim
-// per ID — phrase queries need them and they are not guaranteed sorted
-// across multiple Add calls for the same ID.
+// The current (v2) encoding shares one codec with the in-memory layout:
+// sealed blocks are written verbatim (their bytes are already
+// delta+varint packed), followed by the uncompressed tail and tombstone
+// lists as delta varints, so a snapshot save is mostly a copy and a
+// load rebuilds each posting list without re-encoding anything.  Token
+// positions are stored verbatim per live id — phrase queries need them
+// and they are not guaranteed sorted across multiple Add calls for the
+// same ID.
+//
+// The legacy v1 encoding (flat delta-varint id lists, from before
+// posting lists were block-compressed) is not decoded: v1 files also
+// predate the current tokenizer contract, so the store treats them as
+// version skew and falls back to the scan rebuild, which retokenizes
+// every document (see xmlstore's snapshot version check).
 
 import (
 	"encoding/binary"
@@ -20,10 +29,10 @@ import (
 	"netmark/internal/btree"
 )
 
-// AppendSnapshot serialises the index onto buf and returns the extended
-// slice.  The encoding is self-delimiting: LoadSnapshot reports how many
-// bytes it consumed, so callers can embed the index inside a larger
-// snapshot payload.
+// AppendSnapshot serialises the index onto buf in the v2 (block) format
+// and returns the extended slice.  The encoding is self-delimiting:
+// LoadSnapshot reports how many bytes it consumed, so callers can embed
+// the index inside a larger snapshot payload.
 func (ix *Index) AppendSnapshot(buf []byte) []byte {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -34,13 +43,21 @@ func (ix *Index) AppendSnapshot(buf []byte) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(term)))
 		buf = append(buf, term...)
 		buf = binary.AppendUvarint(buf, pl.gen)
-		buf = binary.AppendUvarint(buf, uint64(len(pl.ids)))
-		prev := uint64(0)
-		for _, id := range pl.ids {
-			buf = binary.AppendUvarint(buf, id-prev)
-			prev = id
+		buf = binary.AppendUvarint(buf, uint64(len(pl.blocks)))
+		for _, b := range pl.blocks {
+			buf = binary.AppendUvarint(buf, uint64(b.n))
+			buf = binary.AppendUvarint(buf, b.maxID)
+			buf = binary.AppendUvarint(buf, uint64(len(b.data)))
+			buf = append(buf, b.data...)
 		}
-		for _, id := range pl.ids {
+		buf = appendDeltaIDs(buf, pl.tail)
+		buf = appendDeltaIDs(buf, pl.dead)
+		// positions keyed by live id, in ascending id order
+		for it := newIter(pl.view()); ; it.advance() {
+			id, ok := it.head()
+			if !ok {
+				break
+			}
 			pos := pl.pos[id]
 			buf = binary.AppendUvarint(buf, uint64(len(pos)))
 			for _, p := range pos {
@@ -52,9 +69,25 @@ func (ix *Index) AppendSnapshot(buf []byte) []byte {
 	return buf
 }
 
-// LoadSnapshot decodes an index serialised by AppendSnapshot from the
+func appendDeltaIDs(buf []byte, ids []uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := uint64(0)
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, id-prev)
+		prev = id
+	}
+	return buf
+}
+
+// LoadSnapshot decodes a v2 index serialised by AppendSnapshot from the
 // front of data, returning the rebuilt index and the number of bytes
-// consumed.
+// consumed.  Block payloads are copied into shared arenas (not aliased)
+// so the caller's snapshot buffer — which also carries positions and
+// every other derived structure — can be released to the GC, and every
+// block is validated before anything trusts its framing: decodeBlock
+// has no bounds checks and seekGE trusts maxID, so a corrupt block that
+// slipped past the file CRC must surface here as an error (the store
+// falls back to the scan rebuild), never as a panic at Open.
 func LoadSnapshot(data []byte) (*Index, int, error) {
 	off := 0
 	uv := func() (uint64, error) {
@@ -64,6 +97,32 @@ func LoadSnapshot(data []byte) (*Index, int, error) {
 		}
 		off += n
 		return v, nil
+	}
+	readDeltaIDs := func() ([]uint64, error) {
+		n, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(data)) { // every id costs >= 1 byte
+			return nil, fmt.Errorf("textindex: implausible id count %d", n)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		ids := make([]uint64, n)
+		id := uint64(0)
+		for i := range ids {
+			d, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 && d == 0 {
+				return nil, fmt.Errorf("textindex: id list not strictly ascending at byte %d", off)
+			}
+			id += d
+			ids[i] = id
+		}
+		return ids, nil
 	}
 	ix := New()
 	var err error
@@ -77,12 +136,15 @@ func LoadSnapshot(data []byte) (*Index, int, error) {
 	// Terms were serialised in tree order: bulk-build the term tree
 	// instead of paying a descent per insert.
 	tb := btree.NewBuilder[string, *postingList](strings.Compare, btree.DefaultOrder)
+	var arena []byte // shared backing for copied block payloads
 	for t := uint64(0); t < nTerms; t++ {
 		tlen, err := uv()
 		if err != nil {
 			return nil, 0, err
 		}
-		if off+int(tlen) > len(data) {
+		// compare in uint64: int(tlen) of a huge varint wraps negative
+		// and would bypass the bound
+		if tlen > uint64(len(data)-off) {
 			return nil, 0, fmt.Errorf("textindex: truncated term at byte %d", off)
 		}
 		term := string(data[off : off+int(tlen)])
@@ -91,31 +153,93 @@ func LoadSnapshot(data []byte) (*Index, int, error) {
 		if pl.gen, err = uv(); err != nil {
 			return nil, 0, err
 		}
-		nids, err := uv()
+		nBlocks, err := uv()
 		if err != nil {
 			return nil, 0, err
 		}
-		if nids > uint64(len(data)) { // every id costs >= 1 byte
-			return nil, 0, fmt.Errorf("textindex: implausible posting count %d", nids)
+		if nBlocks > uint64(len(data)) {
+			return nil, 0, fmt.Errorf("textindex: implausible block count %d", nBlocks)
 		}
-		pl.ids = make([]uint64, nids)
-		pl.pos = make(map[uint64][]uint32, nids)
-		id := uint64(0)
-		for i := range pl.ids {
-			d, err := uv()
-			if err != nil {
-				return nil, 0, err
+		physical := 0
+		if nBlocks > 0 {
+			prevMax := uint64(0)
+			pl.blocks = make([]block, nBlocks)
+			for i := range pl.blocks {
+				n, err := uv()
+				if err != nil {
+					return nil, 0, err
+				}
+				maxID, err := uv()
+				if err != nil {
+					return nil, 0, err
+				}
+				dlen, err := uv()
+				if err != nil {
+					return nil, 0, err
+				}
+				// every encoded id costs at least one byte, so n > dlen
+				// cannot describe a real block; bounds compare in uint64
+				// because int(dlen) of a huge varint wraps negative
+				if n == 0 || dlen == 0 || dlen > uint64(len(data)-off) || n > dlen {
+					return nil, 0, fmt.Errorf("textindex: corrupt block header at byte %d", off)
+				}
+				if cap(arena)-len(arena) < int(dlen) {
+					c := 1 << 16
+					if int(dlen) > c {
+						c = int(dlen)
+					}
+					arena = make([]byte, 0, c)
+				}
+				start := len(arena)
+				arena = append(arena, data[off:off+int(dlen)]...)
+				b := block{
+					maxID: maxID,
+					n:     int(n),
+					data:  arena[start : start+int(dlen) : start+int(dlen)],
+				}
+				if err := checkBlock(b); err != nil {
+					return nil, 0, err
+				}
+				// seekGE skips blocks by maxID, which needs the blocks
+				// themselves to be mutually ascending: each block's first
+				// id (its leading delta from zero) must follow the
+				// previous block's maxID.
+				first, _ := binary.Uvarint(b.data)
+				if i > 0 && first <= prevMax {
+					return nil, 0, fmt.Errorf("textindex: blocks out of order for %q", term)
+				}
+				prevMax = b.maxID
+				pl.blocks[i] = b
+				off += int(dlen)
+				physical += int(n)
 			}
-			id += d
-			pl.ids[i] = id
 		}
-		// Per-ID position slices are carved from shared backing arrays:
+		if pl.tail, err = readDeltaIDs(); err != nil {
+			return nil, 0, err
+		}
+		if pl.dead, err = readDeltaIDs(); err != nil {
+			return nil, 0, err
+		}
+		physical += len(pl.tail)
+		pl.live = physical - len(pl.dead)
+		if pl.live < 0 {
+			return nil, 0, fmt.Errorf("textindex: more tombstones than ids for %q", term)
+		}
+		pl.pos = make(map[uint64][]uint32, pl.live)
+		// Per-id position slices are carved from shared backing arrays:
 		// one allocation per chunk instead of one per (term, id) pair.
 		var backing []uint32
-		for _, id := range pl.ids {
+		for it := newIter(pl.view()); ; it.advance() {
+			id, ok := it.head()
+			if !ok {
+				break
+			}
 			npos, err := uv()
 			if err != nil {
 				return nil, 0, err
+			}
+			if npos > uint64(len(data)) {
+				return nil, 0, fmt.Errorf("textindex: implausible position count %d", npos)
 			}
 			if uint64(cap(backing)-len(backing)) < npos {
 				n := 1024

@@ -2,7 +2,7 @@ package textindex
 
 import (
 	"bytes"
-
+	"encoding/binary"
 	"reflect"
 	"testing"
 )
@@ -112,5 +112,56 @@ func TestSnapshotEmpty(t *testing.T) {
 	}
 	if got.Lookup("anything") != nil {
 		t.Fatal("lookup on empty loaded index")
+	}
+}
+
+// TestSnapshotCorruptBlocksError: mangled v2 payloads must surface as
+// decode errors (the store falls back to its scan rebuild), never as
+// panics — the file-level CRC upstream does not protect against a
+// writer bug producing internally inconsistent blocks.
+func TestSnapshotCorruptBlocksError(t *testing.T) {
+	ix := New()
+	for id := uint64(1); id <= 400; id++ {
+		ix.Add(id, "alpha beta")
+	}
+	if ix.Stats().Blocks == 0 {
+		t.Fatal("setup: no sealed blocks")
+	}
+	buf := ix.AppendSnapshot(nil)
+	for cut := 0; cut < len(buf); cut += 7 {
+		mangled := append([]byte(nil), buf...)
+		mangled[cut] ^= 0x55
+		got, _, err := LoadSnapshot(mangled) // must not panic
+		if err != nil {
+			continue
+		}
+		// A flip that decodes cleanly (e.g. inside a position value) must
+		// still yield a structurally sound index.
+		if got.Docs() < 0 || got.Terms() < 0 {
+			t.Fatalf("corrupt load at byte %d produced broken index", cut)
+		}
+		got.Lookup("alpha")
+		got.And("alpha beta")
+	}
+	// Truncations through the block region must error, not panic.
+	for cut := 1; cut < len(buf); cut += 13 {
+		if _, _, err := LoadSnapshot(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+
+	// A block-length varint >= 2^63 wraps negative as an int: the bounds
+	// check must compare in uint64 and reject it, not slice-panic.
+	crafted := binary.AppendUvarint(nil, 0) // genCounter
+	crafted = binary.AppendUvarint(crafted, 1)
+	crafted = binary.AppendUvarint(crafted, 1) // len("a")
+	crafted = append(crafted, 'a')
+	crafted = binary.AppendUvarint(crafted, 1)     // gen
+	crafted = binary.AppendUvarint(crafted, 1)     // nblocks
+	crafted = binary.AppendUvarint(crafted, 1)     // n
+	crafted = binary.AppendUvarint(crafted, 1)     // maxID
+	crafted = binary.AppendUvarint(crafted, 1<<63) // dlen: wraps int negative
+	if _, _, err := LoadSnapshot(crafted); err == nil {
+		t.Fatal("2^63 block length decoded cleanly")
 	}
 }

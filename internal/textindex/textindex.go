@@ -4,10 +4,29 @@
 // index for the search key").  It substitutes for Oracle Text in the
 // original system.
 //
-// The index maps lowercased terms to posting lists of document/node IDs
-// with token positions, supporting boolean AND/OR, phrase and prefix
-// queries.  IDs are opaque uint64s; the XML store uses packed physical
-// RowIDs so a text hit leads directly to the page holding the node.
+// The index maps lowercased terms to block-compressed posting lists of
+// document/node IDs with token positions, supporting boolean AND/OR,
+// phrase and prefix queries.  IDs are opaque uint64s; the XML store
+// uses packed physical RowIDs so a text hit leads directly to the page
+// holding the node.  Posting lists are stored as delta+varint blocks
+// with per-block maxID skip entries (see block.go): intersections seek
+// by skip entry and decode only candidate blocks, and resident memory
+// is a fraction of the flat []uint64 layout the index used before.
+//
+// # Tokenizer contract
+//
+// Tokenize lowercases and splits on anything that is not a letter,
+// digit, or combining mark.  Combining marks (Unicode Mn/Mc/Me) extend
+// the current token, so decomposed accents ("e" + U+0301) stay inside
+// one term; no Unicode normalisation is performed, so NFC and NFD
+// spellings of the same word index as distinct terms.  Script
+// boundaries flush: a transition between Han, Hiragana, Katakana,
+// Hangul, and everything else ends the current token, and Han
+// ideographs are additionally emitted as single-rune tokens (unigrams)
+// so unsegmented CJK text is searchable — a multi-ideograph query
+// matches via phrase adjacency over the unigram positions.  Letter/
+// digit transitions within one script do not flush ("v2" is one term).
+// Positions count tokens, not bytes.
 package textindex
 
 import (
@@ -25,13 +44,39 @@ type Token struct {
 	Pos  uint32
 }
 
-// Tokenize splits text into lowercase terms of letters and digits.
-// Position counts tokens, not bytes, so phrase queries can check
-// adjacency.
+// Rune classes whose boundaries end a token (see the package comment's
+// tokenizer contract).
+const (
+	classOther = iota // Latin, Cyrillic, Greek, digits, ... — run-based
+	classHan          // unigrams
+	classHiragana
+	classKatakana
+	classHangul
+)
+
+func runeClass(r rune) int {
+	switch {
+	case unicode.Is(unicode.Han, r):
+		return classHan
+	case unicode.Is(unicode.Hiragana, r):
+		return classHiragana
+	case unicode.Is(unicode.Katakana, r):
+		return classKatakana
+	case unicode.Is(unicode.Hangul, r):
+		return classHangul
+	default:
+		return classOther
+	}
+}
+
+// Tokenize splits text into lowercase terms per the tokenizer contract
+// in the package comment.  Position counts tokens, not bytes, so phrase
+// queries can check adjacency.
 func Tokenize(text string) []Token {
 	var out []Token
 	var b strings.Builder
 	pos := uint32(0)
+	last := classOther
 	flush := func() {
 		if b.Len() > 0 {
 			out = append(out, Token{Term: b.String(), Pos: pos})
@@ -40,9 +85,21 @@ func Tokenize(text string) []Token {
 		}
 	}
 	for _, r := range text {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			c := runeClass(r)
+			if c != last {
+				flush()
+			}
 			b.WriteRune(unicode.ToLower(r))
-		} else {
+			last = c
+			if c == classHan {
+				flush()
+			}
+		case unicode.IsMark(r) && b.Len() > 0:
+			// combining marks extend the current token (NFD accents)
+			b.WriteRune(r)
+		default:
 			flush()
 		}
 	}
@@ -50,11 +107,15 @@ func Tokenize(text string) []Token {
 	return out
 }
 
-// postingList stores, for one term, the sorted IDs that contain it and
-// per-ID token positions.
+// postingList stores, for one term, the block-compressed sorted ids
+// that contain it (see block.go for the storage invariants) and per-id
+// token positions.
 type postingList struct {
-	ids []uint64
-	pos map[uint64][]uint32
+	blocks []block  // sealed, immutable, ascending non-overlapping runs
+	tail   []uint64 // sorted uncompressed append area
+	dead   []uint64 // sorted tombstones; always ids resident in blocks
+	live   int      // id count net of tombstones
+	pos    map[uint64][]uint32
 	// gen is the term's mutation generation: assigned from the index-wide
 	// monotonic counter on every posting insert or removal.  Result caches
 	// fold the gens of a query's terms into their keys, so a write that
@@ -63,23 +124,88 @@ type postingList struct {
 	gen uint64
 }
 
+func (pl *postingList) view() view {
+	return view{blocks: pl.blocks, tail: pl.tail, dead: pl.dead, live: pl.live}
+}
+
 func (pl *postingList) add(id uint64, p uint32) {
 	if pl.pos == nil {
 		pl.pos = make(map[uint64][]uint32)
 	}
 	if _, seen := pl.pos[id]; !seen {
-		// IDs almost always arrive in ascending order (sequential node
-		// inserts); fall back to sorted insert otherwise.
-		if n := len(pl.ids); n == 0 || pl.ids[n-1] < id {
-			pl.ids = append(pl.ids, id)
-		} else {
-			i := sort.Search(n, func(i int) bool { return pl.ids[i] >= id })
-			pl.ids = append(pl.ids, 0)
-			copy(pl.ids[i+1:], pl.ids[i:])
-			pl.ids[i] = id
-		}
+		pl.insertID(id)
 	}
 	pl.pos[id] = append(pl.pos[id], p)
+}
+
+// insertID adds a not-currently-live id.  A tombstoned id is revived in
+// place (it is still physically present in a block); everything else
+// lands in the tail — appended when it sorts last (the common RowID
+// pattern), copy-on-write inserted otherwise so captured views stay
+// valid.
+func (pl *postingList) insertID(id uint64) {
+	pl.live++
+	if i := searchIDs(pl.dead, id); i < len(pl.dead) && pl.dead[i] == id {
+		nd := make([]uint64, 0, len(pl.dead)-1)
+		nd = append(nd, pl.dead[:i]...)
+		pl.dead = append(nd, pl.dead[i+1:]...)
+		return
+	}
+	if n := len(pl.tail); n == 0 || pl.tail[n-1] < id {
+		pl.tail = append(pl.tail, id)
+	} else {
+		i := searchIDs(pl.tail, id)
+		nt := make([]uint64, 0, len(pl.tail)+1)
+		nt = append(nt, pl.tail[:i]...)
+		nt = append(nt, id)
+		pl.tail = append(nt, pl.tail[i:]...)
+	}
+	pl.maybeSeal()
+}
+
+// maybeSeal compresses a grown tail into sealed blocks.  The tail is
+// sealed as soon as it reaches sealChunk ids, merging with a partial
+// final block when one exists — each id is re-encoded at most
+// blockSize/sealChunk times, and steady-state tails stay under
+// sealChunk ids instead of hoarding up to a block's worth of
+// uncompressed uint64s per term.  A tail that overlaps sealed ranges
+// (out-of-order ids) cannot be sealed without breaking the blocks'
+// ascending invariant; it is given slack and then folded in by a full
+// rebuild.
+func (pl *postingList) maybeSeal() {
+	if len(pl.tail) < sealChunk {
+		return
+	}
+	if len(pl.blocks) > 0 && pl.tail[0] <= pl.blocks[len(pl.blocks)-1].maxID {
+		if len(pl.tail) >= 4*blockSize {
+			pl.compact()
+		}
+		return
+	}
+	// Merge a partial final block with the tail, then re-chunk.  The
+	// blocks slice is replaced, not mutated: captured views keep reading
+	// the old (immutable) blocks.  Tombstoned ids inside the re-encoded
+	// block stay physically present, which the dead list relies on.
+	keep := len(pl.blocks)
+	ids := pl.tail
+	if keep > 0 && pl.blocks[keep-1].n < blockSize {
+		keep--
+		last := pl.blocks[keep]
+		merged := decodeBlock(last, make([]uint64, 0, last.n+len(ids)))
+		ids = append(merged, ids...)
+	}
+	nb := make([]block, keep, keep+len(ids)/blockSize+1)
+	copy(nb, pl.blocks[:keep])
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > blockSize {
+			n = blockSize
+		}
+		nb = append(nb, encodeBlock(ids[:n]))
+		ids = ids[n:]
+	}
+	pl.blocks = nb
+	pl.tail = nil
 }
 
 func (pl *postingList) remove(id uint64) {
@@ -90,11 +216,47 @@ func (pl *postingList) remove(id uint64) {
 		return
 	}
 	delete(pl.pos, id)
-	i := sort.Search(len(pl.ids), func(i int) bool { return pl.ids[i] >= id })
-	if i < len(pl.ids) && pl.ids[i] == id {
-		copy(pl.ids[i:], pl.ids[i+1:])
-		pl.ids = pl.ids[:len(pl.ids)-1]
+	pl.live--
+	if i := searchIDs(pl.tail, id); i < len(pl.tail) && pl.tail[i] == id {
+		nt := make([]uint64, 0, len(pl.tail)-1)
+		nt = append(nt, pl.tail[:i]...)
+		nt = append(nt, pl.tail[i+1:]...)
+		if len(nt) == 0 {
+			nt = nil
+		}
+		pl.tail = nt
+		// a tail removal shrinks live without adding a tombstone, so the
+		// dead fraction can still cross the threshold
+		pl.maybeCompact()
+		return
 	}
+	// block-resident: tombstone now, reclaim space once tombstones reach
+	// a quarter of the physical ids
+	i := searchIDs(pl.dead, id)
+	nd := make([]uint64, 0, len(pl.dead)+1)
+	nd = append(nd, pl.dead[:i]...)
+	nd = append(nd, id)
+	pl.dead = append(nd, pl.dead[i:]...)
+	pl.maybeCompact()
+}
+
+func (pl *postingList) maybeCompact() {
+	if physical := pl.live + len(pl.dead); len(pl.dead) >= blockSize/4 && len(pl.dead)*4 >= physical {
+		pl.compact()
+	}
+}
+
+// compact rebuilds the list as freshly sealed blocks over exactly the
+// live ids, dropping tombstones and folding in an overlapping tail.
+// Captured views keep reading the replaced (immutable) storage.
+func (pl *postingList) compact() {
+	ids := materializeView(pl.view(), make([]uint64, 0, pl.live))
+	pl.blocks, pl.tail = rebuildBlocks(ids)
+	pl.dead = nil
+}
+
+func searchIDs(s []uint64, id uint64) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= id })
 }
 
 // Index is the inverted index.  Safe for concurrent use.
@@ -173,7 +335,7 @@ func (ix *Index) Remove(id uint64) {
 			got[0].remove(id)
 			ix.genCounter++
 			got[0].gen = ix.genCounter
-			if len(got[0].ids) == 0 {
+			if got[0].live == 0 {
 				ix.terms.DeleteKey(t)
 			}
 		}
@@ -202,7 +364,7 @@ func (ix *Index) DF(term string) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if got := ix.terms.Get(term); len(got) > 0 {
-		return len(got[0].ids)
+		return got[0].live
 	}
 	return 0
 }
@@ -245,70 +407,69 @@ func (ix *Index) Lookup(term string) []uint64 {
 		return nil
 	}
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	var v view
 	if got := ix.terms.Get(term); len(got) > 0 {
-		return append([]uint64(nil), got[0].ids...)
+		v = got[0].view()
 	}
-	return nil
+	ix.mu.RUnlock()
+	if v.live == 0 {
+		return nil
+	}
+	return materializeView(v, make([]uint64, 0, v.live))
 }
 
 // And returns IDs containing every term.  The query string is tokenized,
 // so And("space shuttle") intersects the two terms.
 //
-// Only the smallest posting list is copied under the read lock; every
-// further intersection re-acquires the lock briefly per list, so a long
-// multi-term intersection over large lists never starves writers the way
-// holding one lock across the whole merge did.  The result therefore
-// reflects some interleaving of concurrent writes — the same guarantee
-// the traversal kernel already gives, since rows can vanish between the
-// index probe and the heap fetch anyway.
+// Only list views (slice headers over immutable storage) are captured
+// under the read lock; the skip-driven intersection runs outside it, so
+// a long multi-term intersection over large lists never starves writers.
+// The smallest list drives and the others are sought by block maxID —
+// only their candidate blocks are decoded.  The result reflects some
+// interleaving of concurrent writes — the same guarantee the traversal
+// kernel already gives, since rows can vanish between the index probe
+// and the heap fetch anyway.
 func (ix *Index) And(query string) []uint64 {
 	toks := Tokenize(query)
 	if len(toks) == 0 {
 		return nil
 	}
+	views := make([]view, 0, len(toks))
 	ix.mu.RLock()
-	pls := make([]*postingList, 0, len(toks))
 	for _, tok := range toks {
 		got := ix.terms.Get(tok.Term)
 		if len(got) == 0 {
 			ix.mu.RUnlock()
 			return nil
 		}
-		pls = append(pls, got[0])
+		views = append(views, got[0].view())
 	}
-	sort.Slice(pls, func(i, j int) bool { return len(pls[i].ids) < len(pls[j].ids) })
-	res := append([]uint64(nil), pls[0].ids...)
 	ix.mu.RUnlock()
-	for _, pl := range pls[1:] {
-		ix.mu.RLock()
-		res = intersectInto(res, pl.ids)
-		ix.mu.RUnlock()
-		if len(res) == 0 {
-			break
-		}
+	sort.Slice(views, func(i, j int) bool { return views[i].live < views[j].live })
+	if len(views) == 1 {
+		return materializeView(views[0], make([]uint64, 0, views[0].live))
 	}
-	return res
+	return intersectViews(views)
 }
 
-// Or returns IDs containing any term of the query.  The matching lists
-// are copied under one short read-lock hold; the k-way merge runs outside
-// the lock, replacing the old map+sort dedup (O(n) map inserts plus an
-// O(n log n) sort) with a linear merge over the already-sorted lists.
+// Or returns IDs containing any term of the query.  The matching list
+// views are captured under one short read-lock hold; the k-way merge
+// over block iterators runs outside the lock and decodes each block
+// exactly once.
 func (ix *Index) Or(query string) []uint64 {
 	toks := Tokenize(query)
 	if len(toks) == 0 {
 		return nil
 	}
-	lists := make([][]uint64, 0, len(toks))
+	views := make([]view, 0, len(toks))
 	ix.mu.RLock()
 	for _, tok := range toks {
-		if got := ix.terms.Get(tok.Term); len(got) > 0 && len(got[0].ids) > 0 {
-			lists = append(lists, append([]uint64(nil), got[0].ids...))
+		if got := ix.terms.Get(tok.Term); len(got) > 0 && got[0].live > 0 {
+			views = append(views, got[0].view())
 		}
 	}
 	ix.mu.RUnlock()
-	return mergeSorted(lists)
+	return mergeViews(views)
 }
 
 // Phrase returns IDs where the query terms occur adjacently in order.
@@ -355,115 +516,72 @@ func (ix *Index) Phrase(query string) []uint64 {
 }
 
 // Prefix returns IDs containing any term starting with p.  Matching
-// lists are copied under the lock and k-way merged outside it, like Or.
+// list views are captured under the lock and k-way merged outside it,
+// like Or.
 func (ix *Index) Prefix(p string) []uint64 {
 	p = strings.ToLower(strings.TrimSpace(p))
 	if p == "" {
 		return nil
 	}
-	var lists [][]uint64
+	var views []view
 	ix.mu.RLock()
 	ix.terms.AscendPrefixFunc(p,
 		func(k string) bool { return strings.HasPrefix(k, p) },
 		func(_ string, vals []*postingList) bool {
 			for _, pl := range vals {
-				if len(pl.ids) > 0 {
-					lists = append(lists, append([]uint64(nil), pl.ids...))
+				if pl.live > 0 {
+					views = append(views, pl.view())
 				}
 			}
 			return true
 		})
 	ix.mu.RUnlock()
-	return mergeSorted(lists)
+	return mergeViews(views)
 }
 
-// intersectInto intersects res (privately owned by the caller) with the
-// sorted list l, writing the survivors into res's prefix.  When l is much
-// longer than res it gallops — a binary search per survivor candidate —
-// instead of scanning l linearly, so intersecting a rare term against a
-// stop-word-sized list costs O(|res| log |l|).
-func intersectInto(res, l []uint64) []uint64 {
-	out := res[:0]
-	if len(res) == 0 || len(l) == 0 {
-		return out
-	}
-	if len(l) >= 8*len(res) {
-		j := 0
-		for _, x := range res {
-			j += sort.Search(len(l)-j, func(k int) bool { return l[j+k] >= x })
-			if j >= len(l) {
-				break
-			}
-			if l[j] == x {
-				out = append(out, x)
-				j++
-			}
-		}
-		return out
-	}
-	i, j := 0, 0
-	for i < len(res) && j < len(l) {
-		switch {
-		case res[i] < l[j]:
-			i++
-		case res[i] > l[j]:
-			j++
-		default:
-			out = append(out, res[i])
-			i++
-			j++
-		}
-	}
-	return out
+// Stats describes the posting-list storage: how many ids sit in sealed
+// compressed blocks versus the uncompressed tails, how many tombstones
+// are pending compaction, and what the whole id storage costs resident
+// versus the flat 8-bytes-per-id layout it replaced.  Token positions
+// (needed for phrase queries) are not part of the id storage and are
+// not counted.
+type Stats struct {
+	Terms    int // distinct terms
+	Postings int // live (term, id) pairs
+	Blocks   int // sealed compressed blocks
+	TailIDs  int // ids in uncompressed tails
+	DeadIDs  int // tombstones awaiting compaction
+
+	BlockBytes        int64   // encoded bytes across all blocks
+	BytesResident     int64   // blocks + bookkeeping + tails + tombstones
+	UncompressedBytes int64   // 8 bytes per physical id (the old layout)
+	CompressionRatio  float64 // UncompressedBytes / BytesResident
 }
 
-// mergeSorted merges sorted ID lists into one sorted, deduplicated
-// list by pairwise rounds — O(total log k), with each round a linear
-// two-way merge — so a prefix matching thousands of terms never pays a
-// per-element scan over every cursor.  The lists are owned by the
-// caller (already copied out of the index).
-func mergeSorted(lists [][]uint64) []uint64 {
-	switch len(lists) {
-	case 0:
-		return nil
-	case 1:
-		return lists[0]
-	}
-	for len(lists) > 1 {
-		merged := lists[:0]
-		for i := 0; i < len(lists); i += 2 {
-			if i+1 == len(lists) {
-				merged = append(merged, lists[i])
-				break
-			}
-			merged = append(merged, mergeTwo(lists[i], lists[i+1]))
+// Stats walks the term tree and sums the posting-list storage counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := Stats{Terms: ix.terms.Keys()}
+	ix.terms.Ascend(func(_ string, pls []*postingList) bool {
+		pl := pls[0]
+		st.Postings += pl.live
+		physical := len(pl.tail)
+		for _, b := range pl.blocks {
+			st.Blocks++
+			st.BlockBytes += int64(len(b.data))
+			physical += b.n
 		}
-		lists = merged
+		st.TailIDs += len(pl.tail)
+		st.DeadIDs += len(pl.dead)
+		st.UncompressedBytes += int64(8 * physical)
+		return true
+	})
+	st.BytesResident = st.BlockBytes + int64(st.Blocks)*blockOverhead + int64(8*(st.TailIDs+st.DeadIDs))
+	if st.BytesResident > 0 {
+		st.CompressionRatio = float64(st.UncompressedBytes) / float64(st.BytesResident)
 	}
-	return lists[0]
-}
-
-// mergeTwo merges two sorted, deduplicated lists, dropping duplicates
-// across them.
-func mergeTwo(a, b []uint64) []uint64 {
-	out := make([]uint64, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	return st
 }
 
 func containsPos(ps []uint32, want uint32) bool {

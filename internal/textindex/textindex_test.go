@@ -21,6 +21,16 @@ func TestTokenize(t *testing.T) {
 		{"  multiple   spaces  ", []string{"multiple", "spaces"}},
 		{"ÜBER café", []string{"über", "café"}},
 		{"123 456", []string{"123", "456"}},
+		// Combining marks extend the current token: the NFD spelling of
+		// "cafés" (e + U+0301) must not split at the mark.
+		{"cafe\u0301s society", []string{"cafe\u0301s", "society"}},
+		// Script boundaries flush, and Han ideographs are unigrams.
+		{"abc日本語def", []string{"abc", "日", "本", "語", "def"}},
+		{"東京tower", []string{"東", "京", "tower"}},
+		{"第3章", []string{"第", "3", "章"}},
+		{"한국어 텍스트", []string{"한국어", "텍스트"}},
+		{"ひらがなとカタカナ", []string{"ひらがなと", "カタカナ"}},
+		{"서울2024", []string{"서울", "2024"}},
 	}
 	for _, c := range cases {
 		got := Tokenize(c.in)
@@ -307,5 +317,163 @@ func BenchmarkLookup(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ix.Lookup("shuttle")
+	}
+}
+
+// TestBlockSealAndSkip drives one term through many sealed blocks and
+// checks that lookups and skip-driven intersections stay exact.
+func TestBlockSealAndSkip(t *testing.T) {
+	ix := New()
+	const n = 1000
+	for id := uint64(1); id <= n; id++ {
+		text := "common"
+		if id%97 == 0 {
+			text = "common rare"
+		}
+		ix.Add(id, text)
+	}
+	st := ix.Stats()
+	if st.Blocks < n/blockSize-1 {
+		t.Fatalf("expected sealed blocks, stats = %+v", st)
+	}
+	if got := ix.Lookup("common"); len(got) != n || got[0] != 1 || got[n-1] != n {
+		t.Fatalf("Lookup(common) len=%d first=%v last=%v", len(got), got[0], got[len(got)-1])
+	}
+	and := ix.And("common rare")
+	if len(and) != n/97 {
+		t.Fatalf("And(common rare) = %d ids, want %d", len(and), n/97)
+	}
+	for _, id := range and {
+		if id%97 != 0 {
+			t.Fatalf("unexpected intersection id %d", id)
+		}
+	}
+	if st.CompressionRatio < 2 {
+		t.Fatalf("dense ascending ids should compress >2x, got %.2f (%+v)", st.CompressionRatio, st)
+	}
+}
+
+// TestOutOfOrderTailOverlap inserts ids below already-sealed blocks so
+// the tail overlaps sealed ranges, then forces the overflow rebuild.
+func TestOutOfOrderTailOverlap(t *testing.T) {
+	ix := New()
+	// Seal several blocks of high ids first.
+	for id := uint64(10000); id < 10000+5*blockSize; id++ {
+		ix.Add(id, "w")
+	}
+	// Now add low ids: they land in the tail, which can never seal past
+	// the existing blocks; growing it past 4*blockSize forces a rebuild.
+	for id := uint64(1); id <= 5*blockSize; id++ {
+		ix.Add(id, "w")
+	}
+	got := ix.Lookup("w")
+	if len(got) != 10*blockSize {
+		t.Fatalf("len = %d, want %d", len(got), 10*blockSize)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("ids unsorted after overlap rebuild")
+	}
+	if got[0] != 1 || got[len(got)-1] != 10000+5*blockSize-1 {
+		t.Fatalf("range wrong: first=%d last=%d", got[0], got[len(got)-1])
+	}
+}
+
+// TestTombstoneCompaction removes most of a sealed term and checks the
+// tombstones are folded away while queries stay exact.
+func TestTombstoneCompaction(t *testing.T) {
+	ix := New()
+	const n = 600
+	for id := uint64(1); id <= n; id++ {
+		ix.Add(id, "victim keeper")
+	}
+	for id := uint64(1); id <= n; id++ {
+		if id%3 != 0 {
+			ix.Remove(id)
+		}
+	}
+	st := ix.Stats()
+	if st.DeadIDs > n/4 {
+		t.Fatalf("tombstones not compacted: %+v", st)
+	}
+	got := ix.Lookup("victim")
+	if len(got) != n/3 {
+		t.Fatalf("len = %d, want %d", len(got), n/3)
+	}
+	for _, id := range got {
+		if id%3 != 0 {
+			t.Fatalf("removed id %d still visible", id)
+		}
+	}
+	if df := ix.DF("keeper"); df != n/3 {
+		t.Fatalf("DF = %d, want %d", df, n/3)
+	}
+}
+
+// TestReinsertTombstonedID removes a block-resident id and re-adds it:
+// the tombstone must be revived, not duplicated.
+func TestReinsertTombstonedID(t *testing.T) {
+	ix := New()
+	for id := uint64(1); id <= 2*blockSize; id++ {
+		ix.Add(id, "stable flux")
+	}
+	ix.Remove(7) // inside the first sealed block
+	if got := ix.Lookup("flux"); len(got) != 2*blockSize-1 {
+		t.Fatalf("after remove: %d ids", len(got))
+	}
+	ix.Add(7, "stable flux phoenix")
+	got := ix.Lookup("flux")
+	if len(got) != 2*blockSize {
+		t.Fatalf("after re-add: %d ids, want %d", len(got), 2*blockSize)
+	}
+	seen := 0
+	for _, id := range got {
+		if id == 7 {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("id 7 appears %d times", seen)
+	}
+	if got := ix.Lookup("phoenix"); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("phoenix = %v", got)
+	}
+	if got := ix.And("stable flux phoenix"); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("And over revived id = %v", got)
+	}
+}
+
+// TestPhraseAcrossBlocks checks phrase adjacency still works when the
+// candidate ids live in sealed blocks.
+func TestPhraseAcrossBlocks(t *testing.T) {
+	ix := New()
+	for id := uint64(1); id <= 3*blockSize; id++ {
+		if id%2 == 0 {
+			ix.Add(id, "liquid oxygen tank")
+		} else {
+			ix.Add(id, "oxygen liquid reversed")
+		}
+	}
+	got := ix.Phrase("liquid oxygen")
+	if len(got) != 3*blockSize/2 {
+		t.Fatalf("Phrase = %d ids, want %d", len(got), 3*blockSize/2)
+	}
+	for _, id := range got {
+		if id%2 != 0 {
+			t.Fatalf("wrong-order doc %d matched phrase", id)
+		}
+	}
+}
+
+// TestCJKPhraseSearch: Han unigrams make unsegmented CJK text
+// searchable via phrase adjacency.
+func TestCJKPhraseSearch(t *testing.T) {
+	ix := New()
+	ix.Add(1, "東京の報告")
+	ix.Add(2, "京東の報告") // reversed ideographs
+	if got := ix.Phrase("東京"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Phrase(東京) = %v", got)
+	}
+	if got := ix.Lookup("東"); len(got) != 2 {
+		t.Fatalf("Lookup(東) = %v", got)
 	}
 }

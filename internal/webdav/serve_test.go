@@ -122,6 +122,15 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Generation == 0 {
 		t.Fatalf("generation not bumped by ingest: %+v", st)
 	}
+	// The ingested document must show up in the text-index storage
+	// counters, and the derived sizes must be self-consistent.
+	ti := st.TextIndex
+	if ti.Terms == 0 || ti.Postings == 0 || ti.Bytes == 0 {
+		t.Fatalf("textindex counters empty: %+v", ti)
+	}
+	if ti.CompressionRatio <= 0 {
+		t.Fatalf("textindex compression ratio missing: %+v", ti)
+	}
 }
 
 func TestMethodEnforcement(t *testing.T) {

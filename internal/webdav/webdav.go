@@ -217,6 +217,20 @@ type Stats struct {
 		Bytes     int64  `json:"bytes"`
 		Capacity  int64  `json:"capacity"`
 	} `json:"node_cache"`
+
+	// TextIndex reports the inverted index's block-compressed posting
+	// storage: bytes is what the id lists cost resident, and
+	// compression_ratio is the multiple a flat 8-bytes-per-id layout
+	// would cost instead.
+	TextIndex struct {
+		Terms            int     `json:"terms"`
+		Postings         int     `json:"postings"`
+		Blocks           int     `json:"blocks"`
+		TailIDs          int     `json:"tail_ids"`
+		DeadIDs          int     `json:"dead_ids"`
+		Bytes            int64   `json:"bytes"`
+		CompressionRatio float64 `json:"compression_ratio"`
+	} `json:"textindex"`
 }
 
 // Snapshot gathers the current counters.
@@ -248,6 +262,14 @@ func (s *Server) Snapshot() Stats {
 		st.Cache.Bytes = cs.Bytes
 		st.Cache.Capacity = cs.Capacity
 	}
+	ti := store.TextIndexStats()
+	st.TextIndex.Terms = ti.Terms
+	st.TextIndex.Postings = ti.Postings
+	st.TextIndex.Blocks = ti.Blocks
+	st.TextIndex.TailIDs = ti.TailIDs
+	st.TextIndex.DeadIDs = ti.DeadIDs
+	st.TextIndex.Bytes = ti.BytesResident
+	st.TextIndex.CompressionRatio = ti.CompressionRatio
 	if ns, ok := store.NodeCacheStats(); ok {
 		st.NodeCache.Enabled = true
 		st.NodeCache.Hits = ns.Hits

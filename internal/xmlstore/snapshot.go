@@ -39,8 +39,16 @@ import (
 )
 
 const (
-	snapshotName    = "xmlstore.nmsnap"
-	snapshotVersion = 1
+	snapshotName = "xmlstore.nmsnap"
+	// snapshotVersion 2 switched the embedded text index to the
+	// block-compressed posting-list codec AND changed the tokenizer
+	// (combining marks, CJK script boundaries).  Any other version —
+	// older or newer — falls back to the scan rebuild, which retokenizes
+	// every document under the current contract; loading a v1 file's
+	// postings verbatim would permanently serve old-tokenizer terms
+	// against new-tokenizer queries.  The next checkpoint rewrites the
+	// file at the current version, so the penalty is one slow reopen.
+	snapshotVersion = 2
 )
 
 var snapshotMagic = [8]byte{'N', 'M', 'X', 'S', 'N', 'P', '1', 0}
@@ -54,7 +62,8 @@ type SnapshotStats struct {
 	// instead of the full-scan rebuild.
 	Loaded bool
 	// Fallback names why the snapshot was not used ("" when Loaded):
-	// "missing", "unreadable", "corrupt", "stale", or "wal-replay".
+	// "missing", "unreadable", "corrupt", "version", "stale", or
+	// "wal-replay".
 	Fallback string
 	// Saves and SaveErrors count snapshot writes since this Open.
 	Saves      uint64
@@ -186,7 +195,7 @@ func (s *Store) loadSnapshot(db *ordbms.DB) (ok bool, reason string) {
 		return false, "corrupt"
 	}
 	if binary.LittleEndian.Uint32(data[8:12]) != snapshotVersion {
-		return false, "corrupt"
+		return false, "version"
 	}
 	crc := binary.LittleEndian.Uint32(data[12:16])
 	if binary.LittleEndian.Uint64(data[16:24]) != uint64(len(data)-24) {

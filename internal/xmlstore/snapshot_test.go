@@ -1,6 +1,7 @@
 package xmlstore
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -321,4 +322,60 @@ func TestSnapshotCorruptionFallsBack(t *testing.T) {
 		t.Fatalf("pristine snapshot rejected: %+v", s3.SnapshotStats())
 	}
 	diffPlans(t, "pristine", runPlans(t, s3), want)
+}
+
+// TestSnapshotVersionSkewFallsBack: a snapshot whose version field is
+// not the current one — an old v1 file or a newer format — must fall
+// back to the scan rebuild (which retokenizes under the current
+// tokenizer contract) and be rewritten at the current version by the
+// next checkpoint.
+func TestSnapshotVersionSkewFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	db, s := openDir(t, dir, OpenOptions{})
+	loadDeepCorpus(t, s)
+	want := runPlans(t, s)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapshotName)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(pristine[8:12]); got != snapshotVersion {
+		t.Fatalf("fresh snapshot version = %d, want %d", got, snapshotVersion)
+	}
+
+	for _, skew := range []uint32{1, snapshotVersion + 1} {
+		t.Run(fmt.Sprintf("version=%d", skew), func(t *testing.T) {
+			stale := append([]byte(nil), pristine...)
+			binary.LittleEndian.PutUint32(stale[8:12], skew)
+			if err := os.WriteFile(path, stale, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Fallback, never a failed open or wrong answers.
+			db2, s2 := openDir(t, dir, OpenOptions{})
+			if st := s2.SnapshotStats(); st.Loaded || st.Fallback != "version" {
+				t.Fatalf("version-skewed snapshot mishandled: %+v", st)
+			}
+			diffPlans(t, "skew reopen", runPlans(t, s2), want)
+			// The next checkpoint upgrades the file in place.
+			if err := db2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			upgraded, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := binary.LittleEndian.Uint32(upgraded[8:12]); got != snapshotVersion {
+				t.Fatalf("post-checkpoint version = %d, want %d", got, snapshotVersion)
+			}
+			db3, s3 := openDir(t, dir, OpenOptions{})
+			defer db3.CloseDiscard()
+			if st := s3.SnapshotStats(); !st.Loaded {
+				t.Fatalf("upgraded snapshot not loaded: %+v", st)
+			}
+			diffPlans(t, "upgraded reopen", runPlans(t, s3), want)
+		})
+	}
 }

@@ -798,6 +798,10 @@ func (s *Store) DocumentByName(name string) (*DocInfo, error) {
 // ContentIndex exposes the text index (the query planner consults DF).
 func (s *Store) ContentIndex() *textindex.Index { return s.content }
 
+// TextIndexStats reports the text index's posting-list storage counters
+// (block counts, resident bytes, compression ratio) for /stats.
+func (s *Store) TextIndexStats() textindex.Stats { return s.content.Stats() }
+
 // ContextCount returns how many CONTEXT nodes carry the heading.
 func (s *Store) ContextCount(heading string) int {
 	s.ctxMu.RLock()
