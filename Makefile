@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet lint test race bench bench-smoke bench-json bench-diff
+.PHONY: check fmt vet lint analyze test race bench bench-smoke bench-json bench-diff
 
-# check is the local CI gate: formatting, vet, lint, the full suite
-# under -race, and one pass of the serving and cold-kernel benchmarks
-# as a smoke test.  CI runs the same targets split across parallel jobs
-# (see .github/workflows/ci.yml).
-check: fmt vet lint race bench-smoke
+# check is the local CI gate: formatting, vet, lint, the repo analyzer
+# suite, the full suite under -race, and one pass of the serving and
+# cold-kernel benchmarks as a smoke test.  CI runs the same targets
+# split across parallel jobs (see .github/workflows/ci.yml).
+check: fmt vet lint analyze race bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,6 +25,30 @@ lint:
 		golangci-lint run; \
 	else \
 		echo "lint: staticcheck/golangci-lint not installed; skipping (go vet still runs)"; \
+	fi
+
+# analyze runs netmarkvet, the repo's own analyzer suite: lockcheck,
+# lockscope, atomicmix, fsyncrename and cowview prove the concurrency
+# and crash-safety invariants documented in CONTRIBUTING.md.  It is
+# stdlib-only, so unlike lint it always runs.  govulncheck and the
+# extra x/tools vet passes (nilness, shadow) join in when installed;
+# CI always installs them.
+analyze:
+	$(GO) run ./cmd/netmarkvet
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "analyze: govulncheck not installed; skipping"; \
+	fi
+	@if command -v nilness >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v nilness) ./...; \
+	else \
+		echo "analyze: nilness not installed; skipping"; \
+	fi
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v shadow) ./...; \
+	else \
+		echo "analyze: shadow not installed; skipping"; \
 	fi
 
 test:

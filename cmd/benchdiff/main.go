@@ -4,10 +4,14 @@
 //
 //	go run ./cmd/benchdiff -old BENCH_PR4.json -new BENCH_CI.json -threshold 2
 //
-// Only ns/op is compared, and only for benchmarks matching -match, so
-// one noisy micro-benchmark cannot veto a merge.  The threshold is deliberately loose: committed
-// baselines come from whatever machine recorded them, so the gate
-// catches algorithmic regressions (2x and worse), not hardware skew.
+// ns/op and allocs/op are compared, and only for benchmarks matching
+// -match, so one noisy micro-benchmark cannot veto a merge.  Both
+// thresholds are deliberately loose: committed baselines come from
+// whatever machine recorded them, so the gate catches algorithmic
+// regressions (2x and worse), not hardware skew.  Allocs/op barely
+// varies across machines, but benchmarks whose op counts depend on
+// cache hit rates still drift with CPU count, so the same 2x default
+// applies.
 package main
 
 import (
@@ -29,7 +33,12 @@ type row struct {
 	oldNs     float64
 	newNs     float64
 	ratio     float64
-	regressed bool
+	regressed bool // ns/op grew beyond the time threshold
+
+	oldAllocs      float64
+	newAllocs      float64
+	allocRatio     float64 // 0 when either recording lacks allocs/op
+	allocRegressed bool    // allocs/op grew beyond the alloc threshold
 }
 
 // gomaxprocsSuffix is the "-N" the benchmark framework appends to every
@@ -44,8 +53,11 @@ func normalizeName(name string) string {
 }
 
 // diff pairs benchmarks by GOMAXPROCS-normalised name and flags every
-// matched one whose ns/op grew by more than threshold.
-func diff(oldRep, newRep *benchfmt.Report, match *regexp.Regexp, threshold float64) []row {
+// matched one whose ns/op grew by more than threshold or whose
+// allocs/op grew by more than allocThreshold.  Allocations are only
+// compared when both recordings report them (benchmarks without
+// ReportAllocs leave the field zero).
+func diff(oldRep, newRep *benchfmt.Report, match *regexp.Regexp, threshold, allocThreshold float64) []row {
 	old := make(map[string]benchfmt.Benchmark, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {
 		old[normalizeName(b.Name)] = b
@@ -67,6 +79,12 @@ func diff(oldRep, newRep *benchfmt.Report, match *regexp.Regexp, threshold float
 			ratio: nb.NsPerOp / ob.NsPerOp,
 		}
 		r.regressed = r.ratio > threshold
+		if ob.AllocsPerOp > 0 && nb.AllocsPerOp > 0 {
+			r.oldAllocs = ob.AllocsPerOp
+			r.newAllocs = nb.AllocsPerOp
+			r.allocRatio = nb.AllocsPerOp / ob.AllocsPerOp
+			r.allocRegressed = r.allocRatio > allocThreshold
+		}
 		rows = append(rows, r)
 	}
 	return rows
@@ -90,6 +108,11 @@ func render(rows []row, threshold float64) (string, bool) {
 		}
 		fmt.Fprintf(&sb, "%-60s %14.0f -> %14.0f ns/op  %5.2fx  %s\n",
 			r.name, r.oldNs, r.newNs, r.ratio, verdict)
+		if r.allocRegressed {
+			fmt.Fprintf(&sb, "%-60s %14.0f -> %14.0f allocs/op  %5.2fx  ALLOCS REGRESSED\n",
+				r.name, r.oldAllocs, r.newAllocs, r.allocRatio)
+			regressed = true
+		}
 	}
 	return sb.String(), regressed
 }
@@ -98,6 +121,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline benchjson file (e.g. newest committed BENCH_PR*.json)")
 	newPath := flag.String("new", "", "candidate benchjson file (e.g. BENCH_CI.json)")
 	threshold := flag.Float64("threshold", 2.0, "fail when new ns/op exceeds old by more than this factor")
+	allocThreshold := flag.Float64("alloc-threshold", 2.0, "fail when new allocs/op exceeds old by more than this factor")
 	match := flag.String("match", defaultMatch, "regexp of benchmark names to gate")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -119,7 +143,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	out, regressed := render(diff(oldRep, newRep, re, *threshold), *threshold)
+	out, regressed := render(diff(oldRep, newRep, re, *threshold, *allocThreshold), *threshold)
 	fmt.Printf("benchdiff: %s (%s/%s) vs %s (%s/%s), threshold %.2gx\n",
 		*oldPath, oldRep.GOOS, oldRep.GoVersion, *newPath, newRep.GOOS, newRep.GoVersion, *threshold)
 	fmt.Print(out)

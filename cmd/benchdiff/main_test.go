@@ -32,7 +32,7 @@ func TestInjectedSlowdownFails(t *testing.T) {
 		"BenchmarkServeParallel/hot/cached-4":    50_000,
 		"BenchmarkReopen/snapshot/docs=8-4":      2_000_000,
 	})
-	out, regressed := render(diff(base, slow, match, 2.0), 2.0)
+	out, regressed := render(diff(base, slow, match, 2.0, 2.0), 2.0)
 	if !regressed {
 		t.Fatalf("2.5x slowdown not flagged:\n%s", out)
 	}
@@ -46,7 +46,7 @@ func TestInjectedSlowdownFails(t *testing.T) {
 		"BenchmarkServeParallel/hot/cached-4":    75_000,
 		"BenchmarkReopen/snapshot/docs=8-4":      2_000_000,
 	})
-	if out, regressed := render(diff(base, drift, match, 2.0), 2.0); regressed {
+	if out, regressed := render(diff(base, drift, match, 2.0, 2.0), 2.0); regressed {
 		t.Fatalf("1.5x drift wrongly flagged:\n%s", out)
 	}
 }
@@ -63,7 +63,7 @@ func TestUnmatchedBenchmarksIgnored(t *testing.T) {
 		"BenchmarkAdd-4":                         9_999_999_999, // not gated
 		"BenchmarkReopen/scan/docs=32-4":         5_000_000,     // gated but no baseline
 	})
-	rows := diff(base, cand, match, 2.0)
+	rows := diff(base, cand, match, 2.0, 2.0)
 	if len(rows) != 1 || rows[0].name != "BenchmarkColdContentSearch/optimized" {
 		t.Fatalf("rows = %+v", rows)
 	}
@@ -85,7 +85,7 @@ func TestGomaxprocsSuffixPairing(t *testing.T) {
 		"BenchmarkColdContentSearch/optimized-serial-4": 19_000_000, // 4-vCPU runner, 3.2x
 		"BenchmarkMixedWriteHeavy-4":                    90_000,
 	})
-	rows := diff(base, ci, match, 2.0)
+	rows := diff(base, ci, match, 2.0, 2.0)
 	if len(rows) != 2 {
 		t.Fatalf("suffix-skewed names not paired: %+v", rows)
 	}
@@ -102,8 +102,58 @@ func TestEmptyOverlap(t *testing.T) {
 	match := regexp.MustCompile(defaultMatch)
 	out, regressed := render(diff(report(nil), report(map[string]float64{
 		"BenchmarkReopen/snapshot/docs=8-4": 1,
-	}), match, 2.0), 2.0)
+	}), match, 2.0, 2.0), 2.0)
 	if !regressed || !strings.Contains(out, "no comparable benchmarks") {
 		t.Fatalf("empty overlap mishandled: %v %q", regressed, out)
+	}
+}
+
+func reportWithAllocs(vals map[string][2]float64) *benchfmt.Report {
+	rep := &benchfmt.Report{GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64"}
+	for name, v := range vals {
+		rep.Benchmarks = append(rep.Benchmarks,
+			benchfmt.Benchmark{Name: name, Runs: 10, NsPerOp: v[0], AllocsPerOp: v[1]})
+	}
+	return rep
+}
+
+// TestInjectedAllocRegressionFails: a benchmark whose time holds steady
+// but whose allocs/op more than doubles must fail the gate — allocation
+// regressions show up as GC pressure in production long before they
+// show up as wall time on an idle CI runner.
+func TestInjectedAllocRegressionFails(t *testing.T) {
+	match := regexp.MustCompile(defaultMatch)
+	base := reportWithAllocs(map[string][2]float64{
+		"BenchmarkServeParallel/hot/cached-4": {50_000, 120},
+		"BenchmarkReopen/snapshot/docs=8-4":   {2_000_000, 900},
+	})
+	// Same speed, 3x the allocations on the serving path.
+	leaky := reportWithAllocs(map[string][2]float64{
+		"BenchmarkServeParallel/hot/cached-4": {50_000, 360},
+		"BenchmarkReopen/snapshot/docs=8-4":   {2_000_000, 900},
+	})
+	out, regressed := render(diff(base, leaky, match, 2.0, 2.0), 2.0)
+	if !regressed {
+		t.Fatalf("3x alloc regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "ALLOCS REGRESSED") || !strings.Contains(out, "BenchmarkServeParallel/hot/cached") {
+		t.Fatalf("alloc regression not named:\n%s", out)
+	}
+
+	// Mild alloc drift passes.
+	drift := reportWithAllocs(map[string][2]float64{
+		"BenchmarkServeParallel/hot/cached-4": {50_000, 180},
+		"BenchmarkReopen/snapshot/docs=8-4":   {2_000_000, 900},
+	})
+	if out, regressed := render(diff(base, drift, match, 2.0, 2.0), 2.0); regressed {
+		t.Fatalf("1.5x alloc drift wrongly flagged:\n%s", out)
+	}
+
+	// Baselines without allocs/op never alloc-gate (old recordings).
+	noAllocBase := report(map[string]float64{
+		"BenchmarkServeParallel/hot/cached-4": 50_000,
+	})
+	if out, regressed := render(diff(noAllocBase, leaky, match, 2.0, 2.0), 2.0); regressed {
+		t.Fatalf("alloc gate fired without a baseline:\n%s", out)
 	}
 }

@@ -1,0 +1,153 @@
+// Command netmarkvet is the repo's analyzer suite: it type-checks every
+// package in the module and runs the five netmark-specific passes
+// (lockcheck, lockscope, atomicmix, fsyncrename, cowview) that encode
+// our concurrency and crash-safety invariants.  See
+// internal/analysis for the annotation convention and CONTRIBUTING.md
+// for the invariants themselves.
+//
+// Usage:
+//
+//	netmarkvet [-list] [dir ...]
+//
+// With no arguments it analyzes every package under the current
+// module.  Exit status is 1 if any diagnostic is reported, 2 on load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"netmark/internal/analysis"
+	"netmark/internal/analysis/atomicmix"
+	"netmark/internal/analysis/cowview"
+	"netmark/internal/analysis/fsyncrename"
+	"netmark/internal/analysis/lockcheck"
+	"netmark/internal/analysis/lockscope"
+)
+
+var analyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	lockscope.Analyzer,
+	atomicmix.Analyzer,
+	fsyncrename.Analyzer,
+	cowview.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: netmarkvet [-list] [dir ...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		root, err := moduleRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netmarkvet:", err)
+			os.Exit(2)
+		}
+		dirs, err = packageDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netmarkvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	var (
+		diags    []analysis.Diagnostic
+		loadErrs int
+	)
+	loader, err := analysis.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netmarkvet:", err)
+		os.Exit(2)
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netmarkvet: %s: %v\n", dir, err)
+			loadErrs++
+			continue
+		}
+		ds, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netmarkvet: %s: %v\n", dir, err)
+			loadErrs++
+			continue
+		}
+		for _, d := range ds {
+			pos := loader.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s\n", pos, d.Message)
+		}
+		diags = append(diags, ds...)
+	}
+	switch {
+	case loadErrs > 0:
+		os.Exit(2)
+	case len(diags) > 0:
+		fmt.Fprintf(os.Stderr, "netmarkvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+	}
+}
+
+// packageDirs lists every directory under root holding non-test .go
+// files, skipping testdata, vendor, and dot directories.
+func packageDirs(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over a golden testdata package
+// and checks its diagnostics against `// want "regexp"` comments, the
+// same convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	s.count++ // want `not held`
+//
+// A want comment declares that the analyzer must report at least the
+// listed diagnostics on that source line (each quoted regexp must match
+// one diagnostic); any reported diagnostic on a line without a matching
+// want — and any want without a matching diagnostic — fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"netmark/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+// Run loads testdata/src/<pkg> relative to dir and applies the
+// analyzers, comparing diagnostics against want comments.
+func Run(t *testing.T, dir, pkg string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "testdata", "src", pkg)
+	loader, err := analysis.NewLoader(pkgDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loaded, err := loader.LoadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", pkgDir, err)
+	}
+	diags, err := analysis.RunAnalyzers(loaded, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: run: %v", err)
+	}
+
+	wants := collectWants(t, loaded)
+	for _, d := range diags {
+		pos := loaded.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("missing diagnostic at %s:%d matching %q", filepath.Base(w.file), w.line, w.text)
+		}
+	}
+}
+
+// collectWants re-scans each file's raw comments for want directives.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: expr})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Sprint formats diagnostics for debugging helpers in analyzer tests.
+func Sprint(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(&sb, "%s:%d:%d: %s\n", filepath.Base(pos.Filename), pos.Line, pos.Column, d.Message)
+	}
+	return sb.String()
+}

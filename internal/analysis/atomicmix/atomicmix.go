@@ -1,0 +1,110 @@
+// Package atomicmix flags mixed atomic/plain access: once any code
+// touches a struct field through sync/atomic (atomic.AddUint64(&s.n, 1),
+// atomic.LoadUint64(&s.n), …), every access to that field must be
+// atomic.  A single plain read of an atomically-written counter is a
+// data race and — worse — can tear or be hoisted by the compiler.
+// Fields of the sync/atomic wrapper types (atomic.Uint64 etc.) are
+// inherently safe and need no checking; this pass exists for the legacy
+// &field call style.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "reports non-atomic accesses to fields that are accessed atomically elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find every field whose address flows into a sync/atomic
+	// call, and remember those call argument positions as sanctioned.
+	atomicFields := make(map[types.Object]token.Pos) // field -> first atomic use
+	sanctioned := make(map[*ast.SelectorExpr]bool)   // &x.f inside atomic.*(...)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(sel.Sel)
+				if obj == nil || !isStructField(obj) {
+					continue
+				}
+				sanctioned[sel] = true
+				if _, seen := atomicFields[obj]; !seen {
+					atomicFields[obj] = sel.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must not exist.
+	var diags []analysis.Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			obj := info.ObjectOf(sel.Sel)
+			if obj == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[obj]; isAtomic {
+				diags = append(diags, analysis.Diagnostic{
+					Pos: sel.Sel.Pos(),
+					Message: "non-atomic access to field " + obj.Name() +
+						", which is accessed via sync/atomic elsewhere in this package",
+				})
+			}
+			return true
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	return nil
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+func isStructField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}

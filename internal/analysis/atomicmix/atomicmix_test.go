@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, ".", "a", atomicmix.Analyzer)
+}

@@ -1,0 +1,54 @@
+// Package a is the atomicmix golden corpus.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	ops   uint64 // accessed via sync/atomic: every access must be atomic
+	safe  atomic.Uint64
+	plain uint64 // never touched atomically: plain access is fine
+
+	mu      sync.Mutex
+	guarded uint64 // mutex-guarded, never atomic
+}
+
+// --- known good ---------------------------------------------------------
+
+func (c *counters) goodAtomicEverywhere() uint64 {
+	atomic.AddUint64(&c.ops, 1)
+	return atomic.LoadUint64(&c.ops)
+}
+
+func (c *counters) goodWrapperType() uint64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+func (c *counters) goodPlainField() uint64 {
+	c.plain++
+	return c.plain
+}
+
+func (c *counters) goodMutexField() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.guarded++
+	return c.guarded
+}
+
+// --- known bad ----------------------------------------------------------
+
+func (c *counters) badPlainRead() uint64 {
+	return c.ops // want `non-atomic access to field ops`
+}
+
+func (c *counters) badPlainWrite() {
+	c.ops = 0 // want `non-atomic access to field ops`
+}
+
+func (c *counters) badPlainIncrement() {
+	c.ops++ // want `non-atomic access to field ops`
+}

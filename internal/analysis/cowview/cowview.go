@@ -1,0 +1,128 @@
+// Package cowview protects copy-on-write published state.  A
+// `netmarkvet:cow` field is a slice whose header readers capture under
+// a lock and then read without one (textindex posting-list blocks/tail/
+// dead and the views over them).  The storage behind a captured header
+// must therefore never change:
+//
+//   - writing an element in place (x.f[i] = v), copy(x.f, …), or
+//     x.f[i]++ is an error everywhere — including mutation methods,
+//     which must build a fresh slice and swap it in;
+//   - reassigning the field (x.f = …, x.f = append(x.f, …)) is only
+//     legal inside functions annotated `// netmarkvet:mutator`, the
+//     designated mutation methods that run under the writer lock.
+//
+// Appending through a reassignment is allowed in mutators because
+// captured views read only their own length: growth beyond the captured
+// len either reallocates or touches capacity the view never sees.
+package cowview
+
+import (
+	"go/ast"
+	"go/types"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the cowview pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cowview",
+	Doc:  "reports in-place mutation of copy-on-write published slice fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := analysis.CollectFacts(pass)
+	if len(facts.Cow) == 0 {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			isMutator := facts.Mutators[fn]
+			local := analysis.LocalRoots(info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range v.Lhs {
+						checkLHS(pass, facts, info, fn, lhs, isMutator, local)
+					}
+				case *ast.IncDecStmt:
+					checkLHS(pass, facts, info, fn, v.X, isMutator, local)
+				case *ast.CallExpr:
+					if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "copy" && len(v.Args) == 2 {
+						if sel, obj := cowSelector(facts, info, v.Args[0]); sel != nil {
+							pass.Reportf(sel.Sel.Pos(),
+								"copy into copy-on-write field %s in %s — captured views share this storage; build a new slice",
+								obj.Name(), analysis.FuncDisplayName(fn))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkLHS inspects one assignment target.
+func checkLHS(pass *analysis.Pass, facts *analysis.Facts, info *types.Info,
+	fn *ast.FuncDecl, lhs ast.Expr, isMutator bool, local map[types.Object]bool) {
+	switch v := lhs.(type) {
+	case *ast.IndexExpr:
+		if sel, obj := cowSelector(facts, info, v.X); sel != nil {
+			if rootIsLocal(info, local, sel) {
+				return
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"in-place element write to copy-on-write field %s in %s — captured views share this storage; build a new slice",
+				obj.Name(), analysis.FuncDisplayName(fn))
+		}
+	case *ast.SelectorExpr:
+		obj := info.ObjectOf(v.Sel)
+		if obj == nil || !facts.Cow[obj] {
+			return
+		}
+		if rootIsLocal(info, local, v) {
+			return // freshly built value, not published yet
+		}
+		if !isMutator {
+			pass.Reportf(v.Sel.Pos(),
+				"reassignment of copy-on-write field %s outside a netmarkvet:mutator function (%s)",
+				obj.Name(), analysis.FuncDisplayName(fn))
+		}
+	}
+}
+
+// cowSelector returns (selector, field object) when e is a selector of
+// a cow-annotated field, possibly behind slicing/parens.
+func cowSelector(facts *analysis.Facts, info *types.Info, e ast.Expr) (*ast.SelectorExpr, types.Object) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			obj := info.ObjectOf(v.Sel)
+			if obj != nil && facts.Cow[obj] {
+				return v, obj
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+func rootIsLocal(info *types.Info, local map[types.Object]bool, sel *ast.SelectorExpr) bool {
+	root := analysis.RootIdent(sel.X)
+	if root == nil {
+		return false
+	}
+	obj := info.ObjectOf(root)
+	return obj != nil && local[obj]
+}

@@ -1,0 +1,12 @@
+package cowview_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/cowview"
+)
+
+func TestCowview(t *testing.T) {
+	analysistest.Run(t, ".", "a", cowview.Analyzer)
+}

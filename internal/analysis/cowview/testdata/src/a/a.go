@@ -1,0 +1,79 @@
+// Package a is the cowview golden corpus, modelled on the textindex
+// posting list: blocks/tail are published copy-on-write to captured
+// views.
+package a
+
+type block struct {
+	data []byte
+	n    int
+}
+
+type postingList struct {
+	blocks []block  // netmarkvet:cow — captured by views; replace, never mutate
+	tail   []uint64 // netmarkvet:cow — captured by views; replace, never mutate
+	live   int
+}
+
+type view struct {
+	blocks []block
+	tail   []uint64
+}
+
+// --- known good ---------------------------------------------------------
+
+// capture publishes the current storage; reading cow fields is free.
+func (pl *postingList) capture() view {
+	return view{blocks: pl.blocks, tail: pl.tail}
+}
+
+// appendTail is a designated mutation method.
+//
+// netmarkvet:mutator
+func (pl *postingList) appendTail(id uint64) {
+	pl.tail = append(pl.tail, id)
+	pl.live++
+}
+
+// rebuild swaps in freshly built storage.
+//
+// netmarkvet:mutator
+func (pl *postingList) rebuild(ids []uint64) {
+	nt := make([]uint64, len(ids))
+	copy(nt, ids)
+	pl.tail = nt
+	pl.blocks = nil
+}
+
+// newList builds a fresh, unpublished value: assignments are fine.
+func newList(ids []uint64) *postingList {
+	pl := &postingList{}
+	pl.tail = ids
+	return pl
+}
+
+// --- known bad ----------------------------------------------------------
+
+// badInPlaceWrite mutates storage a view may have captured — even
+// though it is a mutator, in-place writes are never legal.
+//
+// netmarkvet:mutator
+func (pl *postingList) badInPlaceWrite(i int, id uint64) {
+	pl.tail[i] = id // want `in-place element write to copy-on-write field tail`
+}
+
+func (pl *postingList) badInPlaceIncrement(i int) {
+	pl.tail[i]++ // want `in-place element write to copy-on-write field tail`
+}
+
+func (pl *postingList) badCopyInto(ids []uint64) {
+	copy(pl.tail, ids) // want `copy into copy-on-write field tail`
+}
+
+// badReassignOutsideMutator swaps storage without being designated.
+func (pl *postingList) badReassignOutsideMutator(ids []uint64) {
+	pl.tail = ids // want `reassignment of copy-on-write field tail outside a netmarkvet:mutator`
+}
+
+func (pl *postingList) badAppendOutsideMutator(id uint64) {
+	pl.tail = append(pl.tail, id) // want `reassignment of copy-on-write field tail outside a netmarkvet:mutator`
+}

@@ -1,0 +1,157 @@
+// Package fsyncrename makes PR 4's hand-audited durability idiom a
+// permanent gate.  In packages whose doc comment carries
+// `netmarkvet:persistence`, every os.Rename that commits a durable file
+// must follow the full sequence:
+//
+//	write temp file → f.Sync() → os.Rename(tmp, final) → fsync(dir)
+//
+// A rename without a preceding file fsync can commit a name pointing at
+// unwritten bytes; a rename without a following directory fsync can
+// vanish wholesale on power loss even though the data was synced.  The
+// check is per function and positional: some fsync-ish call (a Sync
+// method or a helper whose name contains "sync", e.g. writeFileSync)
+// must precede the rename, and a directory-sync call (a helper whose
+// name contains "syncdir"/"dirsync", or a Sync on a file opened from a
+// directory path) must follow it.  Renames that are deliberately
+// non-durable live outside persistence packages or carry
+// `// netmarkvet:ignore fsyncrename — <why>`.
+package fsyncrename
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the fsyncrename pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncrename",
+	Doc:  "reports os.Rename in persistence packages without fsync-before and directory-fsync-after",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := analysis.CollectFacts(pass)
+	if !facts.Persistence {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// event positions within one function, in source order.
+type events struct {
+	syncs    []token.Pos // file-fsync-ish calls
+	dirSyncs []token.Pos // directory-fsync-ish calls
+	renames  []*ast.CallExpr
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var ev events
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch classify(info, call) {
+		case evRename:
+			ev.renames = append(ev.renames, call)
+		case evSync:
+			ev.syncs = append(ev.syncs, call.Pos())
+		case evDirSync:
+			ev.dirSyncs = append(ev.dirSyncs, call.Pos())
+			// A dir sync is also an fsync for ordering purposes.
+			ev.syncs = append(ev.syncs, call.Pos())
+		}
+		return true
+	})
+	for _, rename := range ev.renames {
+		if !anyBefore(ev.syncs, rename.Pos()) {
+			pass.Reportf(rename.Pos(),
+				"os.Rename in persistence package without a preceding fsync in %s — the renamed file may not be durable",
+				analysis.FuncDisplayName(fn))
+		}
+		if !anyAfter(ev.dirSyncs, rename.Pos()) {
+			pass.Reportf(rename.Pos(),
+				"os.Rename in persistence package without a following directory fsync in %s — the rename itself may not be durable",
+				analysis.FuncDisplayName(fn))
+		}
+	}
+}
+
+type evKind int
+
+const (
+	evNone evKind = iota
+	evRename
+	evSync
+	evDirSync
+)
+
+func classify(info *types.Info, call *ast.CallExpr) evKind {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				if pkg.Imported().Path() == "os" && name == "Rename" {
+					return evRename
+				}
+				return evNone
+			}
+		}
+		// Method calls: any .Sync() counts as a file fsync; name-based
+		// dir-sync helpers as methods too.
+		if name == "Sync" {
+			return evSync
+		}
+		return nameKind(name)
+	case *ast.Ident:
+		return nameKind(fun.Name)
+	}
+	return evNone
+}
+
+// nameKind classifies helper functions by name: "syncDir"/"fsyncDir"/
+// "dirSync" are directory fsyncs, anything else containing "sync" is a
+// file fsync (writeFileSync, syncAll, …).
+func nameKind(name string) evKind {
+	n := strings.ToLower(name)
+	if strings.Contains(n, "syncdir") || strings.Contains(n, "dirsync") || strings.Contains(n, "fsyncdir") {
+		return evDirSync
+	}
+	if strings.Contains(n, "sync") {
+		return evSync
+	}
+	return evNone
+}
+
+func anyBefore(ps []token.Pos, p token.Pos) bool {
+	for _, q := range ps {
+		if q < p {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAfter(ps []token.Pos, p token.Pos) bool {
+	for _, q := range ps {
+		if q > p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/fsyncrename"
+)
+
+func TestFsyncrename(t *testing.T) {
+	analysistest.Run(t, ".", "a", fsyncrename.Analyzer)
+}
+
+func TestNotPersistencePackageIsExempt(t *testing.T) {
+	analysistest.Run(t, ".", "b", fsyncrename.Analyzer)
+}

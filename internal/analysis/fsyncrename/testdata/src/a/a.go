@@ -1,0 +1,96 @@
+// Package a is the fsyncrename golden corpus: a persistence package
+// whose renames must follow temp → fsync → rename → dir-fsync.
+//
+// netmarkvet:persistence
+package a
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeFileSync writes data and fsyncs before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- known good ---------------------------------------------------------
+
+func goodFullSequence(path string, data []byte) error {
+	if err := writeFileSync(path+".tmp", data); err != nil {
+		return err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+func goodInlineSync(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// netmarkvet:ignore fsyncrename — archival move, deliberately
+// non-durable; a crash just leaves the file where it was.
+func goodIgnoredArchive(dir, name string) {
+	_ = os.Rename(filepath.Join(dir, name), filepath.Join(dir, "done", name))
+}
+
+// --- known bad ----------------------------------------------------------
+
+func badNoSyncBeforeRename(path string, data []byte) error {
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil { // want `without a preceding fsync`
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+func badNoDirSyncAfterRename(path string, data []byte) error {
+	if err := writeFileSync(path+".tmp", data); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `without a following directory fsync`
+}
+
+func badBareRename(oldp, newp string) error {
+	return os.Rename(oldp, newp) // want `without a preceding fsync` `without a following directory fsync`
+}

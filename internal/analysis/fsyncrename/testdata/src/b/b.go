@@ -1,0 +1,10 @@
+// Package b carries no persistence annotation: its renames are plain
+// file moves (a drop-folder archive, say) and fsyncrename must stay
+// silent even for bare renames.
+package b
+
+import "os"
+
+func archive(oldp, newp string) error {
+	return os.Rename(oldp, newp)
+}

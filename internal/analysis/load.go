@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("" for testdata packages outside the module)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages.  In-module imports
+// ("netmark/...") are resolved against the module root directly;
+// everything else goes through the standard library's source importer,
+// so the loader works offline with no compiled export data.  One Loader
+// shares a FileSet and an import cache across every package it loads.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+// NewLoader creates a loader rooted at the module containing dir (the
+// nearest ancestor with a go.mod).  A dir outside any module — the
+// analysistest testdata layout — yields a loader that resolves only
+// standard-library imports.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:  token.NewFileSet(),
+		cache: make(map[string]*types.Package),
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	for d := abs; ; {
+		if data, err := os.ReadFile(filepath.Join(d, "go.mod")); err == nil {
+			l.ModuleRoot = d
+			l.ModulePath = modulePathOf(string(data))
+			break
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break // no module; stdlib-only resolution
+		}
+		d = parent
+	}
+	return l, nil
+}
+
+func modulePathOf(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Import resolves an import path for the type checker: module-local
+// paths load from source under the module root, anything else falls
+// back to the source importer (standard library).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		dir := filepath.Join(l.ModuleRoot, strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/"))
+		pkg, err := l.load(dir, path, true)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and fully type-checks the package in dir (non-test
+// files only).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	path := ""
+	if l.ModulePath != "" {
+		if abs, err := filepath.Abs(dir); err == nil {
+			if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+				path = l.ModulePath
+				if rel != "." {
+					path += "/" + filepath.ToSlash(rel)
+				}
+			}
+		}
+	}
+	return l.load(dir, path, false)
+}
+
+func (l *Loader) load(dir, path string, depOnly bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		// Dependencies only need their exported API shape; skipping
+		// their function bodies keeps loading a deep import graph cheap.
+		IgnoreFuncBodies: depOnly,
+		// Collect every type error instead of dying on the first, then
+		// fail with the full list: analyzing a package that does not
+		// type-check would silently miss accesses.
+		Error: func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	name := path
+	if name == "" {
+		name = files[0].Name.Name
+	}
+	tpkg, _ := conf.Check(name, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		const max = 5
+		if len(typeErrs) > max {
+			typeErrs = append(typeErrs[:max], fmt.Sprintf("... and %d more", len(typeErrs)-max))
+		}
+		return nil, fmt.Errorf("analysis: typecheck %s:\n\t%s", dir, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

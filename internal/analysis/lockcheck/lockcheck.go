@@ -1,0 +1,161 @@
+// Package lockcheck flags accesses to `// guarded by <mu>` struct
+// fields made without the named sibling mutex held on the path into the
+// access.  Reads require the mutex in any mode; writes require it
+// exclusively (a write under RLock is a data race the race detector
+// only finds when two goroutines actually collide — this pass finds it
+// on every CI run).
+//
+// The check is intra-procedural.  Three escapes keep it quiet on
+// legitimate code, all documented in CONTRIBUTING.md:
+//
+//   - functions that create the struct value themselves (constructors)
+//     are exempt for accesses rooted at the fresh value;
+//   - functions whose name ends in "Locked" assert that their caller
+//     holds the lock;
+//   - single-goroutine setup paths carry an explicit
+//     `// netmarkvet:ignore lockcheck — <why>` annotation.
+package lockcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "reports accesses to `guarded by` fields without the guarding mutex held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := analysis.CollectFacts(pass)
+	if len(facts.Guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // contract: caller holds the lock
+			}
+			checkFunc(pass, facts, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, facts *analysis.Facts, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	local := analysis.LocalRoots(info, fn)
+	writes := writeTargets(fn)
+	walker := &analysis.LockWalker{
+		Info: info,
+		OnNode: func(n ast.Node, held analysis.Held) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			fieldObj := info.ObjectOf(sel.Sel)
+			if fieldObj == nil {
+				return
+			}
+			muName, guarded := facts.Guards[fieldObj]
+			if !guarded {
+				return
+			}
+			if root := analysis.RootIdent(sel.X); root != nil {
+				if obj := info.ObjectOf(root); obj != nil && local[obj] {
+					return // value created in this function; not shared yet
+				}
+			}
+			baseKey, ok := analysis.ExprKey(info, sel.X)
+			if !ok {
+				return // no stable path to name the mutex through
+			}
+			muKey := baseKey + "." + muName
+			isWrite := writes[sel]
+			switch {
+			case !held.Holds(muKey):
+				pass.Reportf(sel.Sel.Pos(), "%s of %s.%s without %s held (guarded by %s) in %s",
+					accessWord(isWrite), exprString(sel.X), sel.Sel.Name, muName, muName,
+					analysis.FuncDisplayName(fn))
+			case isWrite && !held.HoldsWrite(muKey):
+				pass.Reportf(sel.Sel.Pos(), "write to %s.%s with %s held only for reading in %s",
+					exprString(sel.X), sel.Sel.Name, muName, analysis.FuncDisplayName(fn))
+			}
+		},
+	}
+	walker.Walk(fn.Body)
+}
+
+func accessWord(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// writeTargets marks every selector that is assigned to, incremented,
+// or has its address taken — the accesses that need the guard held
+// exclusively.
+func writeTargets(fn *ast.FuncDecl) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		// x.f = v marks x.f; x.f[i] = v and x.f.g = v mark the inner
+		// selector too — mutating through the field still needs the
+		// exclusive guard.
+		for {
+			switch v := e.(type) {
+			case *ast.SelectorExpr:
+				out[v] = true
+				return
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			case *ast.ParenExpr:
+				e = v.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(v.X)
+		case *ast.UnaryExpr:
+			if v.Op.String() == "&" {
+				mark(v.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "expr"
+}

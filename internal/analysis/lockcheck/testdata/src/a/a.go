@@ -1,0 +1,114 @@
+// Package a is the lockcheck golden corpus: known-good locking idioms
+// that must stay silent, and known-bad accesses that must be flagged.
+package a
+
+import "sync"
+
+type store struct {
+	mu    sync.RWMutex
+	count int // guarded by mu
+
+	statsMu sync.Mutex
+	hits    uint64 // guarded by statsMu
+
+	plain int // unguarded: never flagged
+}
+
+// --- known good ---------------------------------------------------------
+
+func (s *store) goodLockUnlock() int {
+	s.mu.Lock()
+	v := s.count
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) goodDeferUnlock() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+func (s *store) goodWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+}
+
+func (s *store) goodTwoMutexes() {
+	s.mu.Lock()
+	s.count = 1
+	s.mu.Unlock()
+	s.statsMu.Lock()
+	s.hits++
+	s.statsMu.Unlock()
+}
+
+// goodConstructor touches fields of a value nothing else can see yet.
+func newStore() *store {
+	s := &store{}
+	s.count = 1
+	s.hits = 2
+	return s
+}
+
+// countLocked asserts its caller holds mu.
+func (s *store) countLocked() int {
+	return s.count
+}
+
+func (s *store) goodClosureUnderLock() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f := func() int { return s.count }
+	return f()
+}
+
+func (s *store) goodUnguarded() int {
+	return s.plain
+}
+
+// --- known bad ----------------------------------------------------------
+
+func (s *store) badBareRead() int {
+	return s.count // want `read of s\.count without mu held`
+}
+
+func (s *store) badBareWrite() {
+	s.count = 7 // want `write of s\.count without mu held`
+}
+
+func (s *store) badAfterUnlock() int {
+	s.mu.Lock()
+	s.count = 1
+	s.mu.Unlock()
+	return s.count // want `read of s\.count without mu held`
+}
+
+func (s *store) badWrongMutex() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.count++ // want `write of s\.count without mu held`
+}
+
+func (s *store) badWriteUnderRLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.count = 2 // want `write to s\.count with mu held only for reading`
+}
+
+func (s *store) badGoroutineInheritsNothing() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.hits++ // want `write of s\.hits without statsMu held`
+	}()
+}
+
+// badOtherInstance locks its own mutex but touches another value's
+// guarded field: the path to the held mutex differs.
+func (s *store) badOtherInstance(o *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return o.count // want `read of o\.count without mu held`
+}

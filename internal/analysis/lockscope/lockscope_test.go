@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, ".", "a", lockscope.Analyzer)
+}

@@ -1,0 +1,129 @@
+// Package a is the lockscope golden corpus.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type engine struct {
+	// ckptMu is the checkpoint barrier.
+	// netmarkvet:lockorder 10
+	ckptMu sync.RWMutex
+	// mu is the table lock.
+	// netmarkvet:lockorder 20
+	mu sync.RWMutex
+	// idxMu guards the derived index.
+	// netmarkvet:hot netmarkvet:lockorder 30
+	idxMu sync.RWMutex
+	// statsMu guards counters.
+	// netmarkvet:hot netmarkvet:lockorder 40
+	statsMu sync.Mutex
+
+	// coldMu has no annotations: blocking under it is allowed.
+	coldMu sync.Mutex
+
+	idx  map[string]int
+	hits int
+	ch   chan int
+	f    *os.File
+}
+
+// --- known good ---------------------------------------------------------
+
+func (e *engine) goodAscendingOrder() {
+	e.ckptMu.RLock()
+	e.mu.Lock()
+	e.idxMu.Lock()
+	e.idx["k"] = 1
+	e.idxMu.Unlock()
+	e.mu.Unlock()
+	e.ckptMu.RUnlock()
+}
+
+func (e *engine) goodBlockingOutsideHotLock() error {
+	e.idxMu.Lock()
+	v := e.idx["k"]
+	e.idxMu.Unlock()
+	_ = v
+	return e.f.Sync()
+}
+
+func (e *engine) goodBlockingUnderColdLock() error {
+	e.coldMu.Lock()
+	defer e.coldMu.Unlock()
+	return e.f.Sync()
+}
+
+func (e *engine) goodNonBlockingSelect() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	select {
+	case v := <-e.ch:
+		e.hits += v
+	default:
+	}
+}
+
+func (e *engine) goodReacquireAfterRelease() {
+	e.statsMu.Lock()
+	e.hits++
+	e.statsMu.Unlock()
+	e.ckptMu.RLock()
+	e.ckptMu.RUnlock()
+}
+
+// --- known bad ----------------------------------------------------------
+
+func (e *engine) badSleepUnderHotLock() {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding hot lock idxMu`
+}
+
+func (e *engine) badFsyncUnderHotLock() error {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.f.Sync() // want `\(\*os\.File\)\.Sync while holding hot lock statsMu`
+}
+
+func (e *engine) badFileIOUnderHotLock() {
+	e.idxMu.RLock()
+	defer e.idxMu.RUnlock()
+	_, _ = os.ReadFile("x") // want `os\.ReadFile while holding hot lock idxMu`
+}
+
+func (e *engine) badChannelSendUnderHotLock() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	e.ch <- 1 // want `channel send while holding hot lock statsMu`
+}
+
+func (e *engine) badChannelRecvUnderHotLock() int {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return <-e.ch // want `channel receive while holding hot lock statsMu`
+}
+
+func (e *engine) badBlockingSelectUnderHotLock() {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	select { // want `select while holding hot lock idxMu`
+	case <-e.ch:
+	}
+}
+
+func (e *engine) badOrderInversion() {
+	e.statsMu.Lock()
+	e.mu.Lock() // want `mu \(lockorder 20\) acquired while holding statsMu \(lockorder 40\)`
+	e.mu.Unlock()
+	e.statsMu.Unlock()
+}
+
+func (e *engine) badCkptAfterTable() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ckptMu.RLock() // want `ckptMu \(lockorder 10\) acquired while holding mu \(lockorder 20\)`
+	defer e.ckptMu.RUnlock()
+}

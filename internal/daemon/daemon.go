@@ -30,6 +30,7 @@ package daemon
 import (
 	"context"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,8 +86,12 @@ type Daemon struct {
 	processed map[string]bool
 
 	mu       sync.Mutex
-	ingested int
-	failed   int
+	ingested int // guarded by mu
+	failed   int // guarded by mu
+	// quarantineFails counts failed files whose move to .failed/ itself
+	// failed: the file is still sitting in the drop folder with nothing
+	// marking it broken, so operators must know.  Guarded by mu.
+	quarantineFails int
 }
 
 // New creates a daemon for a drop folder (created if missing).
@@ -113,6 +118,14 @@ func (d *Daemon) Stats() (ingested, failed int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.ingested, d.failed
+}
+
+// QuarantineFails returns how many failed files could not be moved to
+// .failed/ and are still sitting unmarked in the drop folder.
+func (d *Daemon) QuarantineFails() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.quarantineFails
 }
 
 // ScanOnce processes every file currently in the drop folder and returns
@@ -220,9 +233,16 @@ func (d *Daemon) ingestBatch(names []string) int {
 }
 
 // recordFailure quarantines a file that could not be ingested and
-// surfaces the error.
+// surfaces the error.  A failed quarantine move is itself an event: the
+// broken file stays in the drop folder looking like any other document,
+// so it is logged and counted rather than swallowed.
 func (d *Daemon) recordFailure(name, full string, err error) {
-	_ = os.Rename(full, filepath.Join(d.dir, failedDir, name))
+	if mvErr := os.Rename(full, filepath.Join(d.dir, failedDir, name)); mvErr != nil {
+		log.Printf("daemon: quarantine of %s failed: %v (ingest error: %v)", name, mvErr, err)
+		d.mu.Lock()
+		d.quarantineFails++
+		d.mu.Unlock()
+	}
 	d.noteFailure(name, err)
 }
 

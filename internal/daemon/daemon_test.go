@@ -303,3 +303,38 @@ func TestScanBatchesLargeDrops(t *testing.T) {
 		t.Fatalf("docs = %d", store.NumDocuments())
 	}
 }
+
+func TestQuarantineFailureIsCounted(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, err := New(dir, store, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary garbage has no converter, so ingest fails and the daemon
+	// tries to quarantine.  Replace .failed/ with a regular file so the
+	// quarantine move itself fails.
+	if err := os.WriteFile(filepath.Join(dir, "blob.bin"),
+		[]byte{0, 1, 2, 0xFF, 0, 0, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, failedDir)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, failedDir), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := scanUntilStable(t, d); n != 0 {
+		t.Fatalf("ingested = %d", n)
+	}
+	if _, failed := d.Stats(); failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if got := d.QuarantineFails(); got != 1 {
+		t.Fatalf("QuarantineFails = %d, want 1", got)
+	}
+	// The broken file is still in the drop folder, not quarantined.
+	if _, err := os.Stat(filepath.Join(dir, "blob.bin")); err != nil {
+		t.Fatal("file vanished despite failed quarantine")
+	}
+}

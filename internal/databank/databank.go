@@ -18,7 +18,7 @@ import (
 type Databank struct {
 	name        string
 	mu          sync.RWMutex
-	sources     []Source
+	sources     []Source // guarded by mu
 	timeout     time.Duration
 	maxParallel int
 }
@@ -194,7 +194,7 @@ func (b *Databank) querySource(ctx context.Context, src Source, q xdb.Query) Sou
 // Registry holds the named databanks of a NETMARK deployment.
 type Registry struct {
 	mu    sync.RWMutex
-	banks map[string]*Databank
+	banks map[string]*Databank // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

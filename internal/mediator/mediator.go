@@ -141,10 +141,10 @@ func (a *DocAdapter) Extract(ctx context.Context, rel SourceRelation) ([]Tuple, 
 // views, mappings, and source adapters.
 type Mediator struct {
 	mu       sync.RWMutex
-	schemas  map[string]*SourceSchema
-	views    map[string]*GlobalView
-	mappings []Mapping
-	adapters map[string]SourceAdapter
+	schemas  map[string]*SourceSchema // guarded by mu
+	views    map[string]*GlobalView   // guarded by mu
+	mappings []Mapping                // guarded by mu
+	adapters map[string]SourceAdapter // guarded by mu
 }
 
 // New creates an empty mediator.

@@ -10,19 +10,21 @@ import (
 // pinned while in use; unpinned dirty pages are flushed on eviction,
 // respecting the WAL-ahead rule via the flushGate callback.
 type BufferPool struct {
+	// mu is deliberately not marked hot — eviction legitimately
+	// flushes a dirty page to disk while holding it.
 	mu       sync.Mutex
 	disk     DiskManager
 	capacity int
-	frames   map[uint32]*Frame
-	lru      *list.List // front = most recently used; holds *Frame
+	frames   map[uint32]*Frame // guarded by mu
+	lru      *list.List        // guarded by mu; front = most recently used; holds *Frame
 
 	// flushGate, when set, is invoked with the page LSN before a dirty
 	// page is written to disk.  The WAL installs a gate that forces the
-	// log out through that LSN first.
+	// log out through that LSN first.  Guarded by mu.
 	flushGate func(lsn uint64) error
 
 	// Stats
-	hits, misses, evictions uint64
+	hits, misses, evictions uint64 // guarded by mu
 }
 
 // Frame is a buffer-pool slot holding one page.

@@ -95,6 +95,10 @@ func syncDir(dir string) error {
 	return err
 }
 
+// loadCatalog rebuilds the table set from the on-disk catalog during
+// Open, before the DB is shared with any other goroutine.
+//
+// netmarkvet:ignore lockcheck — open-time, single-goroutine
 func (db *DB) loadCatalog() error {
 	path := filepath.Join(db.dir, catalogName)
 	b, err := os.ReadFile(path)
@@ -153,7 +157,7 @@ func (db *DB) loadCatalog() error {
 		heap.tag = ct.Name
 		t := &Table{db: db, name: ct.Name, schema: schema, heap: heap, indexes: make(map[string]*Index)}
 		for _, col := range ct.Indexes {
-			if err := t.buildIndex(col); err != nil {
+			if err := t.buildIndexLocked(col); err != nil {
 				return err
 			}
 		}

@@ -28,6 +28,7 @@ type Options struct {
 // DB is the database engine facade: a disk manager, buffer pool, WAL and a
 // set of tables.
 type DB struct {
+	// mu serialises DDL against table lookup.  netmarkvet:lockorder 10
 	mu   sync.RWMutex
 	opts Options
 	dir  string
@@ -35,7 +36,7 @@ type DB struct {
 	pool *BufferPool
 	wal  *WAL
 
-	tables map[string]*Table
+	tables map[string]*Table // guarded by mu
 
 	// catalogGen is the generation of the catalog as loaded from disk,
 	// advanced on every successful checkpoint.  Snapshot stamps compare
@@ -216,7 +217,10 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 // created (with their committed pages), indexes added, tables dropped —
 // all since the last checkpoint.  Ops the catalog already reflects are
 // skipped; applying anything marks the catalog stale so Open runs a
-// full checkpoint to persist the merged state.
+// full checkpoint to persist the merged state.  Runs during Open,
+// before the DB is shared with any other goroutine.
+//
+// netmarkvet:ignore lockcheck — open-time, single-goroutine
 func (db *DB) applyRecoveredOps(ops []RecoveredOp) error {
 	for _, op := range ops {
 		switch op.Kind {
@@ -246,7 +250,7 @@ func (db *DB) applyRecoveredOps(ops []RecoveredOp) error {
 			if _, dup := t.indexes[op.Column]; dup {
 				continue
 			}
-			if err := t.buildIndex(op.Column); err != nil {
+			if err := t.buildIndexLocked(op.Column); err != nil {
 				return err
 			}
 			db.allocsGrew = true
@@ -460,9 +464,12 @@ type Table struct {
 	db   *DB
 	name string
 
-	mu      sync.RWMutex
-	schema  Schema
-	heap    *HeapFile
+	// mu is the table-level lock.  netmarkvet:lockorder 20
+	mu     sync.RWMutex
+	schema Schema
+	heap   *HeapFile
+	// indexes is mutated by CreateIndex while queries resolve index
+	// names.  Guarded by mu.
 	indexes map[string]*Index
 }
 
@@ -649,7 +656,7 @@ func (t *Table) Scan(fn func(rid RowID, row Row) bool) error {
 func (t *Table) CreateIndex(column string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.buildIndex(column); err != nil {
+	if err := t.buildIndexLocked(column); err != nil {
 		return err
 	}
 	if t.db != nil && t.db.wal != nil {
@@ -658,8 +665,8 @@ func (t *Table) CreateIndex(column string) error {
 	return nil
 }
 
-// buildIndex creates and populates an index.  Caller holds t.mu.
-func (t *Table) buildIndex(column string) error {
+// buildIndexLocked creates and populates an index.  Caller holds t.mu.
+func (t *Table) buildIndexLocked(column string) error {
 	if _, dup := t.indexes[column]; dup {
 		return fmt.Errorf("ordbms: index on %s.%s already exists", t.name, column)
 	}

@@ -23,7 +23,7 @@ type DiskManager interface {
 // memDisk is the in-memory DiskManager.
 type memDisk struct {
 	mu    sync.Mutex
-	pages [][]byte
+	pages [][]byte // guarded by mu
 }
 
 // NewMemDisk returns an in-memory disk manager.
@@ -74,7 +74,7 @@ func (d *memDisk) Close() error { return nil }
 type fileDisk struct {
 	mu    sync.Mutex
 	f     *os.File
-	pages uint32
+	pages uint32 // guarded by mu
 }
 
 const diskMagic = "NETMARKDB v1\x00\x00\x00\x00"

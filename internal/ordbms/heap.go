@@ -12,15 +12,17 @@ import (
 // The heap keeps an in-memory free-space map so inserts do not scan; the
 // map is rebuilt when a store is reopened.
 type HeapFile struct {
+	// mu orders page-list growth and the free-space map.
+	// netmarkvet:lockorder 30
 	mu    sync.Mutex
 	pool  *BufferPool
 	wal   *WAL // may be nil for unlogged heaps
 	tag   string
-	pages []uint32
+	pages []uint32 // guarded by mu
 	// freeHint maps pageNo -> approximate free bytes, only for pages with
-	// meaningful free space.
+	// meaningful free space.  Guarded by mu.
 	freeHint map[uint32]int
-	rows     int64
+	rows     int64 // guarded by mu
 }
 
 // NewHeapFile creates an empty heap backed by the pool.
@@ -109,7 +111,7 @@ func (h *HeapFile) Insert(rec []byte) (RowID, error) {
 		if free < len(rec)+slotSize {
 			continue
 		}
-		rid, ok, err := h.tryInsert(no, rec)
+		rid, ok, err := h.tryInsertLocked(no, rec)
 		if err != nil {
 			return ZeroRowID, err
 		}
@@ -121,7 +123,7 @@ func (h *HeapFile) Insert(rec []byte) (RowID, error) {
 	// Try the last page (append locality).
 	if n := len(h.pages); n > 0 {
 		no := h.pages[n-1]
-		rid, ok, err := h.tryInsert(no, rec)
+		rid, ok, err := h.tryInsertLocked(no, rec)
 		if err != nil {
 			return ZeroRowID, err
 		}
@@ -158,8 +160,8 @@ func (h *HeapFile) Insert(rec []byte) (RowID, error) {
 	return RowID{Page: f.PageNo, Slot: uint16(slot)}, nil
 }
 
-// tryInsert attempts an insert into page no.  Caller holds h.mu.
-func (h *HeapFile) tryInsert(no uint32, rec []byte) (RowID, bool, error) {
+// tryInsertLocked attempts an insert into page no.  Caller holds h.mu.
+func (h *HeapFile) tryInsertLocked(no uint32, rec []byte) (RowID, bool, error) {
 	f, err := h.pool.Fetch(no)
 	if err != nil {
 		return ZeroRowID, false, err

@@ -15,8 +15,10 @@ type Index struct {
 	Column string
 	colIdx int
 
+	// mu protects the B-tree; lookups hold it shared across the whole
+	// descent.  netmarkvet:lockorder 35
 	mu   sync.RWMutex
-	tree *btree.Tree[Value, RowID]
+	tree *btree.Tree[Value, RowID] // guarded by mu
 }
 
 func newIndex(column string, colIdx int) *Index {

@@ -8,6 +8,11 @@
 // fast parent/sibling traversal between nodes.  This package reproduces
 // those properties: a RowID here is a physical (page, slot) address, so a
 // traversal hop is one buffer-pool fetch rather than an index lookup.
+//
+// This package owns durable on-disk state, so every committing rename
+// must follow write-temp → fsync → rename → fsync-dir.
+//
+// netmarkvet:persistence
 package ordbms
 
 import (

@@ -18,22 +18,25 @@ import (
 // LSNs are monotonically increasing byte positions; a checkpoint truncates
 // the physical file but advances a persistent base so LSNs never repeat.
 type WAL struct {
+	// mu is deliberately not marked hot — flush and checkpoint
+	// legitimately write and fsync the log while holding it (group
+	// commit drops it around the leader's fsync).  netmarkvet:lockorder 40
 	mu       sync.Mutex
-	f        *os.File
-	path     string // log file path (checkpoints swap the file atomically)
-	dir      string // parent directory, fsynced after the swap
-	base     uint64 // LSN of physical file offset 0
-	buf      []byte // appended but not yet written records
-	bufStart uint64 // LSN of buf[0]
-	flushed  uint64 // LSN through which the file is written (not necessarily synced)
-	synced   uint64 // LSN through which the file is fsynced
-	appends  uint64 // stat: records appended
-	syncs    uint64 // stat: fsyncs issued
+	f        *os.File // guarded by mu
+	path     string   // log file path (checkpoints swap the file atomically)
+	dir      string   // parent directory, fsynced after the swap
+	base     uint64   // guarded by mu; LSN of physical file offset 0
+	buf      []byte   // guarded by mu; appended but not yet written records
+	bufStart uint64   // guarded by mu; LSN of buf[0]
+	flushed  uint64   // guarded by mu; LSN through which the file is written (not necessarily synced)
+	synced   uint64   // guarded by mu; LSN through which the file is fsynced
+	appends  uint64   // guarded by mu; stat: records appended
+	syncs    uint64   // guarded by mu; stat: fsyncs issued
 
 	// Group-commit state: while a leader's fsync is in flight, followers
-	// wait on syncDone instead of issuing their own.
+	// wait on syncDone instead of issuing their own.  Guarded by mu.
 	syncing  bool
-	syncDone chan struct{}
+	syncDone chan struct{} // guarded by mu
 }
 
 // WAL record types.
@@ -263,11 +266,16 @@ func (w *WAL) SyncTo(lsn uint64) error {
 		w.syncDone = make(chan struct{})
 		flushErr := w.flushLocked(w.bufStart + uint64(len(w.buf)))
 		target := w.flushed
+		// Capture the handle while the lock is held: checkpointTo swaps
+		// w.f for the truncated successor and closes the old handle, and
+		// it defers that swap until no group fsync is in flight (syncing
+		// is true here), so f stays open for the Sync below.
+		f := w.f
 		w.mu.Unlock()
 
 		var syncErr error
 		if flushErr == nil {
-			syncErr = w.f.Sync()
+			syncErr = f.Sync()
 		}
 
 		w.mu.Lock()
@@ -312,6 +320,14 @@ const walCkptSuffix = ".ckpt"
 func (w *WAL) checkpointTo(cut uint64, fault func(step string) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Wait out any in-flight group commit: its leader fsyncs the current
+	// w.f outside the lock, and the swap below closes that handle.
+	for w.syncing {
+		done := w.syncDone
+		w.mu.Unlock()
+		<-done
+		w.mu.Lock()
+	}
 	if err := w.flushLocked(w.bufStart + uint64(len(w.buf))); err != nil {
 		return err
 	}
@@ -424,7 +440,7 @@ func (w *WAL) Close() error {
 	if err := w.Sync(); err != nil {
 		return err
 	}
-	return w.f.Close()
+	return w.closeFile()
 }
 
 // WALRecord is a decoded log record handed to recovery.

@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestWALGroupCommitConcurrent hammers the group-commit path: many
@@ -156,5 +157,98 @@ func TestEncodeRowOffsetsPatchable(t *testing.T) {
 	}
 	if got[1].Str != "variable-width prefix" || got[3].Str != "suffix" {
 		t.Fatal("patch corrupted neighboring columns")
+	}
+}
+
+// TestWALSyncDuringCheckpoint races group commits against log
+// truncation.  checkpointTo swaps w.f for the truncated successor and
+// closes the old handle; a group-commit leader fsyncs its captured
+// handle outside the lock.  Before checkpointTo learned to wait out an
+// in-flight group, this closed the file under the leader's feet and
+// commits failed with "file already closed" (and the race detector
+// flagged the unsynchronized w.f access).
+func TestWALSyncDuringCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(filepath.Join(dir, "wal.nmlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lsn := w.LogInsert(uint32(g+1), uint16(i), []byte("payload"))
+				if err := w.SyncTo(lsn); err != nil {
+					t.Errorf("SyncTo: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for stop := false; !stop; {
+		select {
+		case <-done:
+			stop = true
+		default:
+		}
+		if err := w.checkpointTo(w.SyncedLSN(), nil); err != nil {
+			t.Errorf("checkpointTo: %v", err)
+			break
+		}
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCheckpointWaitsForInflightSync pins the invariant directly:
+// while a group-commit leader is fsyncing (syncing set, lock released),
+// checkpointTo must not swap and close the log file.  Before the fix it
+// returned immediately, closing the handle the leader was about to
+// fsync.
+func TestWALCheckpointWaitsForInflightSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(filepath.Join(dir, "wal.nmlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := w.LogInsert(1, 0, []byte("payload"))
+	if err := w.SyncTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pose as a group-commit leader mid-fsync.
+	w.mu.Lock()
+	w.syncing = true
+	w.syncDone = make(chan struct{})
+	w.mu.Unlock()
+
+	ckptDone := make(chan error, 1)
+	go func() { ckptDone <- w.checkpointTo(w.SyncedLSN(), nil) }()
+	select {
+	case <-ckptDone:
+		t.Fatal("checkpointTo completed while a group commit was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Leader finishes; the checkpoint may now proceed.
+	w.mu.Lock()
+	w.syncing = false
+	close(w.syncDone)
+	w.mu.Unlock()
+	if err := <-ckptDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

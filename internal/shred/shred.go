@@ -24,10 +24,10 @@ type Store struct {
 	db *ordbms.DB
 
 	mu     sync.Mutex
-	tables map[string]*ordbms.Table // element name -> relation
+	tables map[string]*ordbms.Table // guarded by mu; element name -> relation
 	docs   *ordbms.Table
-	nextID uint64
-	ddl    int // DDL statements issued (the schema-maintenance cost)
+	nextID uint64 // guarded by mu
+	ddl    int    // guarded by mu; DDL statements issued (the schema-maintenance cost)
 }
 
 var shredDocSchema = ordbms.MustSchema(

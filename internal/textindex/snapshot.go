@@ -88,6 +88,9 @@ func appendDeltaIDs(buf []byte, ids []uint64) []byte {
 // has no bounds checks and seekGE trusts maxID, so a corrupt block that
 // slipped past the file CRC must surface here as an error (the store
 // falls back to the scan rebuild), never as a panic at Open.
+//
+// netmarkvet:ignore lockcheck — builds a fresh index nothing else can
+// reach until it returns
 func LoadSnapshot(data []byte) (*Index, int, error) {
 	off := 0
 	uv := func() (uint64, error) {

@@ -111,9 +111,12 @@ func Tokenize(text string) []Token {
 // that contain it (see block.go for the storage invariants) and per-id
 // token positions.
 type postingList struct {
-	blocks []block  // sealed, immutable, ascending non-overlapping runs
-	tail   []uint64 // sorted uncompressed append area
-	dead   []uint64 // sorted tombstones; always ids resident in blocks
+	// blocks/tail/dead are published to captured views (see view()):
+	// mutation methods must replace the slices, never write elements in
+	// place, or a concurrent reader holding a view sees torn state.
+	blocks []block  // netmarkvet:cow — sealed, immutable, ascending non-overlapping runs
+	tail   []uint64 // netmarkvet:cow — sorted uncompressed append area
+	dead   []uint64 // netmarkvet:cow — sorted tombstones; always ids resident in blocks
 	live   int      // id count net of tombstones
 	pos    map[uint64][]uint32
 	// gen is the term's mutation generation: assigned from the index-wide
@@ -143,6 +146,8 @@ func (pl *postingList) add(id uint64, p uint32) {
 // lands in the tail — appended when it sorts last (the common RowID
 // pattern), copy-on-write inserted otherwise so captured views stay
 // valid.
+//
+// netmarkvet:mutator
 func (pl *postingList) insertID(id uint64) {
 	pl.live++
 	if i := searchIDs(pl.dead, id); i < len(pl.dead) && pl.dead[i] == id {
@@ -172,6 +177,8 @@ func (pl *postingList) insertID(id uint64) {
 // (out-of-order ids) cannot be sealed without breaking the blocks'
 // ascending invariant; it is given slack and then folded in by a full
 // rebuild.
+//
+// netmarkvet:mutator
 func (pl *postingList) maybeSeal() {
 	if len(pl.tail) < sealChunk {
 		return
@@ -208,6 +215,9 @@ func (pl *postingList) maybeSeal() {
 	pl.tail = nil
 }
 
+// remove drops id, replacing (never editing) the published slices.
+//
+// netmarkvet:mutator
 func (pl *postingList) remove(id uint64) {
 	if pl.pos == nil {
 		return
@@ -249,6 +259,8 @@ func (pl *postingList) maybeCompact() {
 // compact rebuilds the list as freshly sealed blocks over exactly the
 // live ids, dropping tombstones and folding in an overlapping tail.
 // Captured views keep reading the replaced (immutable) storage.
+//
+// netmarkvet:mutator
 func (pl *postingList) compact() {
 	ids := materializeView(pl.view(), make([]uint64, 0, pl.live))
 	pl.blocks, pl.tail = rebuildBlocks(ids)
@@ -261,13 +273,16 @@ func searchIDs(s []uint64, id uint64) int {
 
 // Index is the inverted index.  Safe for concurrent use.
 type Index struct {
+	// mu protects the in-memory term btree; queries capture posting
+	// views under it and release it before scoring, so it is never held
+	// across anything blocking.  netmarkvet:hot
 	mu    sync.RWMutex
-	terms *btree.Tree[string, *postingList] // term -> single posting list
-	byID  map[uint64][]string               // reverse map for Remove
-	docs  int
+	terms *btree.Tree[string, *postingList] // guarded by mu; term -> single posting list
+	byID  map[uint64][]string               // guarded by mu; reverse map for Remove
+	docs  int                               // guarded by mu
 	// genCounter is the monotonic source for posting-list generations;
 	// values are never reused, so a term that vanishes and reappears gets
-	// a generation distinct from every one it ever had.
+	// a generation distinct from every one it ever had.  Guarded by mu.
 	genCounter uint64
 }
 

@@ -72,13 +72,15 @@ type resultCache struct {
 	stamp func(*Result) []docStamp
 	fresh func([]docStamp) bool
 
+	// mu is held for map/LRU bookkeeping only; query execution and
+	// flight waits happen outside it.  netmarkvet:hot
 	mu      sync.Mutex
-	lru     *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
-	flight  map[string]*flightCall
-	bytes   int64
+	lru     *list.List               // guarded by mu; front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element // guarded by mu
+	flight  map[string]*flightCall   // guarded by mu
+	bytes   int64                    // guarded by mu
 
-	hits, misses, coalesced, evictions, stale uint64
+	hits, misses, coalesced, evictions, stale uint64 // guarded by mu
 }
 
 func newResultCache(capacity int64, stamp func(*Result) []docStamp, fresh func([]docStamp) bool) *resultCache {

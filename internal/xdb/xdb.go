@@ -250,7 +250,7 @@ type Engine struct {
 	// sheetMu guards sheets: PUT /xslt/{name} registers stylesheets while
 	// concurrent queries resolve them.
 	sheetMu sync.RWMutex
-	sheets  map[string]*xslt.Stylesheet
+	sheets  map[string]*xslt.Stylesheet // guarded by sheetMu
 	// sheetGen counts stylesheet registrations.  Cached results of styled
 	// queries key on it, so re-registering a sheet invalidates them the
 	// same way a store mutation invalidates plain results.

@@ -45,10 +45,12 @@ type nodeCacheEntry struct {
 }
 
 type nodeCacheShard struct {
+	// mu is held for map probes only; never across I/O or decode.
+	// netmarkvet:hot
 	mu    sync.RWMutex
-	gen   uint64 // bumped by every invalidation landing in this shard
-	m     map[ordbms.RowID]*nodeCacheEntry
-	bytes int64
+	gen   uint64                           // guarded by mu; bumped by every invalidation landing in this shard
+	m     map[ordbms.RowID]*nodeCacheEntry // guarded by mu
+	bytes int64                            // guarded by mu
 }
 
 // nodeCache is the sharded cache.  Shards keep lock hold times tiny and

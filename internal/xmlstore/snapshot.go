@@ -222,7 +222,10 @@ func (s *Store) loadSnapshot(db *ordbms.DB) (ok bool, reason string) {
 }
 
 // applySnapshot decodes the payload into fresh structures and installs
-// them only if the whole decode succeeds.
+// them only if the whole decode succeeds.  Runs during OpenWith, before
+// the store is shared with any other goroutine.
+//
+// netmarkvet:ignore lockcheck — open-time, single-goroutine
 func (s *Store) applySnapshot(p []byte) error {
 	off := 0
 	uv := func() (uint64, error) {

@@ -13,6 +13,11 @@
 // type" (§2.1.1).  Node-to-node links are physical RowIDs, reproducing
 // the paper's use of Oracle ROWIDs "for very fast traversal between nodes
 // that are related": following a link costs one buffer-pool fetch.
+//
+// This package persists derived snapshots, so every committing rename
+// must follow write-temp → fsync → rename → fsync-dir.
+//
+// netmarkvet:persistence
 package xmlstore
 
 import (
@@ -106,17 +111,21 @@ type Store struct {
 	xml *ordbms.Table
 	doc *ordbms.Table
 
+	// mu protects ID allocation only; hold times are a few instructions.
+	// netmarkvet:hot netmarkvet:lockorder 20
 	mu         sync.RWMutex
-	nextNodeID uint64
-	nextDocID  uint64
+	nextNodeID uint64 // guarded by mu
+	nextDocID  uint64 // guarded by mu
 
 	// content is the full-text index over TEXT node data; IDs are packed
 	// physical RowIDs, so a hit leads straight to the page.
 	content *textindex.Index
 	// contexts maps normalised (lowercased) heading text to the RowIDs
-	// of CONTEXT nodes bearing it.
+	// of CONTEXT nodes bearing it.  Guarded by ctxMu.
 	contexts *btree.Tree[string, ordbms.RowID]
-	ctxMu    sync.RWMutex
+	// ctxMu protects the in-memory context btree and its generations;
+	// never held across I/O.  netmarkvet:hot netmarkvet:lockorder 30
+	ctxMu sync.RWMutex
 	// ctxGens carries one mutation generation per normalised heading,
 	// assigned from ctxGenCounter on every insert or removal of a RowID
 	// under that heading.  Entries are never deleted (a tombstoned gen
@@ -124,7 +133,7 @@ type Store struct {
 	// existed"); result caches fold these into their keys the way they
 	// fold the text index's per-term gens.  Guarded by ctxMu.
 	ctxGens       map[string]uint64
-	ctxGenCounter uint64
+	ctxGenCounter uint64 // guarded by ctxMu
 
 	// ctxIdx is the derived node→governing-CONTEXT index: for every TEXT
 	// node, the RowID of the heading that governs it (ZeroRowID when the
@@ -132,8 +141,10 @@ type Store struct {
 	// tree at ingest, rebuilt on open, patched on delete — it turns the
 	// §2.1.4 "traverse up via parent/sibling until the first context"
 	// walk into one map probe.
+	// ctxIdxMu protects the derived map only; never held across I/O.
+	// netmarkvet:hot netmarkvet:lockorder 32
 	ctxIdxMu sync.RWMutex
-	ctxIdx   map[ordbms.RowID]ordbms.RowID
+	ctxIdx   map[ordbms.RowID]ordbms.RowID // guarded by ctxIdxMu
 	// ctxIdxOff disables the derived index so ContextFor falls back to
 	// the pointer-chasing walk — the kernel ablation knob, set during
 	// benchmark setup only.
@@ -152,26 +163,29 @@ type Store struct {
 	// the document becomes fully visible (tables + derived indexes) and
 	// again when a delete starts tearing it down.  Result caches validate
 	// entries against the generations of the documents they touched.
+	// docGenMu protects the per-document generation map; never held
+	// across I/O.  netmarkvet:hot netmarkvet:lockorder 34
 	docGenMu      sync.RWMutex
-	docGens       map[uint64]uint64
-	docGenCounter uint64
+	docGens       map[uint64]uint64 // guarded by docGenMu
+	docGenCounter uint64            // guarded by docGenMu
 
-	// Stats counters.
+	// Stats counters.  netmarkvet:hot netmarkvet:lockorder 40
 	statsMu       sync.Mutex
-	docsIngested  uint64
-	nodesInserted uint64
+	docsIngested  uint64 // guarded by statsMu
+	nodesInserted uint64 // guarded by statsMu
 
 	// ckptMu is the checkpoint barrier.  Every mutation path (ingest,
 	// batch writer+indexer, delete) holds it for reading across its whole
 	// table-plus-derived-index span; the snapshot hook holds it for
 	// writing, so a serialised snapshot never captures a document between
 	// its rows landing in the tables and its entries landing in the
-	// derived indexes.  Queries never touch it.
+	// derived indexes.  Queries never touch it.  It is the outermost
+	// lock of every mutation path.  netmarkvet:lockorder 10
 	ckptMu sync.RWMutex
 
 	// snapStat tracks the derived-snapshot lifecycle (see SnapshotStats).
 	snapMu   sync.Mutex
-	snapStat SnapshotStats
+	snapStat SnapshotStats // guarded by snapMu
 
 	// generation counts store mutations: every document ingest (including
 	// its link patches) and every delete bumps it.  Result caches key on
@@ -287,7 +301,10 @@ func OpenWith(db *ordbms.DB, opts OpenOptions) (*Store, error) {
 
 // rebuildDerived rescans the XML table to rebuild the text index, the
 // context index, the node→governing-CONTEXT index and the ID counters
-// after reopening a persistent store.
+// after reopening a persistent store.  Runs during OpenWith, before
+// the store is shared with any other goroutine.
+//
+// netmarkvet:ignore lockcheck — open-time, single-goroutine
 func (s *Store) rebuildDerived() error {
 	// The scan collects a flatNode view of the stored forest (structural
 	// links remapped from RowIDs to slice indexes) so the governing-
