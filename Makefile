@@ -29,7 +29,10 @@ lint:
 
 # analyze runs netmarkvet, the repo's own analyzer suite: lockcheck,
 # lockscope, atomicmix, fsyncrename and cowview prove the concurrency
-# and crash-safety invariants documented in CONTRIBUTING.md.  It is
+# and crash-safety invariants, and the dataflow tier's errflow,
+# ackorder, genbump and snapcover prove durability error routing,
+# WAL-before-ack ordering, generation-counter coherence and snapshot
+# field coverage — all documented in CONTRIBUTING.md.  It is
 # stdlib-only, so unlike lint it always runs.  govulncheck and the
 # extra x/tools vet passes (nilness, shadow) join in when installed;
 # CI always installs them.

@@ -1,33 +1,43 @@
-// Command netmarkvet is the repo's analyzer suite: it type-checks every
-// package in the module and runs the five netmark-specific passes
-// (lockcheck, lockscope, atomicmix, fsyncrename, cowview) that encode
-// our concurrency and crash-safety invariants.  See
-// internal/analysis for the annotation convention and CONTRIBUTING.md
-// for the invariants themselves.
+// Command netmarkvet is the repo's analyzer suite: it type-checks
+// every package in the module once and runs the nine netmark-specific
+// passes (lockcheck, lockscope, atomicmix, fsyncrename, cowview,
+// errflow, ackorder, genbump, snapcover) that encode our concurrency,
+// crash-safety, durability-ordering, and cache-coherence invariants.
+// See internal/analysis for the annotation convention and
+// CONTRIBUTING.md for the invariants themselves.
 //
 // Usage:
 //
-//	netmarkvet [-list] [dir ...]
+//	netmarkvet [-list] [-json] [-v] [dir ...]
 //
 // With no arguments it analyzes every package under the current
-// module.  Exit status is 1 if any diagnostic is reported, 2 on load
-// errors.
+// module.  Diagnostics are deterministic — sorted by file, line,
+// column, analyzer — and printed compiler-style to stderr; -json
+// mirrors them as a JSON array on stdout for editors and CI
+// annotations.  -v reports per-analyzer wall time.  Exit status is 1
+// if any diagnostic is reported, 2 on load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"netmark/internal/analysis"
+	"netmark/internal/analysis/ackorder"
 	"netmark/internal/analysis/atomicmix"
 	"netmark/internal/analysis/cowview"
+	"netmark/internal/analysis/errflow"
 	"netmark/internal/analysis/fsyncrename"
+	"netmark/internal/analysis/genbump"
 	"netmark/internal/analysis/lockcheck"
 	"netmark/internal/analysis/lockscope"
+	"netmark/internal/analysis/snapcover"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -36,12 +46,27 @@ var analyzers = []*analysis.Analyzer{
 	atomicmix.Analyzer,
 	fsyncrename.Analyzer,
 	cowview.Analyzer,
+	errflow.Analyzer,
+	ackorder.Analyzer,
+	genbump.Analyzer,
+	snapcover.Analyzer,
+}
+
+// finding is the -json wire form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout (text still goes to stderr)")
+	verbose := flag.Bool("v", false, "report per-analyzer wall time")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: netmarkvet [-list] [dir ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: netmarkvet [-list] [-json] [-v] [dir ...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -68,39 +93,92 @@ func main() {
 		}
 	}
 
-	var (
-		diags    []analysis.Diagnostic
-		loadErrs int
-	)
 	loader, err := analysis.NewLoader(dirs[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netmarkvet:", err)
 		os.Exit(2)
 	}
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
+	loadStart := time.Now()
+	// One load for the whole module: every package is parsed and
+	// type-checked exactly once and shared by all nine analyzers (and
+	// by the interprocedural summaries, which need cross-package
+	// bodies).
+	mod, err := loader.LoadModule(dirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netmarkvet: %v\n", err)
+		os.Exit(2)
+	}
+	loadTime := time.Since(loadStart)
+
+	var diags []analysis.Diagnostic
+	times := make(map[string]time.Duration)
+	loadErrs := 0
+	for _, pkg := range mod.Packages {
+		ds, err := analysis.RunAnalyzersTimed(pkg, analyzers, func(name string, d time.Duration) {
+			times[name] += d
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "netmarkvet: %s: %v\n", dir, err)
+			fmt.Fprintf(os.Stderr, "netmarkvet: %s: %v\n", pkg.Dir, err)
 			loadErrs++
 			continue
-		}
-		ds, err := analysis.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "netmarkvet: %s: %v\n", dir, err)
-			loadErrs++
-			continue
-		}
-		for _, d := range ds {
-			pos := loader.Fset.Position(d.Pos)
-			fmt.Printf("%s: %s\n", pos, d.Message)
 		}
 		diags = append(diags, ds...)
+	}
+
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		findings = append(findings, finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  strings.TrimPrefix(d.Message, d.Analyzer+": "),
+		})
+	}
+	// Deterministic output across packages: file, line, column,
+	// analyzer, message.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "netmarkvet: loaded %d packages in %v\n", len(mod.Packages), loadTime.Round(time.Millisecond))
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "netmarkvet: %-12s %8v\n", a.Name, times[a.Name].Round(time.Millisecond))
+		}
+	}
+	// Compiler-style text on stderr so CI logs and humans see findings
+	// even when stdout carries JSON.
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "netmarkvet:", err)
+			os.Exit(2)
+		}
 	}
 	switch {
 	case loadErrs > 0:
 		os.Exit(2)
-	case len(diags) > 0:
-		fmt.Fprintf(os.Stderr, "netmarkvet: %d finding(s)\n", len(diags))
+	case len(findings) > 0:
+		fmt.Fprintf(os.Stderr, "netmarkvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

@@ -41,7 +41,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
-	defer nm.Close()
+	// Close flushes and syncs the WAL; a failure here means the final
+	// writes may not be durable, which a durable-store CLI must not hide.
+	defer func() {
+		if err := nm.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	}()
 
 	if *gen != "" {
 		g := corpus.New(*seed)

@@ -30,7 +30,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
-	defer eng.Close()
+	// Close checkpoints and syncs; losing its error would hide a failed
+	// final flush from the operator.
+	defer func() {
+		if err := eng.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	}()
 	db := sqlx.New(eng)
 
 	run := func(stmt string) {

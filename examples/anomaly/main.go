@@ -24,11 +24,11 @@ import (
 func main() {
 	// Three independent stores.
 	trackerA := mustOpen()
-	defer trackerA.Close()
+	defer closeOrDie(trackerA)
 	trackerB := mustOpen()
-	defer trackerB.Close()
+	defer closeOrDie(trackerB)
 	lessons := mustOpen()
-	defer lessons.Close()
+	defer closeOrDie(lessons)
 
 	gen := corpus.New(99)
 	loadAll(trackerA, gen.Anomalies(40))
@@ -46,7 +46,7 @@ func main() {
 	// Assemble the application: a declarative source list.  This is the
 	// whole "integration middleware".
 	app := mustOpen()
-	defer app.Close()
+	defer closeOrDie(app)
 	bank := netmark.NewDatabank("anomaly-tracking")
 	bank.AddSource(netmark.NewHTTPSource("tracker-a", ts.URL, netmark.FullCapability))
 	bank.AddSource(netmark.NewLocalSource("tracker-b", trackerB))
@@ -101,5 +101,13 @@ func loadAll(nm *netmark.Netmark, docs []corpus.Document) {
 		if _, err := nm.Ingest(d.Name, d.Data); err != nil {
 			log.Fatalf("ingest %s: %v", d.Name, err)
 		}
+	}
+}
+
+// closeOrDie flushes a store on the way out; a failed final sync must
+// fail the demo loudly rather than be silently dropped.
+func closeOrDie(nm *netmark.Netmark) {
+	if err := nm.Close(); err != nil {
+		log.Fatalf("close: %v", err)
 	}
 }

@@ -26,7 +26,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer nm.Close()
+	// Close flushes and syncs the WAL; a failure here means the final
+	// writes may not be durable, which a durable-store CLI must not hide.
+	defer func() {
+		if err := nm.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	}()
 
 	// The incoming proposal pile: 90 documents in three formats.
 	gen := corpus.New(2026)

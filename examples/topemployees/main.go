@@ -33,19 +33,19 @@ func main() {
 	}, map[string]string{
 		"Employee": "Cy Diaz", "Rating": "excellent",
 	})
-	defer ames.Close()
+	defer closeOrDie(ames)
 	johnson := load("johnson", map[string]string{
 		"Name": "Dee Flores", "Score": "1",
 	}, map[string]string{
 		"Name": "Ed Gray", "Score": "4",
 	})
-	defer johnson.Close()
+	defer closeOrDie(johnson)
 	kennedy := load("kennedy", map[string]string{
 		"Person": "Flo Hale", "Evaluation": "very good",
 	}, map[string]string{
 		"Person": "Gus Irwin", "Evaluation": "fair",
 	})
-	defer kennedy.Close()
+	defer closeOrDie(kennedy)
 
 	// ---- GAV mediator route ------------------------------------------
 	med := mediator.New()
@@ -157,4 +157,12 @@ func load(center string, records ...map[string]string) *netmark.Netmark {
 		}
 	}
 	return nm
+}
+
+// closeOrDie flushes a store on the way out; a failed final sync must
+// fail the demo loudly rather than be silently dropped.
+func closeOrDie(nm *netmark.Netmark) {
+	if err := nm.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
 }

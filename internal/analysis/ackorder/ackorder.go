@@ -1,0 +1,316 @@
+// Package ackorder checks the durability-before-ack protocol in HTTP
+// handlers: any path through a handler that mutates the store must
+// reach a WAL commit/sync before it writes a 2xx status.  Acking a
+// client and then losing the write to a crash is the PR 2 DELETE bug —
+// this pass generalizes that fix to every handler and every future
+// endpoint.
+//
+// Mutation and commit facts come from the interprocedural summaries
+// (netmarkvet:mutates / netmarkvet:commit seeds closed over the call
+// graph), so a handler calling store.DeleteDocument → Table.Delete is
+// recognized without annotating the handler itself.  An ack is an
+// explicit WriteHeader with a constant 2xx status, or the first body
+// write on the ResponseWriter (net/http's implicit 200) — directly or
+// through a helper summarized as writing to its writer parameter.
+// http.Error and a WriteHeader with a dynamic or non-2xx status are
+// not acks (they end the response, so later body writes stop counting
+// as implicit 200s).
+//
+// The check runs as a forward dataflow over the function CFG: the
+// state tracks {mutated-uncommitted, header-written} per path, joins
+// are unions, and a finding fires at any ack event reachable with an
+// uncommitted mutation.
+package ackorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the ackorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ackorder",
+	Doc:  "handler paths that mutate the store must commit the WAL before writing a 2xx status",
+	Run:  run,
+}
+
+// Path state bits.  A state is one combination of the two; the
+// dataflow value is the bitmask of reachable combinations.
+const (
+	stHeader = 1 << iota // response status already written
+	stDirty              // store mutated, not yet committed
+)
+
+const numStates = 4
+
+type stateSet uint8 // bit s set ⇔ path state s reachable
+
+const entryState stateSet = 1 << 0 // clean, no header written
+
+type evKind int
+
+const (
+	evMutate evKind = iota
+	evCommit
+	evAck2xx // explicit constant-2xx WriteHeader
+	evWrite  // body write: an implicit 200 only while no header yet
+	evHeader // non-success status write (http.Error, WriteHeader(5xx))
+)
+
+type event struct {
+	kind evKind
+	pos  token.Pos
+	what string
+}
+
+func run(pass *analysis.Pass) error {
+	summ := pass.Mod.Summaries()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if w := handlerWriter(pass, fd.Type); w != nil {
+				checkHandler(pass, summ, fd.Body, w)
+			}
+			// Handlers written as literals (mux.HandleFunc("/x",
+			// func(w, r) {...})) are checked the same way.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				fl, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if w := handlerWriter(pass, fl.Type); w != nil {
+					checkHandler(pass, summ, fl.Body, w)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// handlerWriter returns the http.ResponseWriter parameter's object
+// when ft is a handler signature — it declares both a ResponseWriter
+// and a *http.Request parameter — else nil.
+func handlerWriter(pass *analysis.Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	var writer types.Object
+	hasReq := false
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if analysis.IsResponseWriter(obj.Type()) {
+				writer = obj
+			}
+			if isHTTPRequestPtr(obj.Type()) {
+				hasReq = true
+			}
+		}
+	}
+	if writer != nil && hasReq {
+		return writer
+	}
+	return nil
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+func checkHandler(pass *analysis.Pass, summ *analysis.Summaries, body *ast.BlockStmt, w types.Object) {
+	g := analysis.FuncCFG(body, pass.TypesInfo)
+	events := make([][]event, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		events[blk.Index] = blockEvents(pass, summ, blk, w)
+	}
+	in := make([]stateSet, len(g.Blocks))
+	out := make([]stateSet, len(g.Blocks))
+	in[g.Entry.Index] = entryState
+	rpo := g.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range rpo {
+			s := in[blk.Index]
+			if blk == g.Entry {
+				s |= entryState
+			}
+			s = transfer(s, events[blk.Index], nil)
+			if s != out[blk.Index] {
+				out[blk.Index] = s
+				changed = true
+			}
+			for _, succ := range blk.Succs {
+				if in[succ.Index]|s != in[succ.Index] {
+					in[succ.Index] |= s
+					changed = true
+				}
+			}
+		}
+	}
+	// Reporting pass over the settled states.
+	reported := make(map[token.Pos]bool)
+	report := func(ev event) {
+		if reported[ev.pos] {
+			return
+		}
+		reported[ev.pos] = true
+		pass.Reportf(ev.pos,
+			"handler acks with a 2xx (%s) while a store mutation is uncommitted: commit the WAL before writing the status",
+			ev.what)
+	}
+	for _, blk := range rpo {
+		s := in[blk.Index]
+		if blk == g.Entry {
+			s |= entryState
+		}
+		transfer(s, events[blk.Index], report)
+	}
+}
+
+// transfer runs one block's events over a state set; report (when
+// non-nil) fires for ack events reachable with an uncommitted
+// mutation.
+func transfer(s stateSet, evs []event, report func(event)) stateSet {
+	for _, ev := range evs {
+		switch ev.kind {
+		case evMutate:
+			s = mapStates(s, func(st uint8) uint8 { return st | stDirty })
+		case evCommit:
+			s = mapStates(s, func(st uint8) uint8 { return st &^ stDirty })
+		case evHeader:
+			s = mapStates(s, func(st uint8) uint8 { return st | stHeader })
+		case evAck2xx:
+			if report != nil && anyState(s, func(st uint8) bool { return st&stDirty != 0 }) {
+				report(ev)
+			}
+			s = mapStates(s, func(st uint8) uint8 { return st | stHeader })
+		case evWrite:
+			if report != nil && anyState(s, func(st uint8) bool {
+				return st&stDirty != 0 && st&stHeader == 0
+			}) {
+				report(ev)
+			}
+			s = mapStates(s, func(st uint8) uint8 { return st | stHeader })
+		}
+	}
+	return s
+}
+
+func mapStates(s stateSet, f func(uint8) uint8) stateSet {
+	var out stateSet
+	for st := uint8(0); st < numStates; st++ {
+		if s&(1<<st) != 0 {
+			out |= 1 << f(st)
+		}
+	}
+	return out
+}
+
+func anyState(s stateSet, f func(uint8) bool) bool {
+	for st := uint8(0); st < numStates; st++ {
+		if s&(1<<st) != 0 && f(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockEvents extracts the ordered mutate/commit/ack events from one
+// basic block.
+func blockEvents(pass *analysis.Pass, summ *analysis.Summaries, blk *analysis.Block, w types.Object) []event {
+	var evs []event
+	info := pass.TypesInfo
+	for _, n := range blk.Nodes {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			// Deferred calls run after the response is complete;
+			// nothing they do can reorder the ack.
+			continue
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if _, isLit := c.(*ast.FuncLit); isLit {
+				return false // literals are analyzed as their own handlers
+			}
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			evs = append(evs, callEvents(info, summ, call, w)...)
+			return true
+		})
+	}
+	return evs
+}
+
+// callEvents classifies one call.  A call can produce several events
+// (a helper that both mutates and writes would mutate first).
+func callEvents(info *types.Info, summ *analysis.Summaries, call *ast.CallExpr, w types.Object) []event {
+	var evs []event
+	callee := analysis.CalleeFunc(info, call)
+	fs := summ.Of(callee)
+	if fs != nil && fs.Mutates {
+		evs = append(evs, event{kind: evMutate, pos: call.Pos()})
+	}
+	// Method calls on the writer itself.
+	if sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := analysis.Unparen(sel.X).(*ast.Ident); ok && info.ObjectOf(id) == w {
+			switch sel.Sel.Name {
+			case "WriteHeader":
+				if len(call.Args) == 1 {
+					if code, isConst := analysis.ConstStatusCode(info, call.Args[0]); isConst {
+						if code >= 200 && code < 300 {
+							return append(evs, event{kind: evAck2xx, pos: call.Pos(),
+								what: "WriteHeader"})
+						}
+						return append(evs, event{kind: evHeader, pos: call.Pos()})
+					}
+					return append(evs, event{kind: evHeader, pos: call.Pos()})
+				}
+			case "Write", "WriteString":
+				return append(evs, event{kind: evWrite, pos: call.Pos(),
+					what: "body write"})
+			}
+		}
+	}
+	// The writer passed to a helper.
+	for i, arg := range call.Args {
+		id, ok := analysis.Unparen(arg).(*ast.Ident)
+		if !ok || info.ObjectOf(id) != w {
+			continue
+		}
+		if analysis.StdlibNonAck(callee) {
+			return append(evs, event{kind: evHeader, pos: call.Pos()})
+		}
+		if idx, ok := analysis.StdlibWriterArg(callee); ok && i == idx {
+			return append(evs, event{kind: evWrite, pos: call.Pos(),
+				what: callee.Name()})
+		}
+		if fs != nil && i < len(fs.AcksParam) && fs.AcksParam[i] {
+			return append(evs, event{kind: evWrite, pos: call.Pos(),
+				what: callee.Name()})
+		}
+	}
+	if fs != nil && fs.Commits {
+		evs = append(evs, event{kind: evCommit, pos: call.Pos()})
+	}
+	return evs
+}

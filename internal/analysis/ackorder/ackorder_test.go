@@ -1,0 +1,12 @@
+package ackorder_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/ackorder"
+	"netmark/internal/analysis/analysistest"
+)
+
+func TestAckorder(t *testing.T) {
+	analysistest.Run(t, ".", "a", ackorder.Analyzer)
+}

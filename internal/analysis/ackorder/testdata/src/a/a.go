@@ -1,0 +1,123 @@
+// Package a is the ackorder golden corpus: handler paths that mutate
+// the store must reach a commit before writing a 2xx status.  The
+// known-bad cases seed the PR 2 DELETE bug — acking the client before
+// the WAL made the mutation durable.
+package a
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Store is a stand-in persistent store.
+type Store struct{ n int }
+
+// Insert mutates persistent state.
+//
+// netmarkvet:mutates
+func (s *Store) Insert(v string) error {
+	s.n++
+	return nil
+}
+
+// Commit makes prior mutations durable.
+//
+// netmarkvet:commit
+func (s *Store) Commit() error { return nil }
+
+// remove is recognized transitively: it calls the annotated mutator.
+func (s *Store) remove(v string) error { return s.Insert(v) }
+
+// writeOK writes a success body through w (an acking helper in the
+// summary).
+func writeOK(w http.ResponseWriter, msg string) {
+	fmt.Fprintln(w, msg)
+}
+
+// --- known good ---------------------------------------------------------
+
+func goodCommitThenAck(s *Store, w http.ResponseWriter, r *http.Request) {
+	if err := s.Insert("x"); err != nil {
+		http.Error(w, "insert failed", http.StatusInternalServerError)
+		return
+	}
+	if err := s.Commit(); err != nil {
+		http.Error(w, "commit failed", http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func goodReadOnly(s *Store, w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, s.n)
+}
+
+func goodCommitThenHelperAck(s *Store, w http.ResponseWriter, r *http.Request) {
+	if err := s.remove("x"); err != nil {
+		http.Error(w, "remove failed", http.StatusInternalServerError)
+		return
+	}
+	if err := s.Commit(); err != nil {
+		http.Error(w, "commit failed", http.StatusInternalServerError)
+		return
+	}
+	writeOK(w, "gone")
+}
+
+func goodErrorStatusIsNotAnAck(s *Store, w http.ResponseWriter, r *http.Request) {
+	_ = s.Insert("x")
+	w.WriteHeader(http.StatusInternalServerError)
+	fmt.Fprintln(w, "failed") // body after a 5xx header: not an implicit 200
+}
+
+// --- known bad ----------------------------------------------------------
+
+func badAckBeforeCommit(s *Store, w http.ResponseWriter, r *http.Request) {
+	_ = s.Insert("x")
+	w.WriteHeader(http.StatusNoContent) // want `acks with a 2xx`
+	_ = s.Commit()
+}
+
+func badNoCommitAtAll(s *Store, w http.ResponseWriter, r *http.Request) {
+	_ = s.Insert("x")
+	w.WriteHeader(http.StatusOK) // want `acks with a 2xx`
+}
+
+func badImplicitAck(s *Store, w http.ResponseWriter, r *http.Request) {
+	_ = s.Insert("x")
+	fmt.Fprintln(w, "ok") // want `acks with a 2xx`
+}
+
+func badHelperAck(s *Store, w http.ResponseWriter, r *http.Request) {
+	_ = s.Insert("x")
+	writeOK(w, "ok") // want `acks with a 2xx`
+}
+
+func badTransitiveMutation(s *Store, w http.ResponseWriter, r *http.Request) {
+	_ = s.remove("x")
+	w.WriteHeader(http.StatusNoContent) // want `acks with a 2xx`
+}
+
+func badOnOnePathOnly(s *Store, w http.ResponseWriter, r *http.Request) {
+	if r.Method == "DELETE" {
+		_ = s.Insert("x")
+	}
+	w.WriteHeader(http.StatusOK) // want `acks with a 2xx`
+}
+
+func badCommitOnOnePathOnly(s *Store, w http.ResponseWriter, r *http.Request) {
+	_ = s.Insert("x")
+	if r.Method == "DELETE" {
+		_ = s.Commit()
+	}
+	w.WriteHeader(http.StatusOK) // want `acks with a 2xx`
+}
+
+// badLiteral seeds the violation inside a handler literal, the shape
+// mux.HandleFunc registrations use.
+func badLiteral(s *Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_ = s.Insert("x")
+		w.WriteHeader(http.StatusOK) // want `acks with a 2xx`
+	}
+}

@@ -21,6 +21,20 @@
 //	// netmarkvet:persistence     in a package doc: fsyncrename applies
 //	// netmarkvet:ignore <names>  on a function: suppress the named
 //	//                            analyzers inside it (document why!)
+//	// netmarkvet:commit          on a function: makes prior writes
+//	//                            durable (WAL sync/commit) — ackorder
+//	//                            seed
+//	// netmarkvet:mutates         on a function: mutates persistent
+//	//                            store state — ackorder seed
+//	// netmarkvet:errsink         on a function: passing an error to it
+//	//                            counts as handling it (errflow)
+//	// netmarkvet:gen <counter>   on a guarded field: mutations must
+//	//                            bump the sibling counter before the
+//	//                            guard is released (genbump)
+//	// netmarkvet:snap            on a field: must be referenced by both
+//	//                            snapshot encode and decode (snapcover)
+//	// netmarkvet:snap-encode     on a function: snapshot encode root
+//	// netmarkvet:snap-decode     on a function: snapshot decode root
 package analysis
 
 import (
@@ -29,6 +43,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one invariant checker.
@@ -49,6 +64,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Loaded is the package being analyzed; Mod is the module it was
+	// loaded with.  The dataflow analyzers reach interprocedural
+	// summaries through pass.Mod.Summaries().
+	Loaded *Package
+	Mod    *Module
 	// Report records one finding.  Findings inside a function annotated
 	// "netmarkvet:ignore <analyzer>" are dropped by the driver.
 	Report func(d Diagnostic)
@@ -59,10 +79,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Diagnostic is one finding at one position.
+// Diagnostic is one finding at one position.  Analyzer is filled in by
+// RunAnalyzers; Message carries the "analyzer: " prefix after the run
+// so existing consumers (analysistest, the text printer) need no
+// change.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos      token.Pos
+	Message  string
+	Analyzer string
 }
 
 // RunAnalyzers applies every analyzer to pkg and returns the surviving
@@ -71,7 +95,17 @@ type Diagnostic struct {
 // bare "netmarkvet:ignore") are suppressed — the escape hatch for
 // single-goroutine setup paths the intra-procedural passes cannot see.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersTimed(pkg, analyzers, nil)
+}
+
+// RunAnalyzersTimed is RunAnalyzers with a per-analyzer duration
+// callback (nil to skip timing) — the driver's -v accounting.
+func RunAnalyzersTimed(pkg *Package, analyzers []*Analyzer, timed func(name string, d time.Duration)) ([]Diagnostic, error) {
 	ignores := collectIgnores(pkg)
+	mod := pkg.Mod
+	if mod == nil {
+		mod = singleton(pkg)
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		var diags []Diagnostic
@@ -81,18 +115,33 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Loaded:    pkg,
+			Mod:       mod,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		if timed != nil {
+			timed(a.Name, time.Since(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 		for _, d := range diags {
 			if !ignores.covers(a.Name, d.Pos) {
-				out = append(out, Diagnostic{Pos: d.Pos, Message: a.Name + ": " + d.Message})
+				out = append(out, Diagnostic{Pos: d.Pos, Message: a.Name + ": " + d.Message, Analyzer: a.Name})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
+	})
 	return out, nil
 }
 

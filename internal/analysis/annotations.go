@@ -27,6 +27,18 @@ type Facts struct {
 	// Mutators holds the functions allowed to reassign cow fields
 	// ("netmarkvet:mutator").
 	Mutators map[*ast.FuncDecl]bool
+	// Gen maps a guarded field to the name of the sibling generation
+	// counter that every mutation must bump before the guard is
+	// released ("netmarkvet:gen <counter>").
+	Gen map[types.Object]string
+	// Snap marks persistable fields that must round-trip through the
+	// snapshot encode and decode paths ("netmarkvet:snap").
+	Snap map[types.Object]bool
+	// SnapEncode / SnapDecode hold the snapshot codec roots
+	// ("netmarkvet:snap-encode" / "netmarkvet:snap-decode" on a
+	// function): snapcover closes over their same-package callees.
+	SnapEncode map[*ast.FuncDecl]bool
+	SnapDecode map[*ast.FuncDecl]bool
 	// Persistence reports whether any file's package doc opts the
 	// package into the fsyncrename invariant
 	// ("netmarkvet:persistence").
@@ -37,6 +49,10 @@ var (
 	guardedRe   = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
 	lockorderRe = regexp.MustCompile(`\bnetmarkvet:lockorder\s+(\d+)\b`)
 	ignoreRe    = regexp.MustCompile(`\bnetmarkvet:ignore\b([^\n]*)`)
+	genRe       = regexp.MustCompile(`\bnetmarkvet:gen\s+(\w+)`)
+	// "netmarkvet:snap" must not also match the snap-encode/snap-decode
+	// function annotations, so the tag ends at whitespace or EOF.
+	snapRe = regexp.MustCompile(`netmarkvet:snap(\s|$)`)
 )
 
 // parseIgnore returns nil when text has no ignore annotation, an empty
@@ -64,11 +80,15 @@ func parseIgnore(text string) []string {
 // docs for netmarkvet annotations.
 func CollectFacts(pass *Pass) *Facts {
 	f := &Facts{
-		Guards:   make(map[types.Object]string),
-		Hot:      make(map[types.Object]bool),
-		Order:    make(map[types.Object]int),
-		Cow:      make(map[types.Object]bool),
-		Mutators: make(map[*ast.FuncDecl]bool),
+		Guards:     make(map[types.Object]string),
+		Hot:        make(map[types.Object]bool),
+		Order:      make(map[types.Object]int),
+		Cow:        make(map[types.Object]bool),
+		Mutators:   make(map[*ast.FuncDecl]bool),
+		Gen:        make(map[types.Object]string),
+		Snap:       make(map[types.Object]bool),
+		SnapEncode: make(map[*ast.FuncDecl]bool),
+		SnapDecode: make(map[*ast.FuncDecl]bool),
 	}
 	for _, file := range pass.Files {
 		if file.Doc != nil && strings.Contains(file.Doc.Text(), "netmarkvet:persistence") {
@@ -102,6 +122,12 @@ func CollectFacts(pass *Pass) *Facts {
 					if strings.Contains(text, "netmarkvet:cow") {
 						f.Cow[obj] = true
 					}
+					if m := genRe.FindStringSubmatch(text); m != nil {
+						f.Gen[obj] = m[1]
+					}
+					if snapRe.MatchString(text) {
+						f.Snap[obj] = true
+					}
 				}
 			}
 			return true
@@ -111,8 +137,15 @@ func CollectFacts(pass *Pass) *Facts {
 			if !ok || fd.Doc == nil {
 				continue
 			}
-			if strings.Contains(fd.Doc.Text(), "netmarkvet:mutator") {
+			doc := fd.Doc.Text()
+			if strings.Contains(doc, "netmarkvet:mutator") {
 				f.Mutators[fd] = true
+			}
+			if strings.Contains(doc, "netmarkvet:snap-encode") {
+				f.SnapEncode[fd] = true
+			}
+			if strings.Contains(doc, "netmarkvet:snap-decode") {
+				f.SnapDecode[fd] = true
 			}
 		}
 	}

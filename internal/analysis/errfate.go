@@ -1,0 +1,362 @@
+package analysis
+
+// Error-fate classification: given a call whose error result matters
+// (a durability operation), decide whether that error reaches the
+// enclosing function's error return or an annotated sink, or is
+// silently dropped.  The engine is a flow-insensitive taint closure
+// over local assignments with a source-position gate — precise enough
+// for the repo's `err := op(); if err != nil { return err }` idiom,
+// and deliberately biased toward silence everywhere else.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Fate is the outcome of error handling for one call site.
+type Fate int
+
+const (
+	// FateDropped: the error never reaches a return, sink, or escape —
+	// it is discarded (`_ =`, bare statement, or checked-and-forgotten).
+	FateDropped Fate = iota
+	// FateConsumed: the error escapes the function some sanctioned way
+	// short of the error return: an annotated sink, a panic, storage
+	// into a field/map/channel, or a callee that consumes it.
+	FateConsumed
+	// FateReturned: the error (possibly wrapped) reaches a return.
+	FateReturned
+)
+
+// ErrFate classifies the handling of call's error result inside fn.
+func ErrFate(pkg *Package, fn *ast.FuncDecl, call *ast.CallExpr, s *Summaries) Fate {
+	parents := parentMap(fn)
+	info := pkg.Info
+	n := ast.Node(call)
+	for {
+		p := parents[n]
+		if p == nil {
+			return FateConsumed // detached (shouldn't happen): stay silent
+		}
+		switch pv := p.(type) {
+		case *ast.ExprStmt:
+			return FateDropped
+		case *ast.ReturnStmt:
+			return FateReturned
+		case *ast.DeferStmt, *ast.GoStmt:
+			// `defer w.Sync()` / `go w.Sync()`: result discarded.
+			return FateDropped
+		case *ast.AssignStmt:
+			return assignFate(pkg, fn, pv, call, s)
+		case *ast.ValueSpec:
+			for i, val := range pv.Values {
+				if containsNode(val, n) && i < len(pv.Names) {
+					return lhsFate(pkg, fn, pv.Names[i], call, s)
+				}
+			}
+			return FateConsumed
+		case *ast.CallExpr:
+			// Nested in another call's arguments (fmt.Errorf, a sink,
+			// errors.Join...): the value flows into the outer call.  A
+			// consuming callee settles it; otherwise the outer call's
+			// own fate decides (return fmt.Errorf(...) is a return).
+			if containsArg(pv, n) && callArgConsumes(info, pv, n, s) {
+				return FateConsumed
+			}
+			n = p
+		case *ast.KeyValueExpr, *ast.CompositeLit, *ast.SendStmt,
+			*ast.IndexExpr:
+			return FateConsumed // escapes into a structure or channel
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.SwitchStmt:
+			// Compared or branched on directly; the value itself is
+			// folded into control flow — treated as handled.
+			return FateConsumed
+		default:
+			n = p
+		}
+	}
+}
+
+// assignFate resolves which LHS receives call's error result and
+// classifies from there.
+func assignFate(pkg *Package, fn *ast.FuncDecl, as *ast.AssignStmt, call *ast.CallExpr, s *Summaries) Fate {
+	info := pkg.Info
+	rhsIdx := -1
+	for i, r := range as.Rhs {
+		if containsNode(r, call) {
+			rhsIdx = i
+			break
+		}
+	}
+	if rhsIdx < 0 {
+		return FateConsumed
+	}
+	var lhs ast.Expr
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// v, err := f(): pick the LHS matching the error result's
+		// position in the callee's result tuple.
+		idx := errorResultIndex(info, call)
+		if idx < 0 || idx >= len(as.Lhs) {
+			return FateConsumed
+		}
+		lhs = as.Lhs[idx]
+	} else if rhsIdx < len(as.Lhs) {
+		lhs = as.Lhs[rhsIdx]
+	} else {
+		return FateConsumed
+	}
+	switch v := unparen(lhs).(type) {
+	case *ast.Ident:
+		return lhsFate(pkg, fn, v, call, s)
+	default:
+		// Assigned into a field, map slot, or dereference: escapes.
+		return FateConsumed
+	}
+}
+
+func lhsFate(pkg *Package, fn *ast.FuncDecl, id *ast.Ident, call *ast.CallExpr, s *Summaries) Fate {
+	if id.Name == "_" {
+		return FateDropped
+	}
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return FateConsumed
+	}
+	return taintFate(pkg, fn, obj, call.Pos(), s)
+}
+
+// errorResultIndex finds which result of call is the error (for
+// `v, err := f()` destructuring), or -1.
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return -1
+	}
+	tup, ok := tv.Type.(*types.Tuple)
+	if !ok {
+		if isErrorType(tv.Type) {
+			return 0
+		}
+		return -1
+	}
+	for i := 0; i < tup.Len(); i++ {
+		if isErrorType(tup.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// taintFate computes the fate of the error value held by seed after
+// position after: taint closes over local assignments, and every
+// tainted use is classified until a return (strongest) or a
+// consumption is found.
+func taintFate(pkg *Package, fn *ast.FuncDecl, seed types.Object, after token.Pos, s *Summaries) Fate {
+	info := pkg.Info
+	tainted := map[types.Object]bool{seed: true}
+	// Close taint over assignments downstream of the source.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Pos() < after {
+				return true
+			}
+			for i, r := range as.Rhs {
+				if !exprTainted(info, r, tainted) {
+					continue
+				}
+				// With one RHS feeding many LHS only tuple-destructuring
+				// applies, and a tainted call RHS is out of scope here;
+				// positional pairing covers the repo idiom.
+				if i < len(as.Lhs) {
+					if id, ok := unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.ObjectOf(id); obj != nil && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	parents := parentMap(fn)
+	fate := FateDropped
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fate == FateReturned {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= after {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !tainted[obj] {
+			return true
+		}
+		switch classifyUse(info, parents, id, s) {
+		case FateReturned:
+			fate = FateReturned
+		case FateConsumed:
+			if fate == FateDropped {
+				fate = FateConsumed
+			}
+		}
+		return true
+	})
+	return fate
+}
+
+func exprTainted(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// classifyUse walks up from one tainted identifier use and decides what
+// that use does with the value.
+func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident, s *Summaries) Fate {
+	n := ast.Node(id)
+	for {
+		p := parents[n]
+		if p == nil {
+			return FateDropped
+		}
+		switch pv := p.(type) {
+		case *ast.ReturnStmt:
+			return FateReturned
+		case *ast.CallExpr:
+			if containsArg(pv, n) {
+				if callArgConsumes(info, pv, n, s) {
+					return FateConsumed
+				}
+				// The callee's result may carry the value onward
+				// (fmt.Errorf("%w", err), errors.Join, append): keep
+				// walking up; a bare log dead-ends at its ExprStmt.
+			}
+			n = p
+		case *ast.AssignStmt:
+			// An RHS use stores the value somewhere: into a field, map
+			// slot, or dereference it escapes; into a plain local it
+			// merely propagates, and the taint closure already follows
+			// that.  A use inside an LHS (an index expression, say) is
+			// not a read of the value itself.
+			for i, rhs := range pv.Rhs {
+				if !containsNode(rhs, n) {
+					continue
+				}
+				if i < len(pv.Lhs) {
+					if _, isIdent := unparen(pv.Lhs[i]).(*ast.Ident); !isIdent {
+						return FateConsumed // x.f = err / m[k] = err
+					}
+				}
+				break
+			}
+			return FateDropped
+		case *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+			return FateConsumed
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.SwitchStmt, *ast.CaseClause,
+			*ast.TypeSwitchStmt, *ast.ForStmt:
+			// err != nil and friends: inspection, not consumption.
+			return FateDropped
+		case *ast.ExprStmt, *ast.BlockStmt, *ast.ValueSpec:
+			return FateDropped
+		default:
+			n = p
+		}
+	}
+}
+
+// callArgConsumes reports whether passing a tainted value as this call
+// argument by itself counts as consumption: panic, a process-killing
+// log, an annotated sink, or a callee parameter summarized as
+// consuming.  false means "not settled here" — a bare log, or a
+// wrapper whose result carries the value onward.
+func callArgConsumes(info *types.Info, call *ast.CallExpr, arg ast.Node, s *Summaries) bool {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	callee := CalleeFunc(info, call)
+	if callee == nil {
+		// A conversion's result still carries the value — not settled
+		// here.  A dynamic call through a func value (or a builtin like
+		// append) is unanalyzable: assume the target handles it, per
+		// this engine's bias toward silence.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return false
+		}
+		return true
+	}
+	switch stdlibFuncName(callee) {
+	case "log.Fatal", "log.Fatalf", "log.Fatalln",
+		"log.Panic", "log.Panicf", "log.Panicln":
+		return true // terminates the process with the error
+	case "net/http.Error":
+		return true // the error reaches the client as the response body
+	}
+	fs := s.Of(callee)
+	if fs == nil {
+		return false // stdlib non-terminating: a bare log
+	}
+	if fs.ErrSink {
+		return true
+	}
+	for i, a := range call.Args {
+		if containsNode(a, arg) {
+			return i < len(fs.ConsumesErr) && fs.ConsumesErr[i]
+		}
+	}
+	return false
+}
+
+// paramErrConsumed reports whether an error passed in param reaches a
+// return, sink, or escape inside fn — the ConsumesErr summary bit.
+func paramErrConsumed(pkg *Package, fn *ast.FuncDecl, param *types.Var, s *Summaries) bool {
+	return taintFate(pkg, fn, param, fn.Pos(), s) != FateDropped
+}
+
+func containsArg(call *ast.CallExpr, n ast.Node) bool {
+	for _, a := range call.Args {
+		if containsNode(a, n) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}
+
+// parentMap builds child→parent links for every node under fn.
+func parentMap(fn *ast.FuncDecl) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, ".", "a", errflow.Analyzer)
+}

@@ -1,0 +1,167 @@
+// Package a is the errflow golden corpus: errors from durability
+// operations (Sync, Rename, Commit, *sync* helpers, and module
+// functions that transitively return them) must reach the error
+// return, an annotated sink, or another sanctioned escape.
+package a
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+// WAL is a stand-in durability primitive: Sync is recognized by name.
+type WAL struct{ dirty bool }
+
+// Sync flushes buffered records to stable storage.
+func (w *WAL) Sync() error {
+	w.dirty = false
+	return nil
+}
+
+// flush returns the durability error to its caller, which makes flush
+// itself a durability call for errflow (transitive DurableErr).
+func flush(w *WAL) error {
+	return w.Sync()
+}
+
+// recordFailure is the sanctioned out-of-band sink: it logs AND
+// counts, by design, for paths with no caller to return to.
+//
+// netmarkvet:errsink
+func recordFailure(err error) {
+	log.Printf("durability failure: %v", err)
+}
+
+// wrap forwards its error parameter to the caller (a consuming
+// parameter in the summary).
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+type state struct{ lastErr error }
+
+// --- known good ---------------------------------------------------------
+
+func goodReturn(w *WAL) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodDirectReturn(a, b string) error {
+	return os.Rename(a, b)
+}
+
+func goodWrapped(w *WAL) error {
+	if err := w.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return nil
+}
+
+func goodSink(w *WAL) {
+	if err := w.Sync(); err != nil {
+		recordFailure(err)
+	}
+}
+
+func goodConsumingHelper(w *WAL) error {
+	return wrap(w.Sync())
+}
+
+func goodChannelEscape(w *WAL, errc chan error) {
+	errc <- w.Sync()
+}
+
+func goodFieldEscape(w *WAL, s *state) {
+	s.lastErr = w.Sync()
+}
+
+func goodPanic(w *WAL) {
+	if err := w.Sync(); err != nil {
+		panic(err)
+	}
+}
+
+func goodFatal(w *WAL) {
+	if err := w.Sync(); err != nil {
+		log.Fatalf("cannot sync: %v", err)
+	}
+}
+
+// --- known bad ----------------------------------------------------------
+
+func badBareCall(w *WAL) {
+	w.Sync() // want `error from durability call \(\*WAL\)\.Sync is dropped`
+}
+
+func badUnderscore(w *WAL) {
+	_ = w.Sync() // want `is dropped`
+}
+
+func badOnlyLogged(w *WAL) {
+	if err := w.Sync(); err != nil { // want `is dropped`
+		log.Printf("sync failed: %v", err) // a bare log is not handling
+	}
+}
+
+func badRename(a, b string) {
+	_ = os.Rename(a, b) // want `error from durability call os\.Rename is dropped`
+}
+
+func badDeferred(w *WAL) error {
+	defer w.Sync() // want `is dropped`
+	return nil
+}
+
+func badTransitive(w *WAL) {
+	flush(w) // want `error from durability call flush is dropped`
+}
+
+func badCheckedAndForgotten(w *WAL) error {
+	err := w.Sync() // want `is dropped`
+	if err != nil {
+		// handled... by doing nothing
+	}
+	return nil
+}
+
+// result mirrors a batch slot that carries its own error.
+type result struct{ err error }
+
+// goodStoredInSlot parks the durability error in each result slot — an
+// escape into a structure, not a drop.  Regression: a tainted RHS
+// stored through a field/index LHS was once misread as dropped.
+func goodStoredInSlot(w *WAL, results []result) {
+	if err := w.Sync(); err != nil {
+		for i := range results {
+			if results[i].err == nil {
+				results[i].err = err
+			}
+		}
+	}
+}
+
+// goodHTTPError sends the durability error to the client as the
+// response body — the error return of a handler that has none.
+// Regression: net/http.Error was once treated as a bare log.
+func goodHTTPError(w *WAL, rw http.ResponseWriter) {
+	if err := w.Sync(); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// goodCallbackEscape hands the error to a func value.  The target is
+// unanalyzable, so the engine assumes it is handled (bias toward
+// silence).  Regression: dynamic calls were once misread as drops.
+func goodCallbackEscape(w *WAL, onErr func(error)) {
+	if err := w.Sync(); err != nil {
+		onErr(err)
+	}
+}

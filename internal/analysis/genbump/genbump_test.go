@@ -1,0 +1,12 @@
+package genbump_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/genbump"
+)
+
+func TestGenbump(t *testing.T) {
+	analysistest.Run(t, ".", "a", genbump.Analyzer)
+}

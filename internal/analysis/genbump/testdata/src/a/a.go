@@ -1,0 +1,154 @@
+// Package a is the genbump golden corpus: every mutation of a field
+// annotated `guarded by <mu>` + `netmarkvet:gen <counter>` must bump
+// the sibling counter inside the same critical section.
+package a
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	// m is the cached view.
+	// guarded by mu
+	// netmarkvet:gen gen
+	m map[string]int
+	// gen fences m: readers revalidate against it.
+	// guarded by mu
+	gen uint64
+}
+
+// tree is a stand-in container: Insert/Delete are mutating by name.
+type tree struct{ n int }
+
+func (t *tree) Insert(k string, v int) { t.n++ }
+func (t *tree) Delete(k string)        { t.n-- }
+func (t *tree) Get(k string) int       { return t.n }
+
+type store struct {
+	mu sync.Mutex
+	// idx is the derived index; per-key generations fence it.
+	// guarded by mu
+	// netmarkvet:gen gens
+	idx tree
+	// gens carries one generation per key; deleting an entry also
+	// invalidates it.
+	// guarded by mu
+	gens map[string]uint64
+	// guarded by mu
+	next uint64
+}
+
+// --- known good ---------------------------------------------------------
+
+func goodBumpAfter(c *cache, k string) {
+	c.mu.Lock()
+	delete(c.m, k)
+	c.gen++
+	c.mu.Unlock()
+}
+
+func goodBumpBefore(c *cache, k string) {
+	c.mu.Lock()
+	c.gen++
+	delete(c.m, k)
+	c.mu.Unlock()
+}
+
+func goodDeferUnlock(c *cache, k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = v
+	c.gen++
+}
+
+func goodBothBranchesBump(c *cache, k string, drop bool) {
+	c.mu.Lock()
+	if drop {
+		delete(c.m, k)
+		c.gen++
+	} else {
+		c.m[k] = 1
+		c.gen++
+	}
+	c.mu.Unlock()
+}
+
+// bumpLocked bumps on behalf of callers holding mu; the summary
+// credits it interprocedurally.
+func bumpLocked(c *cache) { c.gen++ }
+
+func goodHelperBump(c *cache, k string, v int) {
+	c.mu.Lock()
+	c.m[k] = v
+	bumpLocked(c)
+	c.mu.Unlock()
+}
+
+func goodReadOnly(c *cache, k string) int {
+	c.mu.Lock()
+	v := c.m[k]
+	c.mu.Unlock()
+	return v
+}
+
+// goodConstructor mutates before publication: the guard is not held,
+// so genbump stays out (nothing can observe staleness).
+func goodConstructor() *cache {
+	c := &cache{m: make(map[string]int)}
+	c.m["seed"] = 1
+	return c
+}
+
+func goodMapCounterAssign(s *store, k string) {
+	s.mu.Lock()
+	s.idx.Insert(k, 1)
+	s.next++
+	s.gens[k] = s.next
+	s.mu.Unlock()
+}
+
+func goodMapCounterDelete(s *store, k string) {
+	s.mu.Lock()
+	s.idx.Delete(k)
+	delete(s.gens, k)
+	s.mu.Unlock()
+}
+
+// --- known bad ----------------------------------------------------------
+
+func badNoBump(c *cache, k string, v int) {
+	c.mu.Lock()
+	c.m[k] = v // want `does not bump generation counter gen`
+	c.mu.Unlock()
+}
+
+func badOneBranchMisses(c *cache, k string, drop bool) {
+	c.mu.Lock()
+	if drop {
+		delete(c.m, k) // want `does not bump generation counter gen`
+	} else {
+		c.m[k] = 1
+		c.gen++
+	}
+	c.mu.Unlock()
+}
+
+func badDeferUnlockNoBump(c *cache, k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, k) // want `does not bump generation counter gen`
+}
+
+func badMutatingMethod(s *store, k string) {
+	s.mu.Lock()
+	s.idx.Insert(k, 2) // want `does not bump generation counter gens`
+	s.mu.Unlock()
+}
+
+func badBumpInEarlierSection(c *cache, k string, v int) {
+	c.mu.Lock()
+	c.gen++
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.m[k] = v // want `does not bump generation counter gen`
+	c.mu.Unlock()
+}

@@ -21,6 +21,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Mod is the module the package was loaded into (set by
+	// LoadModule); nil for standalone LoadDir loads, which get a
+	// singleton module on first use.
+	Mod *Module
 }
 
 // Loader parses and type-checks packages.  In-module imports
@@ -35,6 +39,12 @@ type Loader struct {
 
 	std   types.Importer
 	cache map[string]*types.Package
+	// full caches the complete Package for module-local imports when
+	// fullDeps is set, so every package is parsed and type-checked with
+	// bodies exactly once per LoadModule — the loaded set doubles as
+	// the module's analysis roots.
+	fullDeps bool
+	full     map[string]*Package
 }
 
 // NewLoader creates a loader rooted at the module containing dir (the
@@ -88,9 +98,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	}
 	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
 		dir := filepath.Join(l.ModuleRoot, strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/"))
-		pkg, err := l.load(dir, path, true)
+		pkg, err := l.load(dir, path, !l.fullDeps)
 		if err != nil {
 			return nil, err
+		}
+		if l.fullDeps {
+			l.full[path] = pkg
 		}
 		l.cache[path] = pkg.Types
 		return pkg.Types, nil
@@ -103,21 +116,67 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return pkg, nil
 }
 
+// LoadModule parses and fully type-checks every package in dirs
+// (module-relative or absolute), sharing one FileSet, one import
+// cache, and one Module across them.  Unlike per-directory LoadDir
+// calls — which type-check each module dependency a second time with
+// bodies ignored — every package is checked exactly once with bodies,
+// so the returned Module can compute interprocedural summaries and the
+// whole-module load cost is paid once, not per analyzer target.
+// Packages come back in dirs order.
+func (l *Loader) LoadModule(dirs []string) (*Module, error) {
+	l.fullDeps = true
+	if l.full == nil {
+		l.full = make(map[string]*Package)
+	}
+	defer func() { l.fullDeps = false }()
+	mod := &Module{}
+	for _, dir := range dirs {
+		path := l.importPathOf(dir)
+		if pkg, ok := l.full[path]; path != "" && ok {
+			mod.Packages = append(mod.Packages, pkg)
+			continue
+		}
+		pkg, err := l.load(dir, path, false)
+		if err != nil {
+			return nil, err
+		}
+		if path != "" {
+			l.full[path] = pkg
+			l.cache[path] = pkg.Types
+		}
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	for _, pkg := range mod.Packages {
+		pkg.Mod = mod
+	}
+	return mod, nil
+}
+
+// importPathOf maps a directory to its in-module import path ("" when
+// outside the module).
+func (l *Loader) importPathOf(dir string) string {
+	if l.ModulePath == "" {
+		return ""
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
 // LoadDir parses and fully type-checks the package in dir (non-test
 // files only).
 func (l *Loader) LoadDir(dir string) (*Package, error) {
-	path := ""
-	if l.ModulePath != "" {
-		if abs, err := filepath.Abs(dir); err == nil {
-			if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
-				path = l.ModulePath
-				if rel != "." {
-					path += "/" + filepath.ToSlash(rel)
-				}
-			}
-		}
-	}
-	return l.load(dir, path, false)
+	return l.load(dir, l.importPathOf(dir), false)
 }
 
 func (l *Loader) load(dir, path string, depOnly bool) (*Package, error) {

@@ -128,6 +128,12 @@ func isMutexType(t types.Type) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
+// LockCall is the exported form of lockCall for analyzers that track
+// critical sections themselves (genbump's CFG dataflow).
+func LockCall(info *types.Info, call *ast.CallExpr) (mu ast.Expr, kind LockKind, release bool, ok bool) {
+	return lockCall(info, call)
+}
+
 // lockCall classifies a call expression as a mutex operation.  It
 // returns the mutex expression (the receiver of Lock/Unlock), the mode,
 // and whether the call releases rather than acquires.

@@ -1,0 +1,150 @@
+// Package snapcover checks snapshot coverage: every persistable field
+// tagged `netmarkvet:snap` must be referenced by both the snapshot
+// encode path and the snapshot decode path.  "Added a field, forgot
+// the snapshot" is the classic reopen-equivalence bug — the store
+// works until the first restart, then silently comes back missing
+// state — and it is invisible to tests that never restart.
+//
+// The paths are rooted at functions annotated `netmarkvet:snap-encode`
+// and `netmarkvet:snap-decode` and closed over their same-package
+// callees (cross-package state — the text index inside the XML store —
+// carries its own annotations in its own package).  A reference is any
+// selection or declaration-scope use of the field object inside the
+// closure.
+package snapcover
+
+import (
+	"go/ast"
+	"go/types"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the snapcover pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapcover",
+	Doc:  "netmarkvet:snap fields must be referenced by both snapshot encode and decode paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := analysis.CollectFacts(pass)
+	if len(facts.Snap) == 0 {
+		return nil
+	}
+	if len(facts.SnapEncode) == 0 || len(facts.SnapDecode) == 0 {
+		for obj := range facts.Snap {
+			pass.Reportf(obj.Pos(),
+				"package has netmarkvet:snap fields but no netmarkvet:snap-%s root",
+				missingRoot(facts))
+			break // one finding per package is enough
+		}
+		return nil
+	}
+	encode := referencedFields(pass, closure(pass, facts.SnapEncode))
+	decode := referencedFields(pass, closure(pass, facts.SnapDecode))
+	for _, obj := range sortedFields(facts.Snap) {
+		inEnc, inDec := encode[obj], decode[obj]
+		switch {
+		case !inEnc && !inDec:
+			pass.Reportf(obj.Pos(),
+				"snap field %s is referenced by neither the snapshot encode nor decode path",
+				obj.Name())
+		case !inEnc:
+			pass.Reportf(obj.Pos(),
+				"snap field %s is not referenced by the snapshot encode path (netmarkvet:snap-encode)",
+				obj.Name())
+		case !inDec:
+			pass.Reportf(obj.Pos(),
+				"snap field %s is not referenced by the snapshot decode path (netmarkvet:snap-decode)",
+				obj.Name())
+		}
+	}
+	return nil
+}
+
+func missingRoot(facts *analysis.Facts) string {
+	if len(facts.SnapEncode) == 0 {
+		return "encode"
+	}
+	return "decode"
+}
+
+// sortedFields orders the snap set by declaration position so
+// diagnostics are deterministic.
+func sortedFields(snap map[types.Object]bool) []types.Object {
+	out := make([]types.Object, 0, len(snap))
+	for obj := range snap {
+		out = append(out, obj)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Pos() < out[j-1].Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// closure expands the root set over same-package callees (including
+// method values and function references, not just direct calls).
+func closure(pass *analysis.Pass, roots map[*ast.FuncDecl]bool) map[*ast.FuncDecl]bool {
+	// Index the package's declared functions by their object.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	out := make(map[*ast.FuncDecl]bool, len(roots))
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if out[fd] {
+			return
+		}
+		out[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if callee, ok := decls[obj]; ok {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for fd := range roots {
+		visit(fd)
+	}
+	return out
+}
+
+// referencedFields collects every struct-field object referenced
+// anywhere inside the function set.
+func referencedFields(pass *analysis.Pass, funcs map[*ast.FuncDecl]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for fd := range funcs {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[v]; ok && sel.Kind() == types.FieldVal {
+					out[sel.Obj()] = true
+				}
+			case *ast.Ident:
+				// Composite-literal keys and embedded uses resolve
+				// through Uses.
+				if obj := pass.TypesInfo.Uses[v]; obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package snapcover_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/snapcover"
+)
+
+func TestSnapcover(t *testing.T) {
+	analysistest.Run(t, ".", "a", snapcover.Analyzer)
+}
+
+func TestMissingRoot(t *testing.T) {
+	analysistest.Run(t, ".", "b", snapcover.Analyzer)
+}

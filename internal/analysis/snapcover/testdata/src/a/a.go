@@ -1,0 +1,63 @@
+// Package a is the snapcover golden corpus: every netmarkvet:snap
+// field must be referenced by both the snapshot encode and decode
+// closures.
+package a
+
+// Store is the persistable stand-in.
+type Store struct {
+	// netmarkvet:snap
+	nextID uint64
+	// names round-trips through helpers on both sides.
+	// netmarkvet:snap
+	names map[uint64]string
+	// netmarkvet:snap
+	missingBoth int // want `referenced by neither the snapshot encode nor decode path`
+	// netmarkvet:snap
+	encodeOnly int // want `not referenced by the snapshot decode path`
+	// netmarkvet:snap
+	decodeOnly int // want `not referenced by the snapshot encode path`
+	// scratch is derived at runtime and deliberately not tagged.
+	scratch int
+}
+
+// encodeSnapshot serialises the store onto buf.
+//
+// netmarkvet:snap-encode
+func (s *Store) encodeSnapshot(buf []byte) []byte {
+	buf = appendUint(buf, s.nextID)
+	buf = appendNames(buf, s.names)
+	buf = appendUint(buf, uint64(s.encodeOnly))
+	return buf
+}
+
+// applySnapshot installs decoded state.
+//
+// netmarkvet:snap-decode
+func (s *Store) applySnapshot(data []byte) {
+	s.nextID = readUint(data)
+	s.installNames(data)
+	s.decodeOnly = int(readUint(data))
+	s.scratch = 0
+}
+
+func appendUint(buf []byte, v uint64) []byte { return append(buf, byte(v)) }
+
+// appendNames is reached through the encode closure.
+func appendNames(buf []byte, m map[uint64]string) []byte {
+	for id := range m {
+		buf = appendUint(buf, id)
+	}
+	return buf
+}
+
+func readUint(data []byte) uint64 {
+	if len(data) == 0 {
+		return 0
+	}
+	return uint64(data[0])
+}
+
+// installNames is reached through the decode closure.
+func (s *Store) installNames(data []byte) {
+	s.names = make(map[uint64]string)
+}

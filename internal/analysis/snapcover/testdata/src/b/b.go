@@ -1,0 +1,9 @@
+// Package b has snap fields but no codec roots at all: snapcover
+// reports the missing root once rather than flagging every field.
+package b
+
+// T persists x but the package declares no snapshot encode path.
+type T struct {
+	// netmarkvet:snap
+	x int // want `no netmarkvet:snap-encode root`
+}

@@ -11,9 +11,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"netmark/internal/daemon"
@@ -87,6 +90,9 @@ type Netmark struct {
 	banks  *databank.Registry
 	daemon *daemon.Daemon
 	server *webdav.Server
+
+	mu        sync.Mutex
+	daemonErr error // abnormal ingestion-daemon exit, nil while healthy
 }
 
 // Open creates or reopens an instance.
@@ -101,8 +107,9 @@ func Open(cfg Config) (*Netmark, error) {
 	}
 	store, err := xmlstore.OpenWith(db, xmlstore.OpenOptions{DisableSnapshot: cfg.DisableSnapshots})
 	if err != nil {
-		db.Close()
-		return nil, err
+		// The open is already doomed; fold a close failure into the
+		// reported error rather than dropping it.
+		return nil, errors.Join(err, db.Close())
 	}
 	n := &Netmark{
 		cfg:    cfg,
@@ -129,8 +136,7 @@ func Open(cfg Config) (*Netmark, error) {
 	if cfg.DropDir != "" {
 		d, err := daemon.New(cfg.DropDir, store, cfg.PollInterval)
 		if err != nil {
-			db.Close()
-			return nil, err
+			return nil, errors.Join(err, db.Close())
 		}
 		d.Workers = cfg.IngestWorkers
 		d.BatchSize = cfg.IngestBatchSize
@@ -279,9 +285,33 @@ func (n *Netmark) Serve(ctx context.Context, addr string) error {
 	}
 	n.server = srv
 	if n.daemon != nil {
-		go n.daemon.Run(ctx)
+		go func() {
+			if err := n.daemon.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				n.noteDaemonExit(err)
+			}
+		}()
 	}
 	return srv.Serve(ctx, addr)
+}
+
+// noteDaemonExit records an abnormal ingestion-daemon exit.  The server
+// keeps serving queries — stored data is intact — but ingestion has
+// stopped, so the failure is kept visible via DaemonErr rather than
+// vanishing with the goroutine.
+func (n *Netmark) noteDaemonExit(err error) {
+	n.mu.Lock()
+	n.daemonErr = err
+	n.mu.Unlock()
+	log.Printf("netmark: ingestion daemon stopped: %v", err)
+}
+
+// DaemonErr reports whether the ingestion daemon has exited abnormally
+// since Serve started, and why.  It is nil while the daemon is healthy
+// (or was never configured).
+func (n *Netmark) DaemonErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.daemonErr
 }
 
 // HTTPServer builds the HTTP server for custom hosting (its Handler

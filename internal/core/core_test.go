@@ -155,6 +155,48 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+func TestServeSurfacesDaemonExit(t *testing.T) {
+	drop := filepath.Join(t.TempDir(), "drop")
+	if err := os.MkdirAll(drop, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	nm, err := Open(Config{DropDir: drop, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nm.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- nm.Serve(ctx, "127.0.0.1:0") }()
+	if err := nm.DaemonErr(); err != nil {
+		t.Fatalf("daemon unhealthy before failure: %v", err)
+	}
+	// Break the daemon's world: the next scan fails, Run exits, and the
+	// failure must land in DaemonErr rather than dying with the
+	// goroutine while the server keeps serving.  Serve's webdav setup
+	// recreates the drop dir once on startup, so keep removing it until
+	// the daemon trips over the absence.
+	deadline := time.Now().Add(2 * time.Second)
+	for nm.DaemonErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon exit never surfaced via DaemonErr")
+		}
+		if err := os.RemoveAll(drop); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && ctx.Err() == nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve did not stop on cancel")
+	}
+}
+
 func TestCacheBytesConfig(t *testing.T) {
 	// Default: cache on at DefaultCacheBytes.
 	nm, err := Open(Config{})

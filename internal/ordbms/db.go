@@ -1,6 +1,7 @@
 package ordbms
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -145,24 +146,24 @@ func Open(opts Options) (*DB, error) {
 	db.wal = wal
 	db.pool = NewBufferPool(disk, opts.PoolPages)
 	wal.AttachTo(db.pool)
+	// The open is doomed on these paths; closing may itself fail, and a
+	// failed WAL close is durability information, so fold it into the
+	// reported error instead of dropping it.
+	fail := func(e error) error {
+		return errors.Join(e, wal.Close(), disk.Close())
+	}
 	replayed, allocs, ops, torn, err := Recover(disk, db.pool, wal)
 	if err != nil {
-		wal.Close()
-		disk.Close()
-		return nil, fmt.Errorf("ordbms: recovery failed: %w", err)
+		return nil, fail(fmt.Errorf("ordbms: recovery failed: %w", err))
 	}
 	db.Replayed = replayed
 	db.walAllocs = allocs
 	db.walEndAtOpen = wal.SyncedLSN()
 	if err := db.loadCatalog(); err != nil {
-		wal.Close()
-		disk.Close()
-		return nil, err
+		return nil, fail(err)
 	}
 	if err := db.applyRecoveredOps(ops); err != nil {
-		wal.Close()
-		disk.Close()
-		return nil, err
+		return nil, fail(err)
 	}
 	if replayed > 0 || db.allocsGrew || torn {
 		// Re-establish the checkpoint invariants recovery consumed: the
@@ -174,9 +175,7 @@ func Open(opts Options) (*DB, error) {
 		// next replay, so the garbage must be truncated away before any
 		// append happens.
 		if err := db.Checkpoint(); err != nil {
-			wal.Close()
-			disk.Close()
-			return nil, fmt.Errorf("ordbms: post-recovery checkpoint: %w", err)
+			return nil, fail(fmt.Errorf("ordbms: post-recovery checkpoint: %w", err))
 		}
 	}
 	return db, nil
@@ -467,9 +466,12 @@ type Table struct {
 	// mu is the table-level lock.  netmarkvet:lockorder 20
 	mu     sync.RWMutex
 	schema Schema
-	heap   *HeapFile
+	// heap's row/free meta rides in the derived snapshot; dropping it
+	// from either codec path silently degrades reopen to a full scan.
+	// netmarkvet:snap
+	heap *HeapFile
 	// indexes is mutated by CreateIndex while queries resolve index
-	// names.  Guarded by mu.
+	// names.  Guarded by mu.  netmarkvet:snap
 	indexes map[string]*Index
 }
 
@@ -483,6 +485,8 @@ func (t *Table) Schema() Schema { return t.schema }
 func (t *Table) Rows() int64 { return t.heap.Rows() }
 
 // Insert validates and stores a row, returning its physical RowID.
+//
+// netmarkvet:mutates
 func (t *Table) Insert(row Row) (RowID, error) {
 	if err := t.schema.Validate(row); err != nil {
 		return ZeroRowID, err
@@ -503,6 +507,8 @@ func (t *Table) Insert(row Row) (RowID, error) {
 // encoded (rec must equal EncodeRow(row)), moving the encoding cost off
 // the table's write lock.  The batch-ingest pipeline encodes rows in its
 // parse workers and feeds them here through the single writer.
+//
+// netmarkvet:mutates
 func (t *Table) InsertPrepared(row Row, rec []byte) (RowID, error) {
 	if err := t.schema.Validate(row); err != nil {
 		return ZeroRowID, err
@@ -524,6 +530,8 @@ func (t *Table) InsertPrepared(row Row, rec []byte) (RowID, error) {
 // path for the XML store's link patches, which touch only fixed-width
 // unindexed columns.  It skips the fetch/decode/re-encode and index
 // diffing of Update; the caller owns those invariants.
+//
+// netmarkvet:mutates
 func (t *Table) UpdateInPlace(rid RowID, rec []byte) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -584,6 +592,8 @@ func (t *Table) FetchMany(rids []RowID) ([]Row, error) {
 }
 
 // Delete removes the row at rid and its index entries.
+//
+// netmarkvet:mutates
 func (t *Table) Delete(rid RowID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -607,6 +617,8 @@ func (t *Table) Delete(rid RowID) error {
 // Update rewrites the row at rid in place.  The encoded row must not be
 // larger than the stored record (link patches in the XML store keep
 // fixed-width columns first, so this holds in practice).
+//
+// netmarkvet:mutates
 func (t *Table) Update(rid RowID, row Row) error {
 	if err := t.schema.Validate(row); err != nil {
 		return err

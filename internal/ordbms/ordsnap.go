@@ -38,6 +38,8 @@ var derivedMagic = [8]byte{'N', 'M', 'D', 'E', 'R', 'V', '1', 0}
 // that table is serialised, so writers racing the checkpoint append WAL
 // records past the cut LSN and invalidate the snapshot rather than
 // tearing it.
+//
+// netmarkvet:snap-encode
 func (db *DB) saveDerivedLocked(gen, lsn uint64) error {
 	if db.dir == "" {
 		return nil
@@ -116,6 +118,8 @@ type derivedKey struct {
 // — caller falls back to heap scans — when the file is missing, corrupt,
 // version-skewed, disabled, or stale (stamps do not match the catalog
 // generation and WAL base, or recovery applied records after it).
+//
+// netmarkvet:snap-decode
 func (db *DB) loadDerivedSnapshot(gen uint64) *derivedSnapshot {
 	if db.dir == "" || db.opts.NoDerivedSnapshot || db.wal == nil || db.Replayed != 0 {
 		return nil
@@ -186,6 +190,8 @@ func (db *DB) loadDerivedSnapshot(gen uint64) *derivedSnapshot {
 
 // openTable builds a Table from the snapshot, or reports false when the
 // snapshot does not cover this table (caller falls back to scans).
+//
+// netmarkvet:snap-decode
 func (ds *derivedSnapshot) openTable(db *DB, ct catalogTable, schema Schema) (*Table, bool) {
 	dt, ok := ds.tables[ct.Name]
 	if !ok {

@@ -237,6 +237,8 @@ func (w *WAL) flushLocked(lsn uint64) error {
 }
 
 // Sync forces all buffered records to stable storage.
+//
+// netmarkvet:commit
 func (w *WAL) Sync() error {
 	return w.SyncTo(w.NextLSN())
 }
@@ -248,6 +250,8 @@ func (w *WAL) Sync() error {
 // fsyncs outside the lock, so records appended meanwhile keep flowing
 // and every follower whose LSN the group covers returns without its own
 // fsync.
+//
+// netmarkvet:commit
 func (w *WAL) SyncTo(lsn uint64) error {
 	for {
 		w.mu.Lock()

@@ -33,6 +33,8 @@ import (
 // and returns the extended slice.  The encoding is self-delimiting:
 // LoadSnapshot reports how many bytes it consumed, so callers can embed
 // the index inside a larger snapshot payload.
+//
+// netmarkvet:snap-encode
 func (ix *Index) AppendSnapshot(buf []byte) []byte {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -89,6 +91,7 @@ func appendDeltaIDs(buf []byte, ids []uint64) []byte {
 // slipped past the file CRC must surface here as an error (the store
 // falls back to the scan rebuild), never as a panic at Open.
 //
+// netmarkvet:snap-decode
 // netmarkvet:ignore lockcheck — builds a fresh index nothing else can
 // reach until it returns
 func LoadSnapshot(data []byte) (*Index, int, error) {

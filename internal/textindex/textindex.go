@@ -114,16 +114,17 @@ type postingList struct {
 	// blocks/tail/dead are published to captured views (see view()):
 	// mutation methods must replace the slices, never write elements in
 	// place, or a concurrent reader holding a view sees torn state.
-	blocks []block  // netmarkvet:cow — sealed, immutable, ascending non-overlapping runs
-	tail   []uint64 // netmarkvet:cow — sorted uncompressed append area
-	dead   []uint64 // netmarkvet:cow — sorted tombstones; always ids resident in blocks
-	live   int      // id count net of tombstones
-	pos    map[uint64][]uint32
+	blocks []block             // netmarkvet:cow netmarkvet:snap — sealed, immutable, ascending non-overlapping runs
+	tail   []uint64            // netmarkvet:cow netmarkvet:snap — sorted uncompressed append area
+	dead   []uint64            // netmarkvet:cow netmarkvet:snap — sorted tombstones; always ids resident in blocks
+	live   int                 // id count net of tombstones; netmarkvet:snap
+	pos    map[uint64][]uint32 // netmarkvet:snap
 	// gen is the term's mutation generation: assigned from the index-wide
 	// monotonic counter on every posting insert or removal.  Result caches
 	// fold the gens of a query's terms into their keys, so a write that
 	// never touches those terms leaves the cached results reachable —
 	// per-document invalidation collapsed to term granularity.
+	// netmarkvet:snap
 	gen uint64
 }
 
@@ -276,13 +277,15 @@ type Index struct {
 	// mu protects the in-memory term btree; queries capture posting
 	// views under it and release it before scoring, so it is never held
 	// across anything blocking.  netmarkvet:hot
-	mu    sync.RWMutex
+	mu sync.RWMutex
+	// netmarkvet:snap netmarkvet:gen genCounter
 	terms *btree.Tree[string, *postingList] // guarded by mu; term -> single posting list
 	byID  map[uint64][]string               // guarded by mu; reverse map for Remove
 	docs  int                               // guarded by mu
 	// genCounter is the monotonic source for posting-list generations;
 	// values are never reused, so a term that vanishes and reappears gets
 	// a generation distinct from every one it ever had.  Guarded by mu.
+	// netmarkvet:snap
 	genCounter uint64
 }
 

@@ -250,7 +250,8 @@ type Engine struct {
 	// sheetMu guards sheets: PUT /xslt/{name} registers stylesheets while
 	// concurrent queries resolve them.
 	sheetMu sync.RWMutex
-	sheets  map[string]*xslt.Stylesheet // guarded by sheetMu
+	// netmarkvet:gen sheetGen
+	sheets map[string]*xslt.Stylesheet // guarded by sheetMu
 	// sheetGen counts stylesheet registrations.  Cached results of styled
 	// queries key on it, so re-registering a sheet invalidates them the
 	// same way a store mutation invalidates plain results.
@@ -300,8 +301,13 @@ func (e *Engine) RegisterStylesheet(name, src string) error {
 	}
 	e.sheetMu.Lock()
 	e.sheets[name] = sheet
-	e.sheetMu.Unlock()
+	// Bump before releasing the guard: with the bump outside, a query
+	// landing between the unlock and the bump could read the new sheet
+	// yet key (or hit) a cached result under the old generation —
+	// serving a result styled by the replaced sheet after registration
+	// already completed.
 	e.sheetGen.Add(1)
+	e.sheetMu.Unlock()
 	return nil
 }
 

@@ -47,8 +47,9 @@ type nodeCacheEntry struct {
 type nodeCacheShard struct {
 	// mu is held for map probes only; never across I/O or decode.
 	// netmarkvet:hot
-	mu    sync.RWMutex
-	gen   uint64                           // guarded by mu; bumped by every invalidation landing in this shard
+	mu  sync.RWMutex
+	gen uint64 // guarded by mu; bumped by every invalidation landing in this shard
+	// netmarkvet:gen gen
 	m     map[ordbms.RowID]*nodeCacheEntry // guarded by mu
 	bytes int64                            // guarded by mu
 }
@@ -118,6 +119,10 @@ func (c *nodeCache) beginFill(rid ordbms.RowID) uint64 {
 // completeFill publishes a decoded node unless an invalidation hit the
 // shard since beginFill — in that race the decode may predate the
 // mutation, so it is dropped rather than published.
+//
+// netmarkvet:ignore genbump — a fill publishes a decode the gen token
+// already fenced; it is not a logical mutation, so it must NOT bump gen
+// (a bump here would invalidate concurrent fills forever).
 func (c *nodeCache) completeFill(rid ordbms.RowID, n *Node, token uint64) {
 	size := nodeFootprint(n)
 	if size > c.capPerShard {

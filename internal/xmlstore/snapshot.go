@@ -109,6 +109,8 @@ func (s *Store) snapshotHook(ci ordbms.CheckpointInfo) error {
 // encodeSnapshot serialises the derived state.  Caller holds ckptMu for
 // writing; the per-structure locks are still taken so readers (queries
 // never touch ckptMu) stay race-free.
+//
+// netmarkvet:snap-encode
 func (s *Store) encodeSnapshot(catalogGen, walLSN uint64) []byte {
 	buf := make([]byte, 0, 1<<16)
 	buf = binary.LittleEndian.AppendUint64(buf, catalogGen)
@@ -225,6 +227,7 @@ func (s *Store) loadSnapshot(db *ordbms.DB) (ok bool, reason string) {
 // them only if the whole decode succeeds.  Runs during OpenWith, before
 // the store is shared with any other goroutine.
 //
+// netmarkvet:snap-decode
 // netmarkvet:ignore lockcheck — open-time, single-goroutine
 func (s *Store) applySnapshot(p []byte) error {
 	off := 0

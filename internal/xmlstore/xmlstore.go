@@ -114,14 +114,16 @@ type Store struct {
 	// mu protects ID allocation only; hold times are a few instructions.
 	// netmarkvet:hot netmarkvet:lockorder 20
 	mu         sync.RWMutex
-	nextNodeID uint64 // guarded by mu
-	nextDocID  uint64 // guarded by mu
+	nextNodeID uint64 // guarded by mu; netmarkvet:snap
+	nextDocID  uint64 // guarded by mu; netmarkvet:snap
 
 	// content is the full-text index over TEXT node data; IDs are packed
 	// physical RowIDs, so a hit leads straight to the page.
+	// netmarkvet:snap
 	content *textindex.Index
 	// contexts maps normalised (lowercased) heading text to the RowIDs
 	// of CONTEXT nodes bearing it.  Guarded by ctxMu.
+	// netmarkvet:snap netmarkvet:gen ctxGens
 	contexts *btree.Tree[string, ordbms.RowID]
 	// ctxMu protects the in-memory context btree and its generations;
 	// never held across I/O.  netmarkvet:hot netmarkvet:lockorder 30
@@ -132,7 +134,9 @@ type Store struct {
 	// keeps "heading existed then vanished" distinguishable from "never
 	// existed"); result caches fold these into their keys the way they
 	// fold the text index's per-term gens.  Guarded by ctxMu.
-	ctxGens       map[string]uint64
+	// netmarkvet:snap
+	ctxGens map[string]uint64
+	// netmarkvet:snap
 	ctxGenCounter uint64 // guarded by ctxMu
 
 	// ctxIdx is the derived node→governing-CONTEXT index: for every TEXT
@@ -144,7 +148,7 @@ type Store struct {
 	// ctxIdxMu protects the derived map only; never held across I/O.
 	// netmarkvet:hot netmarkvet:lockorder 32
 	ctxIdxMu sync.RWMutex
-	ctxIdx   map[ordbms.RowID]ordbms.RowID // guarded by ctxIdxMu
+	ctxIdx   map[ordbms.RowID]ordbms.RowID // guarded by ctxIdxMu; netmarkvet:snap
 	// ctxIdxOff disables the derived index so ContextFor falls back to
 	// the pointer-chasing walk — the kernel ablation knob, set during
 	// benchmark setup only.
@@ -166,13 +170,13 @@ type Store struct {
 	// docGenMu protects the per-document generation map; never held
 	// across I/O.  netmarkvet:hot netmarkvet:lockorder 34
 	docGenMu      sync.RWMutex
-	docGens       map[uint64]uint64 // guarded by docGenMu
-	docGenCounter uint64            // guarded by docGenMu
+	docGens       map[uint64]uint64 // guarded by docGenMu; netmarkvet:snap
+	docGenCounter uint64            // guarded by docGenMu; netmarkvet:snap
 
 	// Stats counters.  netmarkvet:hot netmarkvet:lockorder 40
 	statsMu       sync.Mutex
-	docsIngested  uint64 // guarded by statsMu
-	nodesInserted uint64 // guarded by statsMu
+	docsIngested  uint64 // guarded by statsMu; netmarkvet:snap
+	nodesInserted uint64 // guarded by statsMu; netmarkvet:snap
 
 	// ckptMu is the checkpoint barrier.  Every mutation path (ingest,
 	// batch writer+indexer, delete) holds it for reading across its whole
@@ -191,6 +195,7 @@ type Store struct {
 	// its link patches) and every delete bumps it.  Result caches key on
 	// it, so a bump implicitly invalidates everything cached against the
 	// previous state without the cache ever scanning its entries.
+	// netmarkvet:snap
 	generation atomic.Uint64
 }
 
