@@ -1,8 +1,9 @@
 // Command netmarkvet is the repo's analyzer suite: it type-checks
-// every package in the module once and runs the nine netmark-specific
-// passes (lockcheck, lockscope, atomicmix, fsyncrename, cowview,
-// errflow, ackorder, genbump, snapcover) that encode our concurrency,
-// crash-safety, durability-ordering, and cache-coherence invariants.
+// every package in the module once and runs the ten netmark-specific
+// passes (lockcheck, lockscope, atomicmix, fsyncrename, vfsonly,
+// cowview, errflow, ackorder, genbump, snapcover) that encode our
+// concurrency, crash-safety, durability-ordering, fault-injectability,
+// and cache-coherence invariants.
 // See internal/analysis for the annotation convention and
 // CONTRIBUTING.md for the invariants themselves.
 //
@@ -38,6 +39,7 @@ import (
 	"netmark/internal/analysis/lockcheck"
 	"netmark/internal/analysis/lockscope"
 	"netmark/internal/analysis/snapcover"
+	"netmark/internal/analysis/vfsonly"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -45,6 +47,7 @@ var analyzers = []*analysis.Analyzer{
 	lockscope.Analyzer,
 	atomicmix.Analyzer,
 	fsyncrename.Analyzer,
+	vfsonly.Analyzer,
 	cowview.Analyzer,
 	errflow.Analyzer,
 	ackorder.Analyzer,
@@ -100,7 +103,7 @@ func main() {
 	}
 	loadStart := time.Now()
 	// One load for the whole module: every package is parsed and
-	// type-checked exactly once and shared by all nine analyzers (and
+	// type-checked exactly once and shared by all ten analyzers (and
 	// by the interprocedural summaries, which need cross-package
 	// bodies).
 	mod, err := loader.LoadModule(dirs)

@@ -18,7 +18,9 @@
 //	// netmarkvet:cow             on a slice field published to readers
 //	//                            copy-on-write: never mutated in place
 //	// netmarkvet:mutator         on a function: may reassign cow fields
-//	// netmarkvet:persistence     in a package doc: fsyncrename applies
+//	// netmarkvet:persistence     on its own line in a package doc:
+//	//                            fsyncrename and vfsonly apply (all
+//	//                            file I/O through internal/vfs)
 //	// netmarkvet:ignore <names>  on a function: suppress the named
 //	//                            analyzers inside it (document why!)
 //	// netmarkvet:commit          on a function: makes prior writes

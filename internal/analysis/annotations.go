@@ -40,8 +40,10 @@ type Facts struct {
 	SnapEncode map[*ast.FuncDecl]bool
 	SnapDecode map[*ast.FuncDecl]bool
 	// Persistence reports whether any file's package doc opts the
-	// package into the fsyncrename invariant
-	// ("netmarkvet:persistence").
+	// package into the fsyncrename and vfsonly invariants.  The
+	// "netmarkvet:persistence" tag must stand on a doc line of its own:
+	// prose *mentioning* the tag (a tooling package documenting it, the
+	// vfs boundary layer referring to it) must not opt a package in.
 	Persistence bool
 }
 
@@ -53,6 +55,9 @@ var (
 	// "netmarkvet:snap" must not also match the snap-encode/snap-decode
 	// function annotations, so the tag ends at whitespace or EOF.
 	snapRe = regexp.MustCompile(`netmarkvet:snap(\s|$)`)
+	// The persistence opt-in is a whole line, so documentation that
+	// merely mentions the tag mid-sentence does not opt a package in.
+	persistenceRe = regexp.MustCompile(`(?m)^\s*netmarkvet:persistence\s*$`)
 )
 
 // parseIgnore returns nil when text has no ignore annotation, an empty
@@ -91,7 +96,7 @@ func CollectFacts(pass *Pass) *Facts {
 		SnapDecode: make(map[*ast.FuncDecl]bool),
 	}
 	for _, file := range pass.Files {
-		if file.Doc != nil && strings.Contains(file.Doc.Text(), "netmarkvet:persistence") {
+		if file.Doc != nil && persistenceRe.MatchString(file.Doc.Text()) {
 			f.Persistence = true
 		}
 		ast.Inspect(file, func(n ast.Node) bool {

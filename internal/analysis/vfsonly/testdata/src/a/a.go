@@ -1,0 +1,65 @@
+// Package a is the vfsonly golden corpus: a persistence package whose
+// file I/O must route through internal/vfs, not call os directly.
+//
+// netmarkvet:persistence
+package a
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// fsLike stands in for vfs.FS in this corpus (the corpus is loaded
+// standalone, without the real module's imports).
+type fsLike interface {
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+}
+
+// --- known good ---------------------------------------------------------
+
+// goodThroughVFS does its I/O through the injected filesystem.
+func goodThroughVFS(fsys fsLike, dir string) ([]byte, error) {
+	return fsys.ReadFile(filepath.Join(dir, "catalog.json"))
+}
+
+// goodClassifiersAndConstants: os error classifiers and open-flag
+// constants carry no I/O and stay legal.
+func goodClassifiersAndConstants(fsys fsLike, dir string) int {
+	if _, err := fsys.ReadFile(filepath.Join(dir, "x")); os.IsNotExist(err) {
+		return os.O_RDWR | os.O_CREATE
+	}
+	return 0
+}
+
+// netmarkvet:ignore vfsonly — bootstrap path that constructs the vfs
+// itself and so cannot route through one.
+func goodIgnoredBootstrap(path string) error {
+	_, err := os.Stat(path)
+	return err
+}
+
+// --- known bad ----------------------------------------------------------
+
+func badDirectOpen(path string) error {
+	f, err := os.Open(path) // want `direct os.Open in persistence package`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func badDirectWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os.WriteFile in persistence package`
+}
+
+func badDirectRename(oldp, newp string) error {
+	return os.Rename(oldp, newp) // want `direct os.Rename in persistence package`
+}
+
+func badDirectRemoveAndMkdir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os.MkdirAll in persistence package`
+		return err
+	}
+	return os.Remove(filepath.Join(dir, "stale")) // want `direct os.Remove in persistence package`
+}

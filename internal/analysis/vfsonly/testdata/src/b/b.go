@@ -1,0 +1,14 @@
+// Package b carries no persistence annotation: a drop-folder daemon,
+// say, whose files are user artifacts rather than durable engine state.
+// vfsonly must stay silent here even for bare os calls.
+package b
+
+import "os"
+
+func archive(oldp, newp string) error {
+	return os.Rename(oldp, newp)
+}
+
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

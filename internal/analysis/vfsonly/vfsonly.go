@@ -1,0 +1,89 @@
+// Package vfsonly makes the internal/vfs routing rule a permanent
+// gate.  In packages whose doc comment carries `netmarkvet:persistence`,
+// every durable file operation must go through a vfs.FS so fault-
+// injection tests (FaultFS schedules, the chaos suite) can reach it; a
+// direct os.Open/os.Rename/os.WriteFile call is a durable path the
+// fault layer cannot see, and whatever failure handling sits behind it
+// is untestable.
+//
+// Only filesystem *operations* are flagged.  Pure classifiers and
+// constants — os.IsNotExist, os.IsExist, os.O_CREATE, fs.FileMode —
+// carry no I/O and stay legal, as do os.Getenv and friends.  A
+// deliberate exception (a path that must bypass the vfs, e.g. opening
+// the vfs's own backing file) carries
+// `// netmarkvet:ignore vfsonly — <why>` on the enclosing function.
+package vfsonly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the vfsonly pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsonly",
+	Doc:  "reports direct os.* file operations in persistence packages that must route I/O through internal/vfs",
+	Run:  run,
+}
+
+// fileOps are the os functions that touch the filesystem.  Anything in
+// this set inside a persistence package is a hole in the fault layer.
+var fileOps = map[string]bool{
+	"Open":       true,
+	"OpenFile":   true,
+	"Create":     true,
+	"CreateTemp": true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"ReadFile":   true,
+	"WriteFile":  true,
+	"ReadDir":    true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"MkdirTemp":  true,
+	"Stat":       true,
+	"Lstat":      true,
+	"Truncate":   true,
+	"Chmod":      true,
+	"Chtimes":    true,
+	"Link":       true,
+	"Symlink":    true,
+	"Readlink":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := analysis.CollectFacts(pass)
+	if !facts.Persistence {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, isPkg := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+			if !isPkg || pkg.Imported().Path() != "os" {
+				return true
+			}
+			if fileOps[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"direct os.%s in persistence package — route file I/O through internal/vfs so fault injection can reach it",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package vfsonly_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/vfsonly"
+)
+
+func TestVfsonly(t *testing.T) {
+	analysistest.Run(t, ".", "a", vfsonly.Analyzer)
+}
+
+func TestNotPersistencePackageIsExempt(t *testing.T) {
+	analysistest.Run(t, ".", "b", vfsonly.Analyzer)
+}

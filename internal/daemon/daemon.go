@@ -22,6 +22,13 @@
 //     to .processed/ failed is never ingested twice; the stuck archive
 //     is surfaced through recordFailure and retried on later scans.
 //
+// Ingest failures are classified before quarantining.  Permanent
+// failures (no converter, unparseable content) will never succeed on a
+// retry, so the file moves to .failed/ immediately.  Transient failures
+// (device I/O errors, a store in degraded read-only mode, an unreadable
+// drop file) are retried with capped exponential backoff and jitter;
+// only a file that exhausts its retries is quarantined.
+//
 // Each scan's stable files are ingested through the store's concurrent
 // batch pipeline: preparation fans across workers and the whole scan
 // costs one WAL group-commit.
@@ -31,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,6 +57,18 @@ const (
 // DefaultBatchSize caps how many documents one WAL group-commit covers
 // when no explicit batch size is configured.
 const DefaultBatchSize = 64
+
+// DefaultMaxRetries is how many times a transiently failing file is
+// retried before quarantine when no explicit limit is configured.
+const DefaultMaxRetries = 4
+
+// Backoff schedule for transient-failure retries: base doubles per
+// attempt up to the cap, with ±25% jitter so a burst of failures does
+// not retry in lockstep.
+const (
+	retryBackoffBase = 250 * time.Millisecond
+	retryBackoffCap  = 30 * time.Second
+)
 
 // fileState is one observation of a drop-folder file, used for the
 // two-scan stability check.
@@ -73,6 +93,10 @@ type Daemon struct {
 	// BatchSize caps documents per WAL group-commit batch
 	// (0 = DefaultBatchSize).  Set before Run/ScanOnce.
 	BatchSize int
+	// MaxRetries caps transient-failure retries per file before the
+	// file is quarantined (0 = DefaultMaxRetries).  Set before
+	// Run/ScanOnce.
+	MaxRetries int
 
 	// OnIngest, when set, observes every attempt (err nil on success).
 	OnIngest func(name string, docID uint64, err error)
@@ -84,10 +108,21 @@ type Daemon struct {
 	// .processed/ failed, so they are never ingested again while they
 	// linger in the drop folder.
 	processed map[string]bool
+	// attempts counts transient-failure retries consumed per file;
+	// deferred holds the earliest next attempt for a file backing off.
+	attempts map[string]int
+	deferred map[string]time.Time
+
+	// now and rng are the clock and jitter source, swappable in tests.
+	// Only the ScanOnce goroutine touches rng.
+	now func() time.Time
+	rng *rand.Rand
 
 	mu       sync.Mutex
 	ingested int // guarded by mu
 	failed   int // guarded by mu
+	retries  int // transient failures given another chance; guarded by mu
+	backoffs int // scans that skipped a file still backing off; guarded by mu
 	// quarantineFails counts failed files whose move to .failed/ itself
 	// failed: the file is still sitting in the drop folder with nothing
 	// marking it broken, so operators must know.  Guarded by mu.
@@ -110,6 +145,10 @@ func New(dir string, store *xmlstore.Store, interval time.Duration) (*Daemon, er
 		interval:  interval,
 		pending:   make(map[string]fileState),
 		processed: make(map[string]bool),
+		attempts:  make(map[string]int),
+		deferred:  make(map[string]time.Time),
+		now:       time.Now,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}, nil
 }
 
@@ -126,6 +165,15 @@ func (d *Daemon) QuarantineFails() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.quarantineFails
+}
+
+// RetryStats returns how many transient failures were given another
+// chance (retries) and how many scans skipped a file that was still
+// waiting out its backoff (backoffs).
+func (d *Daemon) RetryStats() (retries, backoffs int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retries, d.backoffs
 }
 
 // ScanOnce processes every file currently in the drop folder and returns
@@ -160,6 +208,17 @@ func (d *Daemon) ScanOnce() (int, error) {
 			}
 			continue
 		}
+		if until, ok := d.deferred[name]; ok {
+			if d.now().Before(until) {
+				// Still backing off from a transient failure; leave it
+				// for a later scan.
+				d.mu.Lock()
+				d.backoffs++
+				d.mu.Unlock()
+				continue
+			}
+			delete(d.deferred, name)
+		}
 		if prev, ok := d.pending[name]; ok && prev.equal(st) {
 			stable = append(stable, name)
 		}
@@ -169,6 +228,16 @@ func (d *Daemon) ScanOnce() (int, error) {
 	for name := range d.processed {
 		if _, ok := current[name]; !ok {
 			delete(d.processed, name)
+		}
+	}
+	for name := range d.attempts {
+		if _, ok := current[name]; !ok {
+			delete(d.attempts, name)
+		}
+	}
+	for name := range d.deferred {
+		if _, ok := current[name]; !ok {
+			delete(d.deferred, name)
 		}
 	}
 	d.pending = current
@@ -196,8 +265,11 @@ func (d *Daemon) ingestBatch(names []string) int {
 		full := filepath.Join(d.dir, name)
 		data, err := os.ReadFile(full)
 		if err != nil {
-			delete(d.pending, name)
-			d.recordFailure(name, full, err)
+			// A drop file that cannot be read now may read fine once a
+			// copy or mount hiccup passes: transient.
+			if d.failOrRetry(name, full, err, true) {
+				delete(d.pending, name)
+			}
 			continue
 		}
 		docs = append(docs, xmlstore.BatchDoc{Name: name, Data: data})
@@ -205,11 +277,15 @@ func (d *Daemon) ingestBatch(names []string) int {
 	count := 0
 	for _, r := range d.store.StoreBatch(docs, d.Workers) {
 		full := filepath.Join(d.dir, r.Name)
-		delete(d.pending, r.Name)
 		if r.Err != nil {
-			d.recordFailure(r.Name, full, r.Err)
+			if d.failOrRetry(r.Name, full, r.Err, xmlstore.IsTransient(r.Err)) {
+				delete(d.pending, r.Name)
+			}
 			continue
 		}
+		delete(d.pending, r.Name)
+		delete(d.attempts, r.Name)
+		delete(d.deferred, r.Name)
 		d.mu.Lock()
 		d.ingested++
 		d.mu.Unlock()
@@ -229,6 +305,46 @@ func (d *Daemon) ingestBatch(names []string) int {
 		}
 	}
 	return count
+}
+
+// failOrRetry decides a failed ingest's fate and reports whether the
+// file was quarantined (and so left the drop folder).  A transient
+// failure with retries left is scheduled for another attempt after a
+// backoff; the file stays in the drop folder and stays pending so the
+// next eligible scan retries it.  Everything else — permanent failures,
+// and transient ones out of retries — quarantines via recordFailure.
+func (d *Daemon) failOrRetry(name, full string, err error, transient bool) bool {
+	max := d.MaxRetries
+	if max <= 0 {
+		max = DefaultMaxRetries
+	}
+	if transient && d.attempts[name] < max {
+		d.attempts[name]++
+		d.deferred[name] = d.now().Add(d.backoffDelay(d.attempts[name] - 1))
+		d.mu.Lock()
+		d.retries++
+		d.mu.Unlock()
+		if d.OnIngest != nil {
+			d.OnIngest(name, 0, err)
+		}
+		return false
+	}
+	delete(d.attempts, name)
+	delete(d.deferred, name)
+	d.recordFailure(name, full, err)
+	return true
+}
+
+// backoffDelay returns the capped exponential backoff for the n-th
+// retry (0-based), jittered by ±25% so a burst of transient failures
+// does not hammer a struggling store in lockstep.
+func (d *Daemon) backoffDelay(attempt int) time.Duration {
+	delay := retryBackoffBase << uint(attempt)
+	if delay <= 0 || delay > retryBackoffCap {
+		delay = retryBackoffCap
+	}
+	jitter := time.Duration(d.rng.Int63n(int64(delay)/2+1)) - delay/4
+	return delay + jitter
 }
 
 // archiveProcessed retries the archive move for a file that is already

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"netmark/internal/ordbms"
+	"netmark/internal/vfs"
 	"netmark/internal/xmlstore"
 )
 
@@ -301,6 +302,153 @@ func TestScanBatchesLargeDrops(t *testing.T) {
 	}
 	if store.NumDocuments() != 10 {
 		t.Fatalf("docs = %d", store.NumDocuments())
+	}
+}
+
+// faultStore opens a durable store over a FaultFS so tests can inject
+// device errors, returning the store and the fault handle.
+func faultStore(t *testing.T) (*xmlstore.Store, *vfs.FaultFS) {
+	t.Helper()
+	ffs := vfs.NewFaultFS(nil)
+	db, err := ordbms.Open(ordbms.Options{Dir: t.TempDir(), FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := xmlstore.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ffs
+}
+
+// manualClock pins the daemon to a test-controlled clock so backoff
+// waits are jumped over instead of slept through.
+func manualClock(d *Daemon) *time.Time {
+	cur := time.Now()
+	d.now = func() time.Time { return cur }
+	return &cur
+}
+
+// TestTransientFailureRetriedThenRecovers: a one-off WAL fsync failure
+// must not quarantine the document.  The daemon backs off, the store
+// heals via checkpoint, and the retry ingests the file normally.
+func TestTransientFailureRetriedThenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	store, ffs := faultStore(t)
+	d, err := New(dir, store, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := manualClock(d)
+	if err := os.WriteFile(filepath.Join(dir, "doc.html"),
+		[]byte(`<html><body><h1>T</h1><p>retry me</p></body></html>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The commit fsync fails exactly once: transient by definition.
+	ffs.AddRule(vfs.Rule{Op: vfs.OpSync, Path: "*.nmlog", Times: 1})
+	if n := scanUntilStable(t, d); n != 0 {
+		t.Fatalf("ingested through a failed commit: %d", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "doc.html")); !os.IsNotExist(err) {
+		t.Fatal("transient failure was quarantined")
+	}
+	retries, _ := d.RetryStats()
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+	// An immediate rescan finds the file still backing off.
+	if n, err := d.ScanOnce(); err != nil || n != 0 {
+		t.Fatalf("backoff scan = %d %v", n, err)
+	}
+	if _, backoffs := d.RetryStats(); backoffs == 0 {
+		t.Fatal("backoff skip not counted")
+	}
+	// The fault is spent; a checkpoint rebuilds the WAL and restores
+	// write service.  Jump past the backoff and retry.
+	if err := store.DB().Checkpoint(); err != nil {
+		t.Fatalf("healing checkpoint: %v", err)
+	}
+	*clock = clock.Add(time.Minute)
+	n, err := d.ScanOnce()
+	if err != nil || n != 1 {
+		t.Fatalf("retry scan = %d %v", n, err)
+	}
+	ing, failed := d.Stats()
+	if ing != 1 || failed != 0 {
+		t.Fatalf("stats = %d %d, want 1 0", ing, failed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, processedDir, "doc.html")); err != nil {
+		t.Fatal("retried file not archived")
+	}
+}
+
+// TestTransientExhaustsRetriesThenQuarantines: a store that stays
+// degraded eventually exhausts the retry budget and the file is
+// quarantined like any other failure.
+func TestTransientExhaustsRetriesThenQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	store, ffs := faultStore(t)
+	d, err := New(dir, store, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MaxRetries = 2
+	clock := manualClock(d)
+	if err := os.WriteFile(filepath.Join(dir, "doomed.html"),
+		[]byte(`<html><body><h1>D</h1><p>no luck</p></body></html>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Every WAL fsync fails: the store degrades and stays degraded.
+	ffs.AddRule(vfs.Rule{Op: vfs.OpSync, Path: "*.nmlog"})
+	if n := scanUntilStable(t, d); n != 0 {
+		t.Fatalf("ingested through a failed commit: %d", n)
+	}
+	for i := 0; i < 2; i++ {
+		*clock = clock.Add(time.Minute)
+		if n, err := d.ScanOnce(); err != nil || n != 0 {
+			t.Fatalf("retry scan %d = %d %v", i, n, err)
+		}
+	}
+	retries, _ := d.RetryStats()
+	if retries != 2 {
+		t.Fatalf("retries = %d, want 2", retries)
+	}
+	if _, failed := d.Stats(); failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "doomed.html")); err != nil {
+		t.Fatal("exhausted file not quarantined")
+	}
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "doomed.html.err")); err != nil {
+		t.Fatal("error note missing")
+	}
+}
+
+// TestPermanentFailureNotRetried: an unconvertible file gains nothing
+// from retries, so it is quarantined on the first attempt.
+func TestPermanentFailureNotRetried(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t)
+	d, err := New(dir, store, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blob.bin"),
+		[]byte{0, 1, 2, 0xFF, 0, 0, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := scanUntilStable(t, d); n != 0 {
+		t.Fatalf("ingested = %d", n)
+	}
+	retries, backoffs := d.RetryStats()
+	if retries != 0 || backoffs != 0 {
+		t.Fatalf("retry stats = %d %d, want 0 0", retries, backoffs)
+	}
+	if _, failed := d.Stats(); failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, failedDir, "blob.bin")); err != nil {
+		t.Fatal("permanent failure not quarantined immediately")
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"netmark/internal/vfs"
 )
 
 // The catalog records table metadata: schemas, heap page lists, and which
@@ -61,13 +63,14 @@ func (db *DB) saveCatalogLocked(gen uint64) error {
 	if err != nil {
 		return err
 	}
-	ci := CheckpointInfo{Dir: db.dir, Fault: db.ckptFault}
+	ci := CheckpointInfo{Dir: db.dir, FS: db.fs, Fault: db.ckptFault}
 	return ci.WriteSnapshotFile(catalogName, b, "catalog")
 }
 
-// writeFileSync writes data to path and fsyncs it before returning.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+// writeFileSync writes data to path through fsys and fsyncs it before
+// returning.
+func writeFileSync(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -83,8 +86,8 @@ func writeFileSync(path string, data []byte) error {
 }
 
 // syncDir fsyncs a directory so a just-completed rename survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys vfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -101,7 +104,7 @@ func syncDir(dir string) error {
 // netmarkvet:ignore lockcheck — open-time, single-goroutine
 func (db *DB) loadCatalog() error {
 	path := filepath.Join(db.dir, catalogName)
-	b, err := os.ReadFile(path)
+	b, err := db.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil // fresh store

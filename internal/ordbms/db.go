@@ -3,10 +3,11 @@ package ordbms
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"netmark/internal/vfs"
 )
 
 // Options configures a database instance.
@@ -24,6 +25,10 @@ type Options struct {
 	// full-scan rebuild on every open — the ablation knob for measuring
 	// what the snapshot buys.
 	NoDerivedSnapshot bool
+	// FS routes every file operation the store performs (data file, WAL,
+	// catalog, snapshots).  Nil means the real filesystem; fault-injection
+	// tests pass a vfs.FaultFS.
+	FS vfs.FS
 }
 
 // DB is the database engine facade: a disk manager, buffer pool, WAL and a
@@ -33,9 +38,14 @@ type DB struct {
 	mu   sync.RWMutex
 	opts Options
 	dir  string
+	fs   vfs.FS
 	disk DiskManager
 	pool *BufferPool
 	wal  *WAL
+
+	// health tracks degraded read-only mode: write-path I/O failures
+	// flip it, a successful checkpoint clears it.
+	health healthState
 
 	tables map[string]*Table // guarded by mu
 
@@ -87,10 +97,22 @@ type CheckpointInfo struct {
 	// LSN is the WAL LSN the checkpoint truncates through — the new base
 	// LSN after the checkpoint completes.
 	LSN uint64
+	// FS is the filesystem the snapshot must be written through (the
+	// store's configured vfs; nil falls back to the real filesystem).
+	FS vfs.FS
 	// Fault is the test-only crash injector (nil in production): hooks
 	// performing multi-step writes call it between steps and abort when
 	// it returns an error, leaving files as a crash would.
 	Fault func(step string) error
+}
+
+// filesystem returns the FS snapshots are written through, defaulting
+// to the real one.
+func (ci CheckpointInfo) filesystem() vfs.FS {
+	if ci.FS == nil {
+		return vfs.OS
+	}
+	return ci.FS
 }
 
 // WriteSnapshotFile commits a snapshot into the checkpoint's directory
@@ -99,8 +121,9 @@ type CheckpointInfo struct {
 // "<step>-temp" and "<step>-rename".  Hooks use it so every snapshot in
 // the checkpoint shares one implementation of the atomic write.
 func (ci CheckpointInfo) WriteSnapshotFile(name string, data []byte, step string) error {
+	fsys := ci.filesystem()
 	path := filepath.Join(ci.Dir, name)
-	if err := writeFileSync(path+".tmp", data); err != nil {
+	if err := writeFileSync(fsys, path+".tmp", data); err != nil {
 		return err
 	}
 	if ci.Fault != nil {
@@ -108,7 +131,7 @@ func (ci CheckpointInfo) WriteSnapshotFile(name string, data []byte, step string
 			return err
 		}
 	}
-	if err := os.Rename(path+".tmp", path); err != nil {
+	if err := fsys.Rename(path+".tmp", path); err != nil {
 		return err
 	}
 	if ci.Fault != nil {
@@ -116,7 +139,7 @@ func (ci CheckpointInfo) WriteSnapshotFile(name string, data []byte, step string
 			return err
 		}
 	}
-	return syncDir(ci.Dir)
+	return syncDir(fsys, ci.Dir)
 }
 
 // Open creates or reopens a database.
@@ -124,20 +147,23 @@ func Open(opts Options) (*DB, error) {
 	if opts.PoolPages == 0 {
 		opts.PoolPages = 4096
 	}
-	db := &DB{opts: opts, dir: opts.Dir, tables: make(map[string]*Table)}
+	db := &DB{opts: opts, dir: opts.Dir, fs: opts.FS, tables: make(map[string]*Table)}
+	if db.fs == nil {
+		db.fs = vfs.OS
+	}
 	if opts.Dir == "" {
 		db.disk = NewMemDisk()
 		db.pool = NewBufferPool(db.disk, opts.PoolPages)
 		return db, nil
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := db.fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ordbms: create dir: %w", err)
 	}
-	disk, err := OpenFileDisk(filepath.Join(opts.Dir, "data.nmdb"))
+	disk, err := OpenFileDisk(db.fs, filepath.Join(opts.Dir, "data.nmdb"))
 	if err != nil {
 		return nil, err
 	}
-	wal, err := OpenWAL(filepath.Join(opts.Dir, "wal.nmlog"))
+	wal, err := OpenWAL(db.fs, filepath.Join(opts.Dir, "wal.nmlog"))
 	if err != nil {
 		disk.Close()
 		return nil, err
@@ -303,15 +329,36 @@ func (db *DB) tableNamesLocked() []string {
 
 // Commit makes all mutations so far durable: the WAL is flushed (and
 // fsynced unless disabled).  Concurrent commits coalesce into one fsync
-// (WAL group commit).  In-memory stores are a no-op.
+// (WAL group commit).  In-memory stores are a no-op.  A commit failure
+// degrades the store (see Writable); the data whose commit failed is
+// reported failed, never silently acked.
 func (db *DB) Commit() error {
 	if db.wal == nil {
 		return nil
 	}
-	if db.opts.NoSyncOnCommit {
-		return db.wal.Flush(db.wal.NextLSN())
+	if err := db.Writable(); err != nil {
+		return err
 	}
-	return db.wal.Sync()
+	var err error
+	if db.opts.NoSyncOnCommit {
+		err = db.wal.Flush(db.wal.NextLSN())
+	} else {
+		err = db.wal.Sync()
+	}
+	if err != nil {
+		db.noteWriteError("wal commit", err)
+	}
+	return err
+}
+
+// FS returns the filesystem all of the store's file I/O goes through.
+// Layered stores (xmlstore) use it for their own snapshot reads so
+// fault injection covers them too.
+func (db *DB) FS() vfs.FS {
+	if db.fs == nil {
+		return vfs.OS
+	}
+	return db.fs
 }
 
 // WALStats returns (records appended, fsyncs issued), both zero for
@@ -391,13 +438,33 @@ func (db *DB) SetCheckpointFault(fn func(step string) error) {
 // either sees matching stamps (state is current) or falls back to the
 // WAL replay + full-scan rebuild path.
 func (db *DB) Checkpoint() error {
+	if err := db.checkpoint(); err != nil {
+		// A failed checkpoint is a write-path failure: durability could
+		// not be re-established, so the store (stays) degraded.
+		db.noteWriteError("checkpoint", err)
+		return err
+	}
+	// A checkpoint that completed proved the device writable end to end
+	// (pages, snapshots, catalog, WAL swap all written and fsynced), so
+	// write service can resume.
+	db.clearDegraded()
+	return nil
+}
+
+func (db *DB) checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var cut uint64
 	if db.wal != nil {
-		if err := db.wal.Sync(); err != nil {
+		if err := db.wal.Sync(); err != nil && db.wal.Poisoned() == nil {
 			return err
 		}
+		// A poisoned log does not abort the checkpoint: the WAL swap at
+		// the end rebuilds the log on a fresh handle, which is exactly
+		// the repair path.  cut stays at the last trustworthy fsync, so
+		// every record in doubt survives into (and is fsynced with) the
+		// successor file.
+		//
 		// Records at or below cut are covered by the page flush below;
 		// records appended after it (concurrent writers) survive the
 		// truncation as the new log's tail.
@@ -408,7 +475,7 @@ func (db *DB) Checkpoint() error {
 	}
 	if db.dir != "" {
 		gen := db.catalogGen + 1
-		info := CheckpointInfo{Dir: db.dir, CatalogGen: gen, LSN: cut, Fault: db.ckptFault}
+		info := CheckpointInfo{Dir: db.dir, CatalogGen: gen, LSN: cut, FS: db.fs, Fault: db.ckptFault}
 		for _, hook := range db.preCkpt {
 			if err := hook(info); err != nil {
 				return err
@@ -478,6 +545,24 @@ type Table struct {
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
+// writable rejects mutations while the store is degraded (nil db — a
+// bare table in tests — never degrades).
+func (t *Table) writable() error {
+	if t.db == nil {
+		return nil
+	}
+	return t.db.Writable()
+}
+
+// noteIfIOFault degrades the store when a mutation failed because of
+// the device (not because of a logical error), then passes err through.
+func (t *Table) noteIfIOFault(op string, err error) error {
+	if err != nil && t.db != nil && IsIOFault(err) {
+		t.db.noteWriteError(op, err)
+	}
+	return err
+}
+
 // Schema returns the table schema.
 func (t *Table) Schema() Schema { return t.schema }
 
@@ -491,11 +576,14 @@ func (t *Table) Insert(row Row) (RowID, error) {
 	if err := t.schema.Validate(row); err != nil {
 		return ZeroRowID, err
 	}
+	if err := t.writable(); err != nil {
+		return ZeroRowID, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rid, err := t.heap.Insert(EncodeRow(row))
 	if err != nil {
-		return ZeroRowID, err
+		return ZeroRowID, t.noteIfIOFault("insert", err)
 	}
 	for _, ix := range t.indexes {
 		ix.insert(row, rid)
@@ -513,11 +601,14 @@ func (t *Table) InsertPrepared(row Row, rec []byte) (RowID, error) {
 	if err := t.schema.Validate(row); err != nil {
 		return ZeroRowID, err
 	}
+	if err := t.writable(); err != nil {
+		return ZeroRowID, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rid, err := t.heap.Insert(rec)
 	if err != nil {
-		return ZeroRowID, err
+		return ZeroRowID, t.noteIfIOFault("insert", err)
 	}
 	for _, ix := range t.indexes {
 		ix.insert(row, rid)
@@ -533,9 +624,12 @@ func (t *Table) InsertPrepared(row Row, rec []byte) (RowID, error) {
 //
 // netmarkvet:mutates
 func (t *Table) UpdateInPlace(rid RowID, rec []byte) error {
+	if err := t.writable(); err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.heap.Update(rid, rec)
+	return t.noteIfIOFault("update", t.heap.Update(rid, rec))
 }
 
 // Fetch returns the row at rid.  The row is decoded directly from the
@@ -595,6 +689,9 @@ func (t *Table) FetchMany(rids []RowID) ([]Row, error) {
 //
 // netmarkvet:mutates
 func (t *Table) Delete(rid RowID) error {
+	if err := t.writable(); err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rec, err := t.heap.Fetch(rid)
@@ -606,7 +703,7 @@ func (t *Table) Delete(rid RowID) error {
 		return err
 	}
 	if err := t.heap.Delete(rid); err != nil {
-		return err
+		return t.noteIfIOFault("delete", err)
 	}
 	for _, ix := range t.indexes {
 		ix.remove(row, rid)
@@ -623,6 +720,9 @@ func (t *Table) Update(rid RowID, row Row) error {
 	if err := t.schema.Validate(row); err != nil {
 		return err
 	}
+	if err := t.writable(); err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	oldRec, err := t.heap.Fetch(rid)
@@ -634,7 +734,7 @@ func (t *Table) Update(rid RowID, row Row) error {
 		return err
 	}
 	if err := t.heap.Update(rid, EncodeRow(row)); err != nil {
-		return err
+		return t.noteIfIOFault("update", err)
 	}
 	for _, ix := range t.indexes {
 		if !oldRow[ix.colIdx].Equal(row[ix.colIdx]) {

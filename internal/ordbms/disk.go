@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"netmark/internal/vfs"
 )
 
 // DiskManager provides page-granular storage.  Two implementations exist:
@@ -73,15 +75,16 @@ func (d *memDisk) Close() error { return nil }
 // n*PageSize.  Page 0 is reserved and holds a magic header.
 type fileDisk struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     vfs.File
 	pages uint32 // guarded by mu
 }
 
 const diskMagic = "NETMARKDB v1\x00\x00\x00\x00"
 
-// OpenFileDisk opens (or creates) a file-backed disk manager.
-func OpenFileDisk(path string) (DiskManager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// OpenFileDisk opens (or creates) a file-backed disk manager, doing all
+// file I/O through fsys.
+func OpenFileDisk(fsys vfs.FS, path string) (DiskManager, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ordbms: open data file: %w", err)
 	}
@@ -91,7 +94,19 @@ func OpenFileDisk(path string) (DiskManager, error) {
 		return nil, err
 	}
 	d := &fileDisk{f: f}
-	if st.Size() == 0 {
+	size := st.Size()
+	if rem := size % PageSize; rem != 0 {
+		// A crash or I/O error mid-extension (ENOSPC short write, torn
+		// append) leaves a partial page at the tail.  No acknowledged
+		// state can live there — the extension errored or never reached
+		// a commit — so discard it rather than refuse the whole store.
+		size -= rem
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ordbms: drop torn data file tail: %w", err)
+		}
+	}
+	if size == 0 {
 		hdr := make([]byte, PageSize)
 		copy(hdr, diskMagic)
 		if _, err := f.WriteAt(hdr, 0); err != nil {
@@ -100,10 +115,6 @@ func OpenFileDisk(path string) (DiskManager, error) {
 		}
 		d.pages = 1
 		return d, nil
-	}
-	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("ordbms: data file size %d not page aligned", st.Size())
 	}
 	hdr := make([]byte, len(diskMagic))
 	if _, err := f.ReadAt(hdr, 0); err != nil {
@@ -114,7 +125,7 @@ func OpenFileDisk(path string) (DiskManager, error) {
 		f.Close()
 		return nil, fmt.Errorf("ordbms: %s is not a netmark data file", path)
 	}
-	d.pages = uint32(st.Size() / PageSize)
+	d.pages = uint32(size / PageSize)
 	return d, nil
 }
 
@@ -124,7 +135,7 @@ func (d *fileDisk) AllocatePage() (uint32, error) {
 	no := d.pages
 	zero := make([]byte, PageSize)
 	if _, err := d.f.WriteAt(zero, int64(no)*PageSize); err != nil {
-		return 0, fmt.Errorf("ordbms: extend data file: %w", err)
+		return 0, &IOFault{Op: "extend data file", Err: err}
 	}
 	d.pages++
 	return no, nil
@@ -146,8 +157,10 @@ func (d *fileDisk) WritePage(no uint32, buf []byte) error {
 	if no == 0 || no >= d.pages {
 		return fmt.Errorf("ordbms: write of unallocated page %d", no)
 	}
-	_, err := d.f.WriteAt(buf[:PageSize], int64(no)*PageSize)
-	return err
+	if _, err := d.f.WriteAt(buf[:PageSize], int64(no)*PageSize); err != nil {
+		return &IOFault{Op: "write page", Err: err}
+	}
+	return nil
 }
 
 func (d *fileDisk) NumPages() uint32 {
@@ -156,6 +169,11 @@ func (d *fileDisk) NumPages() uint32 {
 	return d.pages
 }
 
-func (d *fileDisk) Sync() error { return d.f.Sync() }
+func (d *fileDisk) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return &IOFault{Op: "sync data file", Err: err}
+	}
+	return nil
+}
 
 func (d *fileDisk) Close() error { return d.f.Close() }

@@ -1,12 +1,16 @@
 package ordbms
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"testing"
+
+	"netmark/internal/vfs"
 )
 
 // faultDisk wraps a DiskManager and fails operations on command.
@@ -665,4 +669,150 @@ func TestDropRecreateCrashDoesNotResurrectRows(t *testing.T) {
 		}
 		return true
 	})
+}
+
+// dirDigest hashes every file in dir so tests can assert a reopen
+// changed nothing on disk.
+func dirDigest(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[e.Name()] = fmt.Sprintf("%x", sha256.Sum256(b))
+	}
+	return m
+}
+
+// TestCheckpointENOSPCMatrix is TestCheckpointCrashMatrix's sibling for
+// a disk that stays up but misbehaves: at each step of the checkpoint
+// sequence the filesystem reports ENOSPC instead of the process dying.
+// The checkpoint must fail cleanly, the store must degrade (writes
+// refused, reads served), a checkpoint after space returns must restore
+// write service, and reopening must reproduce the exact committed state
+// — with a second reopen leaving every on-disk byte untouched.
+func TestCheckpointENOSPCMatrix(t *testing.T) {
+	steps := []struct {
+		name string
+		rule vfs.Rule
+	}{
+		{"derived-temp", vfs.Rule{Op: vfs.OpWrite, Path: "derived.nmds.tmp", Err: syscall.ENOSPC}},
+		{"derived-rename", vfs.Rule{Op: vfs.OpRename, Path: "derived.nmds", Err: syscall.ENOSPC}},
+		{"catalog-temp", vfs.Rule{Op: vfs.OpWrite, Path: "catalog.json.tmp", Err: syscall.ENOSPC}},
+		{"catalog-rename", vfs.Rule{Op: vfs.OpRename, Path: "catalog.json", Err: syscall.ENOSPC}},
+		{"wal-temp", vfs.Rule{Op: vfs.OpWrite, Path: "wal.nmlog.ckpt", Err: syscall.ENOSPC}},
+		{"wal-rename", vfs.Rule{Op: vfs.OpRename, Path: "wal.nmlog", Err: syscall.ENOSPC}},
+	}
+	for _, step := range steps {
+		t.Run(step.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(nil)
+			db, err := Open(Options{Dir: dir, FS: ffs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := db.CreateTable("t", MustSchema(Column{"v", TypeInt}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.CreateIndex("v"); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				if _, err := tbl.Insert(Row{I(int64(i))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("baseline checkpoint: %v", err)
+			}
+			for i := 40; i < 80; i++ {
+				if _, err := tbl.Insert(Row{I(int64(i))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The disk fills: the checkpoint fails cleanly and the store
+			// flips to degraded read-only.
+			ffs.AddRule(step.rule)
+			if err := db.Checkpoint(); err == nil {
+				t.Fatalf("checkpoint survived ENOSPC at %s", step.name)
+			}
+			h := db.Health()
+			if !h.Degraded || h.WriteErrors == 0 {
+				t.Fatalf("store not degraded after failed checkpoint: %+v", h)
+			}
+			if _, err := tbl.Insert(Row{I(999)}); !errors.Is(err, ErrDegraded) {
+				t.Fatalf("insert while degraded = %v, want ErrDegraded", err)
+			}
+			// Reads keep serving the committed state.
+			if rids, err := tbl.Lookup("v", I(41)); err != nil || len(rids) != 1 {
+				t.Fatalf("degraded read: %v, %v", rids, err)
+			}
+
+			// Space returns: a clean checkpoint restores write service.
+			ffs.ClearFaults()
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("healing checkpoint: %v", err)
+			}
+			if db.Health().Degraded {
+				t.Fatal("degraded flag survived a successful checkpoint")
+			}
+			if _, err := tbl.Insert(Row{I(80)}); err != nil {
+				t.Fatalf("insert after healing: %v", err)
+			}
+			if err := db.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			db.CloseDiscard() // crash
+
+			// Reopen reproduces exactly the acked state.
+			db2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("reopen after ENOSPC at %s: %v", step.name, err)
+			}
+			if got := db2.Table("t").Rows(); got != 81 {
+				t.Fatalf("rows = %d, want 81", got)
+			}
+			for i := 0; i <= 80; i++ {
+				rids, err := db2.Table("t").Lookup("v", I(int64(i)))
+				if err != nil || len(rids) != 1 {
+					t.Fatalf("lookup %d -> %v, %v", i, rids, err)
+				}
+			}
+			db2.CloseDiscard()
+
+			// A reopen with no writes must not disturb a single byte.
+			before := dirDigest(t, dir)
+			db3, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := db3.Table("t").Rows(); got != 81 {
+				t.Fatalf("second reopen rows = %d", got)
+			}
+			db3.CloseDiscard()
+			after := dirDigest(t, dir)
+			if len(before) != len(after) {
+				t.Fatalf("file set changed across reopen: %v vs %v", before, after)
+			}
+			for name, sum := range before {
+				if after[name] != sum {
+					t.Fatalf("reopen mutated %s", name)
+				}
+			}
+		})
+	}
 }

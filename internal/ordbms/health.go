@@ -1,0 +1,132 @@
+package ordbms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDegraded is wrapped by every write-path error returned while the
+// store is in degraded read-only mode.  Callers match it with errors.Is
+// and map it to "try again later" (the HTTP layer answers 503 with
+// Retry-After); reads are unaffected.
+var ErrDegraded = errors.New("ordbms: store degraded (read-only)")
+
+// IOFault wraps an error from the storage device itself — a failed page
+// write, file extension, or fsync — as opposed to logical errors
+// (schema violations, missing rows).  I/O faults are what flip the
+// store into degraded mode, and what the ingestion daemon classifies as
+// transient (retryable) failures.
+type IOFault struct {
+	Op  string
+	Err error
+}
+
+func (e *IOFault) Error() string { return "ordbms: " + e.Op + ": " + e.Err.Error() }
+func (e *IOFault) Unwrap() error { return e.Err }
+
+// IsIOFault reports whether any error in err's chain came from the
+// storage device.
+func IsIOFault(err error) bool {
+	var f *IOFault
+	return errors.As(err, &f)
+}
+
+// WALPoisonedError is returned by every commit after a commit fsync has
+// failed.  A failed fsync means the kernel may have dropped dirty log
+// pages while clearing its error state, so a later fsync reporting
+// success would not cover the earlier records — acking anything after
+// that point would be a lie.  The poison clears only when a checkpoint
+// rebuilds the log on a fresh file handle, written and fsynced from
+// scratch.
+type WALPoisonedError struct {
+	Cause error
+}
+
+func (e *WALPoisonedError) Error() string {
+	return "ordbms: wal poisoned by earlier fsync failure: " + e.Cause.Error()
+}
+func (e *WALPoisonedError) Unwrap() error { return e.Cause }
+
+// HealthStatus is a point-in-time snapshot of the store's write health.
+type HealthStatus struct {
+	// Degraded reports that the store is serving reads only.
+	Degraded bool
+	// Reason is the first write failure that flipped the store into
+	// degraded mode ("" while healthy).
+	Reason string
+	// Since is when the store degraded (zero while healthy).
+	Since time.Time
+	// WriteErrors counts write-path I/O failures over the store's
+	// lifetime (it survives recovery back to healthy).
+	WriteErrors uint64
+}
+
+// healthState tracks degraded mode.  The flag is an atomic so the
+// per-write fast path (Writable) costs one load; the rest is guarded by
+// mu.  netmarkvet:lockorder 50
+type healthState struct {
+	degraded atomic.Bool
+
+	mu          sync.Mutex
+	reason      string    // guarded by mu
+	since       time.Time // guarded by mu
+	writeErrors uint64    // guarded by mu
+}
+
+// noteWriteError records a write-path failure and flips the store into
+// degraded read-only mode if it is not already there.
+func (db *DB) noteWriteError(op string, err error) {
+	h := &db.health
+	h.mu.Lock()
+	h.writeErrors++
+	if !h.degraded.Load() {
+		h.reason = op + ": " + err.Error()
+		h.since = time.Now()
+		h.degraded.Store(true)
+	}
+	h.mu.Unlock()
+}
+
+// clearDegraded restores write service after a successful checkpoint
+// proved the device is writable again end to end.
+func (db *DB) clearDegraded() {
+	h := &db.health
+	h.mu.Lock()
+	if h.degraded.Load() {
+		h.degraded.Store(false)
+		h.reason = ""
+		h.since = time.Time{}
+	}
+	h.mu.Unlock()
+}
+
+// Writable returns nil while the store accepts writes, or an error
+// wrapping ErrDegraded naming the fault that degraded it.  Every write
+// entry point checks it first, so a degraded store rejects mutations
+// without touching the device.
+func (db *DB) Writable() error {
+	h := &db.health
+	if !h.degraded.Load() {
+		return nil
+	}
+	h.mu.Lock()
+	reason := h.reason
+	h.mu.Unlock()
+	return fmt.Errorf("%w: %s", ErrDegraded, reason)
+}
+
+// Health reports the store's current write health.
+func (db *DB) Health() HealthStatus {
+	h := &db.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HealthStatus{
+		Degraded:    h.degraded.Load(),
+		Reason:      h.reason,
+		Since:       h.since,
+		WriteErrors: h.writeErrors,
+	}
+}

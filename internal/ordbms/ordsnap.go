@@ -18,7 +18,6 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 
@@ -94,7 +93,7 @@ func (db *DB) saveDerivedLocked(gen, lsn uint64) error {
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(buf)))
 	out = append(out, buf...)
 
-	ci := CheckpointInfo{Dir: db.dir, Fault: db.ckptFault}
+	ci := CheckpointInfo{Dir: db.dir, FS: db.fs, Fault: db.ckptFault}
 	return ci.WriteSnapshotFile(derivedName, out, "derived")
 }
 
@@ -124,7 +123,7 @@ func (db *DB) loadDerivedSnapshot(gen uint64) *derivedSnapshot {
 	if db.dir == "" || db.opts.NoDerivedSnapshot || db.wal == nil || db.Replayed != 0 {
 		return nil
 	}
-	data, err := os.ReadFile(filepath.Join(db.dir, derivedName))
+	data, err := db.fs.ReadFile(filepath.Join(db.dir, derivedName))
 	if err != nil {
 		return nil
 	}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"netmark/internal/vfs"
 )
 
 // WAL is a redo-only write-ahead log.  Every page mutation is logged
@@ -22,7 +24,8 @@ type WAL struct {
 	// legitimately write and fsync the log while holding it (group
 	// commit drops it around the leader's fsync).  netmarkvet:lockorder 40
 	mu       sync.Mutex
-	f        *os.File // guarded by mu
+	fs       vfs.FS   // filesystem all log I/O goes through
+	f        vfs.File // guarded by mu
 	path     string   // log file path (checkpoints swap the file atomically)
 	dir      string   // parent directory, fsynced after the swap
 	base     uint64   // guarded by mu; LSN of physical file offset 0
@@ -32,6 +35,14 @@ type WAL struct {
 	synced   uint64   // guarded by mu; LSN through which the file is fsynced
 	appends  uint64   // guarded by mu; stat: records appended
 	syncs    uint64   // guarded by mu; stat: fsyncs issued
+
+	// poisoned is the first commit-fsync failure, sticky until a
+	// checkpoint rebuilds the log on a fresh handle.  After a failed
+	// fsync the kernel may have dropped dirty pages while clearing the
+	// error, so a later "successful" fsync would not cover the earlier
+	// records: every commit must keep erroring rather than silently ack
+	// data that may not be durable.  Guarded by mu.
+	poisoned error
 
 	// Group-commit state: while a leader's fsync is in flight, followers
 	// wait on syncDone instead of issuing their own.  Guarded by mu.
@@ -65,12 +76,13 @@ const walHeaderSize = 16 // magic(8) + baseLSN(8)
 
 var walMagic = [8]byte{'N', 'M', 'W', 'A', 'L', 'v', '1', 0}
 
-// OpenWAL opens or creates the log at path.
-func OpenWAL(path string) (*WAL, error) {
+// OpenWAL opens or creates the log at path, doing all file I/O through
+// fsys.
+func OpenWAL(fsys vfs.FS, path string) (*WAL, error) {
 	// A leftover checkpoint temp means a crash before the atomic rename:
 	// the live log is authoritative, the half-built successor is garbage.
-	os.Remove(path + walCkptSuffix)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fsys.Remove(path + walCkptSuffix)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ordbms: open wal: %w", err)
 	}
@@ -79,7 +91,7 @@ func OpenWAL(path string) (*WAL, error) {
 		f.Close()
 		return nil, err
 	}
-	w := &WAL{f: f, path: path, dir: filepath.Dir(path)}
+	w := &WAL{fs: fsys, f: f, path: path, dir: filepath.Dir(path)}
 	if st.Size() == 0 {
 		var hdr [walHeaderSize]byte
 		copy(hdr[:8], walMagic[:])
@@ -228,7 +240,9 @@ func (w *WAL) flushLocked(lsn uint64) error {
 	// benefit at these sizes.
 	off := int64(w.flushed-w.base) + walHeaderSize
 	if _, err := w.f.WriteAt(w.buf, off); err != nil {
-		return fmt.Errorf("ordbms: wal write: %w", err)
+		// The buffer is retained (cleared only below, on success), so a
+		// transient write failure is retryable without losing records.
+		return &IOFault{Op: "wal write", Err: err}
 	}
 	w.flushed = w.bufStart + uint64(len(w.buf))
 	w.bufStart = w.flushed
@@ -256,8 +270,16 @@ func (w *WAL) SyncTo(lsn uint64) error {
 	for {
 		w.mu.Lock()
 		if w.synced >= lsn {
+			// Everything the caller needs was fsynced before any
+			// poisoning event; acking it is honest even if later
+			// records are in doubt.
 			w.mu.Unlock()
 			return nil
+		}
+		if w.poisoned != nil {
+			err := &WALPoisonedError{Cause: w.poisoned}
+			w.mu.Unlock()
+			return err
 		}
 		if w.syncing {
 			// Ride on the in-flight group, then re-check coverage.
@@ -287,6 +309,12 @@ func (w *WAL) SyncTo(lsn uint64) error {
 			w.synced = target
 			w.syncs++
 		}
+		if syncErr != nil {
+			// Sticky: a failed commit fsync poisons the log (see the
+			// poisoned field).  Every waiting follower and every later
+			// commit gets an error instead of a phantom ack.
+			w.poisoned = syncErr
+		}
 		w.syncing = false
 		close(w.syncDone)
 		covered := w.synced >= lsn
@@ -295,7 +323,7 @@ func (w *WAL) SyncTo(lsn uint64) error {
 			return flushErr
 		}
 		if syncErr != nil {
-			return syncErr
+			return &IOFault{Op: "wal fsync", Err: syncErr}
 		}
 		if covered {
 			return nil
@@ -341,9 +369,13 @@ func (w *WAL) checkpointTo(cut uint64, fault func(step string) error) error {
 	if cut > w.flushed {
 		cut = w.flushed
 	}
-	if cut == w.base {
+	if cut == w.base && w.poisoned == nil {
 		return nil // nothing to drop; the log already starts at cut
 	}
+	// A poisoned log is rebuilt even when there is nothing to drop: the
+	// successor below is written and fsynced from scratch on a fresh
+	// handle, which is the only way to restore trust after a failed
+	// fsync left the old handle's durability unknowable.
 	var tail []byte
 	if n := w.flushed - cut; n > 0 {
 		tail = make([]byte, n)
@@ -352,7 +384,7 @@ func (w *WAL) checkpointTo(cut uint64, fault func(step string) error) error {
 		}
 	}
 	tmp := w.path + walCkptSuffix
-	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	nf, err := w.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("ordbms: wal checkpoint temp: %w", err)
 	}
@@ -380,7 +412,7 @@ func (w *WAL) checkpointTo(cut uint64, fault func(step string) error) error {
 		}
 	}
 	// The rename is the commit point of the truncation.
-	if err := os.Rename(tmp, w.path); err != nil {
+	if err := w.fs.Rename(tmp, w.path); err != nil {
 		nf.Close()
 		return err
 	}
@@ -397,7 +429,21 @@ func (w *WAL) checkpointTo(cut uint64, fault func(step string) error) error {
 			return err
 		}
 	}
-	return syncDir(w.dir)
+	if err := syncDir(w.fs, w.dir); err != nil {
+		return err
+	}
+	// The live log is now a file that was written and fsynced end to end
+	// on a fresh handle; any earlier fsync failure no longer taints it.
+	w.poisoned = nil
+	return nil
+}
+
+// Poisoned returns the sticky commit-fsync failure, or nil while the
+// log is trustworthy.
+func (w *WAL) Poisoned() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.poisoned
 }
 
 // BaseLSN returns the LSN of physical file offset 0 — the point the last

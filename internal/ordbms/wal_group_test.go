@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"netmark/internal/vfs"
 )
 
 // TestWALGroupCommitConcurrent hammers the group-commit path: many
@@ -13,7 +15,7 @@ import (
 // than commit calls.
 func TestWALGroupCommitConcurrent(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(filepath.Join(dir, "wal.nmlog"))
+	w, err := OpenWAL(vfs.OS, filepath.Join(dir, "wal.nmlog"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestWALGroupCommitConcurrent(t *testing.T) {
 // group covered return without an extra fsync.
 func TestWALSyncToAlreadyCovered(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(filepath.Join(dir, "wal.nmlog"))
+	w, err := OpenWAL(vfs.OS, filepath.Join(dir, "wal.nmlog"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestEncodeRowOffsetsPatchable(t *testing.T) {
 // flagged the unsynchronized w.f access).
 func TestWALSyncDuringCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(filepath.Join(dir, "wal.nmlog"))
+	w, err := OpenWAL(vfs.OS, filepath.Join(dir, "wal.nmlog"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +219,7 @@ func TestWALSyncDuringCheckpoint(t *testing.T) {
 // fsync.
 func TestWALCheckpointWaitsForInflightSync(t *testing.T) {
 	dir := t.TempDir()
-	w, err := OpenWAL(filepath.Join(dir, "wal.nmlog"))
+	w, err := OpenWAL(vfs.OS, filepath.Join(dir, "wal.nmlog"))
 	if err != nil {
 		t.Fatal(err)
 	}

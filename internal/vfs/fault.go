@@ -1,0 +1,327 @@
+package vfs
+
+import (
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// Op names a class of filesystem call a fault Rule can target.
+type Op string
+
+const (
+	OpOpen      Op = "open"      // Open / OpenFile / Create
+	OpRead      Op = "read"      // File.Read / File.ReadAt / FS.ReadFile
+	OpWrite     Op = "write"     // File.Write / File.WriteAt / FS.WriteFile
+	OpSync      Op = "sync"      // File.Sync
+	OpRename    Op = "rename"    // FS.Rename (matched against the new path)
+	OpRemove    Op = "remove"    // FS.Remove
+	OpReadDir   Op = "readdir"   // FS.ReadDir
+	OpStat      Op = "stat"      // FS.Stat / File.Stat
+	OpWriteFile Op = "writefile" // FS.WriteFile (also counts as OpWrite)
+)
+
+// Rule is one deterministic fault in a schedule. A call matches when
+// its Op equals the rule's Op and the file's base name matches Path
+// (a filepath.Match pattern; empty matches everything). The rule skips
+// the first After matching calls, then fires on the next Times of them
+// (Times == 0 means it keeps firing forever — a sticky fault).
+type Rule struct {
+	Op    Op
+	Path  string
+	After int
+	Times int
+	Err   error // defaults to EIO (ENOSPC for budget exhaustion)
+	Short bool  // writes: write half the buffer, then fail
+}
+
+type ruleState struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// FaultFS wraps an inner FS and injects faults according to a schedule
+// of Rules plus an optional global write-byte budget (ENOSPC once
+// exhausted). All methods are safe for concurrent use. Faults are
+// injected *before* the inner call except short writes, which really
+// do write the truncated prefix — exactly what a full disk does.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*ruleState
+	budget   int64 // write-byte budget; <0 = unlimited
+	written  int64
+	injected int
+}
+
+// NewFaultFS wraps inner (OS if nil) with an empty, fault-free schedule.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, budget: -1}
+}
+
+// AddRule appends a fault rule to the schedule.
+func (f *FaultFS) AddRule(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &ruleState{Rule: r})
+}
+
+// SetBytesBudget arms an ENOSPC budget: after n more bytes have been
+// written through this FS, writes fail with ENOSPC (the final write is
+// truncated to the remaining budget, like a real full disk). n < 0
+// disarms the budget.
+func (f *FaultFS) SetBytesBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+	f.written = 0
+}
+
+// ClearFaults drops every rule and disarms the byte budget; subsequent
+// calls pass straight through. Injection counters are preserved.
+func (f *FaultFS) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.budget = -1
+}
+
+// Injected reports how many faults this FS has injected so far.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+func pathErr(op Op, path string, errno error) error {
+	return &fs.PathError{Op: string(op), Path: path, Err: errno}
+}
+
+// check consults the schedule for one call. For write ops, n is the
+// buffer length; it returns (allowed, err) where allowed < n with a
+// non-nil err models a short write.
+func (f *FaultFS) check(op Op, path string, n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" {
+			ok, err := filepath.Match(r.Path, filepath.Base(path))
+			if err != nil || !ok {
+				continue
+			}
+		}
+		idx := r.seen
+		r.seen++
+		if idx < r.After || (r.Times > 0 && idx >= r.After+r.Times) {
+			continue
+		}
+		r.fired++
+		f.injected++
+		errno := r.Err
+		if errno == nil {
+			errno = syscall.EIO
+		}
+		if r.Short && n > 0 {
+			return n / 2, pathErr(op, path, errno)
+		}
+		return 0, pathErr(op, path, errno)
+	}
+	if (op == OpWrite || op == OpWriteFile) && f.budget >= 0 {
+		remaining := f.budget - f.written
+		if remaining <= 0 {
+			f.injected++
+			return 0, pathErr(op, path, syscall.ENOSPC)
+		}
+		if int64(n) > remaining {
+			f.written = f.budget
+			f.injected++
+			return int(remaining), pathErr(op, path, syscall.ENOSPC)
+		}
+		f.written += int64(n)
+	}
+	return n, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if _, err := f.check(OpOpen, name, 0); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, f: fl}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, err := f.check(OpOpen, name, 0); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, f: fl}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if _, err := f.check(OpOpen, name, 0); err != nil {
+		return nil, err
+	}
+	fl, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, f: fl}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.check(OpRename, newpath, 0); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.check(OpRemove, name, 0); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if _, err := f.check(OpReadDir, name, 0); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if _, err := f.check(OpRead, name, 0); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if _, err := f.check(OpWriteFile, name, len(data)); err != nil {
+		return err
+	}
+	if allowed, err := f.check(OpWrite, name, len(data)); err != nil {
+		if allowed > 0 {
+			// Model a short WriteFile: the truncated prefix lands.
+			_ = f.inner.WriteFile(name, data[:allowed], perm)
+		}
+		return err
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if _, err := f.check(OpStat, name, 0); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// faultFile routes per-handle calls back through the schedule.
+type faultFile struct {
+	fs   *FaultFS
+	path string
+	f    File
+}
+
+func (h *faultFile) Read(p []byte) (int, error) {
+	if _, err := h.fs.check(OpRead, h.path, 0); err != nil {
+		return 0, err
+	}
+	return h.f.Read(p)
+}
+
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := h.fs.check(OpRead, h.path, 0); err != nil {
+		return 0, err
+	}
+	return h.f.ReadAt(p, off)
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	allowed, err := h.fs.check(OpWrite, h.path, len(p))
+	if err != nil {
+		n := 0
+		if allowed > 0 {
+			n, _ = h.f.Write(p[:allowed])
+		}
+		return n, err
+	}
+	return h.f.Write(p)
+}
+
+func (h *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	allowed, err := h.fs.check(OpWrite, h.path, len(p))
+	if err != nil {
+		n := 0
+		if allowed > 0 {
+			n, _ = h.f.WriteAt(p[:allowed], off)
+		}
+		return n, err
+	}
+	return h.f.WriteAt(p, off)
+}
+
+func (h *faultFile) Sync() error {
+	if _, err := h.fs.check(OpSync, h.path, 0); err != nil {
+		return err
+	}
+	return h.f.Sync()
+}
+
+func (h *faultFile) Stat() (fs.FileInfo, error) { return h.f.Stat() }
+
+func (h *faultFile) Truncate(size int64) error {
+	if _, err := h.fs.check(OpWrite, h.path, 0); err != nil {
+		return err
+	}
+	return h.f.Truncate(size)
+}
+
+func (h *faultFile) Close() error { return h.f.Close() }
+
+// RandomSchedule derives a deterministic pseudo-random fault schedule
+// from seed: n rules weighted toward the failure modes long-running
+// middleware actually sees (full disks, fsync EIO, torn renames).
+// The same seed always yields the same schedule.
+func RandomSchedule(seed int64, n int) []Rule {
+	rng := rand.New(rand.NewSource(seed))
+	ops := []Op{OpWrite, OpWrite, OpSync, OpSync, OpRename, OpWriteFile, OpRemove}
+	errs := []error{syscall.EIO, syscall.ENOSPC}
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		r := Rule{
+			Op:    op,
+			After: rng.Intn(40),
+			Times: 1 + rng.Intn(3),
+			Err:   errs[rng.Intn(len(errs))],
+		}
+		if op == OpWrite && rng.Intn(3) == 0 {
+			r.Short = true
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}

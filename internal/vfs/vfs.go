@@ -1,0 +1,83 @@
+// Package vfs abstracts the filesystem operations that netmark's
+// persistence layers perform, so that tests can inject deterministic
+// I/O faults (ENOSPC, EIO on fsync, short writes, failed renames)
+// without touching the real disk semantics in production.
+//
+// The contract is deliberately tiny: exactly the calls the WAL, heap
+// file, catalog, checkpoint swap, and snapshot paths need. Production
+// code uses the passthrough OS implementation; fault-injection tests
+// wrap it (or wrap each other) with a FaultFS carrying a seeded
+// schedule. Persistence packages (those whose package doc carries
+// `netmarkvet:persistence`) must do all file I/O through an FS — the
+// `vfsonly` analyzer enforces that rule.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the handle surface the persistence layers use. It is a strict
+// subset of *os.File so the passthrough implementation is free.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.ReaderAt
+	io.WriterAt
+
+	// Sync flushes the file (or directory) to stable storage.
+	Sync() error
+	// Stat reports file metadata (used for sizing the heap file).
+	Stat() (fs.FileInfo, error)
+	// Truncate changes the file's size (used to discard a torn tail
+	// left by a failed extension).
+	Truncate(size int64) error
+}
+
+// FS is the filesystem operation surface. All paths are OS paths as
+// understood by the os package.
+type FS interface {
+	// Open opens a file (or directory, for directory fsync) read-only.
+	Open(name string) (File, error)
+	// Create truncates-or-creates a file for writing, mode 0644.
+	Create(name string) (File, error)
+	// OpenFile is the general open.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes a whole file without durability guarantees
+	// (callers needing durability open + Write + Sync explicitly).
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Stat reports file metadata.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the passthrough filesystem used in production.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }

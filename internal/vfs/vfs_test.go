@@ -1,0 +1,138 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f.txt")
+	fl, err := OS.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(p)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := OS.Rename(p, p+".2"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f.txt.2" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+func TestFaultSyncCountdown(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	// Fail the 2nd sync only.
+	ffs.AddRule(Rule{Op: OpSync, After: 1, Times: 1})
+	fl, err := ffs.Create(filepath.Join(dir, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	if err := fl.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	err = fl.Sync()
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 2 = %v, want EIO", err)
+	}
+	if err := fl.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if got := ffs.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestFaultBytesBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.SetBytesBudget(10)
+	p := filepath.Join(dir, "w")
+	fl, err := ffs.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	if n, err := fl.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("write 1 = %d, %v", n, err)
+	}
+	// 2 bytes of budget left: short write then ENOSPC.
+	n, err := fl.Write([]byte("abcd"))
+	if n != 2 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2 = %d, %v; want 2, ENOSPC", n, err)
+	}
+	if _, err := fl.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 3 = %v, want ENOSPC", err)
+	}
+	b, _ := os.ReadFile(p)
+	if string(b) != "12345678ab" {
+		t.Fatalf("on-disk = %q, want truncated prefix", b)
+	}
+	ffs.ClearFaults()
+	if _, err := fl.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after clear: %v", err)
+	}
+}
+
+func TestFaultShortWriteRule(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.AddRule(Rule{Op: OpWrite, Times: 1, Short: true})
+	fl, err := ffs.Create(filepath.Join(dir, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	n, err := fl.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write = %d, %v; want 5, EIO", n, err)
+	}
+}
+
+func TestFaultRenamePathPattern(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.AddRule(Rule{Op: OpRename, Path: "*.nmlog"})
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(src, filepath.Join(dir, "wal.nmlog")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching rename = %v, want EIO", err)
+	}
+	if err := ffs.Rename(src, filepath.Join(dir, "other.bin")); err != nil {
+		t.Fatalf("non-matching rename: %v", err)
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a := RandomSchedule(42, 8)
+	b := RandomSchedule(42, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := RandomSchedule(43, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -82,6 +82,8 @@ func NewServer(engine *xdb.Engine, banks *databank.Registry, davDir string) (*Se
 	s.mux.HandleFunc("/xdb", s.handleXDB)
 	s.mux.HandleFunc("/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/bank/", s.handleBank)
 	s.mux.HandleFunc("/docs", s.handleDocs)
 	s.mux.HandleFunc("/doc/", s.handleDoc)
@@ -153,6 +155,66 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// retryAfterSeconds is the Retry-After hint sent with every degraded
+// 503: long enough to shed load, short enough that clients probe again
+// soon after an operator clears the fault and a checkpoint restores
+// write service.
+const retryAfterSeconds = "30"
+
+// rejectIfDegraded answers 503 + Retry-After when the store is in
+// degraded read-only mode, reporting whether it wrote the response.
+// Write endpoints call it first; read endpoints never do — degraded
+// mode exists precisely so reads keep flowing.
+func (s *Server) rejectIfDegraded(w http.ResponseWriter) bool {
+	h := s.engine.Store().Health()
+	if !h.Degraded {
+		return false
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	http.Error(w, "store degraded (read-only): "+h.Reason, http.StatusServiceUnavailable)
+	return true
+}
+
+// storeError maps a store-write error onto the response: degraded-mode
+// errors are 503 + Retry-After (the client should retry elsewhere or
+// later), vanished documents 404, everything else 500.
+func storeError(w http.ResponseWriter, err error) {
+	if xmlstore.IsDegraded(err) {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), docErrStatus(err))
+}
+
+// handleHealthz is the liveness probe: 200 whenever the process is up
+// and serving, degraded or not (restarting the process does not fix a
+// full disk).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: 503 while the store is degraded,
+// so load balancers stop routing writes here (reads-only replicas can
+// still be addressed directly; /stats carries the detail).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	h := s.engine.Store().Health()
+	if h.Degraded {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		http.Error(w, "degraded: "+h.Reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ready\n")
+}
+
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	if !allowOnly(w, r, http.MethodGet) {
 		return
@@ -171,6 +233,16 @@ type Stats struct {
 
 	DocsIngested  uint64 `json:"docs_ingested"`
 	NodesInserted uint64 `json:"nodes_inserted"`
+
+	// Health reports degraded read-only mode: while degraded the node
+	// keeps serving reads, writes answer 503, and /readyz fails so load
+	// balancers route writes elsewhere.
+	Health struct {
+		Degraded    bool   `json:"degraded"`
+		Reason      string `json:"reason,omitempty"`
+		Since       string `json:"since,omitempty"`
+		WriteErrors uint64 `json:"write_errors"`
+	} `json:"health"`
 
 	WAL struct {
 		Appends  uint64 `json:"appends"`
@@ -241,6 +313,13 @@ func (s *Server) Snapshot() Stats {
 	st.Nodes = store.NumNodes()
 	st.Generation = store.Generation()
 	st.DocsIngested, st.NodesInserted = store.Stats()
+	h := store.Health()
+	st.Health.Degraded = h.Degraded
+	st.Health.Reason = h.Reason
+	if !h.Since.IsZero() {
+		st.Health.Since = h.Since.UTC().Format(time.RFC3339)
+	}
+	st.Health.WriteErrors = h.WriteErrors
 	st.WAL.Appends, st.WAL.Syncs = store.DB().WALStats()
 	st.WAL.Replayed = store.DB().Replayed
 	st.Pool.Hits, st.Pool.Misses, st.Pool.Evictions = store.DB().Pool().Stats()
@@ -402,14 +481,17 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 		if err := s.engine.Store().DeleteDocument(id); err != nil {
 			// 404 only when the document is genuinely gone; an I/O error
 			// mid-delete leaves it half-removed and must read as a server
-			// failure, not a missing resource.
-			http.Error(w, err.Error(), docErrStatus(err))
+			// failure, not a missing resource; degraded mode is 503 +
+			// Retry-After.
+			storeError(w, err)
 			return
 		}
 		// Make the delete durable before acknowledging it: a crash after
-		// the 204 must not resurrect the document on WAL replay.
+		// the 204 must not resurrect the document on WAL replay.  A
+		// failed commit must never turn into a 2xx — the document's
+		// removal is not durable and the store has degraded.
 		if err := s.engine.Store().DB().Commit(); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			storeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -504,6 +586,12 @@ func (s *Server) handleDAV(w http.ResponseWriter, r *http.Request) {
 		http.NewResponseController(w).SetWriteDeadline(time.Time{})
 		http.ServeContent(w, r, st.Name(), st.ModTime(), f)
 	case http.MethodPut:
+		// Accepting a drop-folder upload promises eventual ingestion;
+		// while the store cannot persist anything, honest behaviour is
+		// to refuse the upload and let the client retry elsewhere.
+		if s.rejectIfDegraded(w) {
+			return
+		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -519,12 +607,18 @@ func (s *Server) handleDAV(w http.ResponseWriter, r *http.Request) {
 		}
 		w.WriteHeader(http.StatusCreated)
 	case http.MethodDelete:
+		if s.rejectIfDegraded(w) {
+			return
+		}
 		if err := os.Remove(fsPath); err != nil {
 			http.Error(w, "not found", http.StatusNotFound)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case "MKCOL":
+		if s.rejectIfDegraded(w) {
+			return
+		}
 		if err := os.MkdirAll(fsPath, 0o755); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

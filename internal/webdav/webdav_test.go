@@ -12,6 +12,7 @@ import (
 
 	"netmark/internal/databank"
 	"netmark/internal/ordbms"
+	"netmark/internal/vfs"
 	"netmark/internal/xdb"
 	"netmark/internal/xmlstore"
 )
@@ -315,5 +316,154 @@ func TestRemoteHTTPSourceAgainstServer(t *testing.T) {
 	}
 	if caps != databank.Full {
 		t.Fatalf("discovered caps = %v", caps)
+	}
+}
+
+// faultTestServer is testServer over a durable store on a FaultFS, so
+// degraded-mode behaviour can be provoked with real injected faults.
+func faultTestServer(t *testing.T) (*httptest.Server, *xdb.Engine, *vfs.FaultFS) {
+	t.Helper()
+	ffs := vfs.NewFaultFS(nil)
+	db, err := ordbms.Open(ordbms.Options{Dir: t.TempDir(), FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := xmlstore.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := xdb.NewEngine(st)
+	if _, err := st.StoreRaw("r.html", []byte(
+		`<html><head><title>R</title></head><body><h1>Budget</h1><p>Costs $9M total.</p></body></html>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(e, databank.NewRegistry(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, e, ffs
+}
+
+// TestDegradedModeServesReadsRejectsWrites drives the store into
+// degraded mode with a real WAL fsync fault and checks the HTTP
+// surface end to end: searches keep answering 200, writes answer 503
+// with Retry-After, /healthz stays up while /readyz flips, /stats
+// reports the health section, and a successful checkpoint restores
+// write service.
+func TestDegradedModeServesReadsRejectsWrites(t *testing.T) {
+	ts, e, ffs := faultTestServer(t)
+	store := e.Store()
+
+	// Healthy baseline.
+	code, body := get(t, ts.URL+"/readyz")
+	if code != 200 {
+		t.Fatalf("healthy /readyz = %d %s", code, body)
+	}
+
+	// Break the WAL fsync and fail a commit: the store degrades.
+	ffs.AddRule(vfs.Rule{Op: vfs.OpSync, Path: "*.nmlog"})
+	if _, err := store.StoreRaw("x.txt", []byte("T\n\nbody\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DB().Commit(); err == nil {
+		t.Fatal("commit through broken fsync succeeded")
+	}
+	if !store.Health().Degraded {
+		t.Fatal("store not degraded after failed commit")
+	}
+
+	// Reads keep serving.
+	code, body = get(t, ts.URL+"/xdb?context=Budget")
+	if code != 200 || !strings.Contains(body, "Costs $9M") {
+		t.Fatalf("degraded search = %d %s", code, body)
+	}
+	info, err := store.DocumentByName("r.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ = get(t, ts.URL+"/doc/"+itoa(info.DocID))
+	if code != 200 {
+		t.Fatalf("degraded GET /doc = %d", code)
+	}
+
+	// Writes are refused with 503 + Retry-After, never silently acked.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/doc/"+itoa(info.DocID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded DELETE = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded DELETE missing Retry-After")
+	}
+	code, _ = davReq(t, http.MethodPut, ts.URL+"/dav/drop/a.txt", "T\n\nb\n", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded DAV PUT = %d, want 503", code)
+	}
+
+	// Health endpoints: process alive, service not ready.
+	code, _ = get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("degraded /healthz = %d", code)
+	}
+	code, _ = get(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz = %d, want 503", code)
+	}
+	code, body = get(t, ts.URL+"/stats")
+	if code != 200 || !strings.Contains(body, `"degraded": true`) ||
+		!strings.Contains(body, `"write_errors": 1`) ||
+		!strings.Contains(body, `"reason": "wal commit`) {
+		t.Fatalf("degraded /stats = %d %s", code, body)
+	}
+
+	// Clear the fault; a successful checkpoint restores write service.
+	ffs.ClearFaults()
+	if err := store.DB().Checkpoint(); err != nil {
+		t.Fatalf("healing checkpoint: %v", err)
+	}
+	code, _ = get(t, ts.URL+"/readyz")
+	if code != 200 {
+		t.Fatalf("healed /readyz = %d", code)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/doc/"+itoa(info.DocID), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 204 {
+		t.Fatalf("healed DELETE = %d, want 204", resp.StatusCode)
+	}
+}
+
+// TestFailedCommitNeverAcked: a write whose WAL commit fails must not
+// answer 2xx — the client would believe the change is durable when it
+// is not.  DELETE /doc is the commit-acknowledged write path.
+func TestFailedCommitNeverAcked(t *testing.T) {
+	ts, e, ffs := faultTestServer(t)
+	info, err := e.Store().DocumentByName("r.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next WAL fsync (the delete's commit) fails once.
+	ffs.AddRule(vfs.Rule{Op: vfs.OpSync, Path: "*.nmlog", Times: 1})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/doc/"+itoa(info.DocID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		t.Fatalf("failed commit acked with %d %s", resp.StatusCode, body)
 	}
 }

@@ -50,6 +50,14 @@ func (s *Store) StoreBatch(docs []BatchDoc, workers int) []BatchResult {
 	if len(docs) == 0 {
 		return results
 	}
+	// Fail the whole batch fast while degraded, before burning parse
+	// work the engine will refuse to persist.
+	if err := s.db.Writable(); err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -321,6 +321,11 @@ func (s *Store) reserveNodeIDs(n int) uint64 {
 // rows never move and RowIDs stay valid).  StoreBatch runs the same
 // pipeline with the preparation fanned across workers.
 func (s *Store) StoreDocument(meta docform.Meta, tree *sgml.Node, cfg *sgml.Config) (uint64, error) {
+	// Fail fast while degraded: no point parsing and flattening a
+	// document the engine will refuse to persist.
+	if err := s.db.Writable(); err != nil {
+		return 0, err
+	}
 	p, err := s.prepareDocument(meta, tree, cfg, s.reserveDocIDs(1))
 	if err != nil {
 		return 0, err
@@ -471,6 +476,11 @@ func decodeAttrs(s string) []sgml.Attr {
 // their derived index entries (text postings, context keys, governing-
 // context map, cached node decodes).
 func (s *Store) DeleteDocument(docID uint64) error {
+	// Degraded mode rejects deletes up front: the multi-step teardown
+	// must not start if the engine will refuse its row deletes halfway.
+	if err := s.db.Writable(); err != nil {
+		return err
+	}
 	// The checkpoint barrier keeps the multi-step teardown (DOC row, XML
 	// rows, postings, context keys, ctxIdx entries) out of any snapshot
 	// serialisation; a snapshot sees the document fully present or fully

@@ -186,7 +186,7 @@ func (s *Store) loadSnapshot(db *ordbms.DB) (ok bool, reason string) {
 		// checkpoint, so any snapshot on disk describes an older state.
 		return false, "wal-replay"
 	}
-	data, err := os.ReadFile(filepath.Join(db.Dir(), snapshotName))
+	data, err := db.FS().ReadFile(filepath.Join(db.Dir(), snapshotName))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return false, "missing"

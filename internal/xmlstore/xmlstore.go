@@ -775,6 +775,34 @@ func IsGone(err error) bool {
 	return errors.Is(err, ErrNoDocument) || errors.Is(err, ordbms.ErrRecordDeleted)
 }
 
+// ErrDegraded is the engine's degraded-mode sentinel, re-exported so
+// callers of the store API can match it without importing ordbms.
+// Ingest and delete return it while the store is read-only after
+// persistent write failure; search and reconstruction keep working.
+var ErrDegraded = ordbms.ErrDegraded
+
+// IsDegraded reports whether err means the store is in degraded
+// read-only mode — the caller should retry later (HTTP layers answer
+// 503 with Retry-After).
+func IsDegraded(err error) bool {
+	return errors.Is(err, ErrDegraded)
+}
+
+// IsTransient classifies an ingest failure as retryable: the document
+// itself is fine, the store just could not persist it right now (device
+// fault or degraded mode).  Parse and validation failures are permanent
+// — retrying the same bytes cannot succeed — and callers quarantine
+// them instead.
+func IsTransient(err error) bool {
+	return IsDegraded(err) || ordbms.IsIOFault(err)
+}
+
+// Health reports the underlying engine's write health (degraded mode,
+// the fault that caused it, and the lifetime write-error count).
+func (s *Store) Health() ordbms.HealthStatus {
+	return s.db.Health()
+}
+
 // Document returns metadata for a document ID.
 func (s *Store) Document(docID uint64) (*DocInfo, error) {
 	rids, err := s.doc.Lookup("docid", ordbms.I(int64(docID)))
