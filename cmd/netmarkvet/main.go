@@ -1,22 +1,35 @@
 // Command netmarkvet is the repo's analyzer suite: it type-checks
-// every package in the module once and runs the ten netmark-specific
-// passes (lockcheck, lockscope, atomicmix, fsyncrename, vfsonly,
-// cowview, errflow, ackorder, genbump, snapcover) that encode our
-// concurrency, crash-safety, durability-ordering, fault-injectability,
-// and cache-coherence invariants.
+// every package in the module once and runs the thirteen
+// netmark-specific passes (lockcheck, lockscope, atomicmix,
+// fsyncrename, vfsonly, cowview, errflow, ackorder, genbump,
+// snapcover, hotalloc, boxcheck, aliascap) that encode our
+// concurrency, crash-safety, durability-ordering, fault-
+// injectability, cache-coherence, and zero-allocation invariants.
 // See internal/analysis for the annotation convention and
 // CONTRIBUTING.md for the invariants themselves.
 //
 // Usage:
 //
-//	netmarkvet [-list] [-json] [-v] [dir ...]
+//	netmarkvet [-list] [-json] [-v] [-baseline file] [dir ...]
 //
 // With no arguments it analyzes every package under the current
 // module.  Diagnostics are deterministic — sorted by file, line,
-// column, analyzer — and printed compiler-style to stderr; -json
-// mirrors them as a JSON array on stdout for editors and CI
-// annotations.  -v reports per-analyzer wall time.  Exit status is 1
-// if any diagnostic is reported, 2 on load errors.
+// column, analyzer — with paths relative to the module root, and
+// findings reported by several analyzers at the same position are
+// merged into one line carrying the analyzer list.  Text goes
+// compiler-style to stderr; -json mirrors the findings as a JSON
+// array on stdout for editors and CI annotations.  -v reports
+// per-analyzer wall time.
+//
+// -baseline compares findings against a committed JSON baseline
+// (ANALYZE_BASELINE.json): findings present in the baseline are
+// reported but grandfathered — only *new* findings fail the run, so
+// CI stays red on regressions while a known finding is worked off.
+// Baseline entries that no longer fire are reported so the file can
+// be pruned.
+//
+// Exit status is 1 if any (non-grandfathered) diagnostic is reported,
+// 2 on load errors.
 package main
 
 import (
@@ -31,11 +44,14 @@ import (
 
 	"netmark/internal/analysis"
 	"netmark/internal/analysis/ackorder"
+	"netmark/internal/analysis/aliascap"
 	"netmark/internal/analysis/atomicmix"
+	"netmark/internal/analysis/boxcheck"
 	"netmark/internal/analysis/cowview"
 	"netmark/internal/analysis/errflow"
 	"netmark/internal/analysis/fsyncrename"
 	"netmark/internal/analysis/genbump"
+	"netmark/internal/analysis/hotalloc"
 	"netmark/internal/analysis/lockcheck"
 	"netmark/internal/analysis/lockscope"
 	"netmark/internal/analysis/snapcover"
@@ -53,23 +69,84 @@ var analyzers = []*analysis.Analyzer{
 	ackorder.Analyzer,
 	genbump.Analyzer,
 	snapcover.Analyzer,
+	hotalloc.Analyzer,
+	boxcheck.Analyzer,
+	aliascap.Analyzer,
 }
 
-// finding is the -json wire form of one diagnostic.
+// finding is the -json wire form of one diagnostic.  After dedupe,
+// Analyzer may carry a comma-joined list and Message the matching
+// "; "-joined messages.  Baselined marks findings grandfathered by
+// -baseline.
 type finding struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// dedupe merges findings reported by multiple analyzers at the same
+// file:line:col into one entry, joining the analyzer names with ","
+// and the messages with "; " in analyzer order.  Input must already
+// be sorted by file, line, column, analyzer, message.
+func dedupe(findings []finding) []finding {
+	out := findings[:0]
+	for _, f := range findings {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.File == f.File && prev.Line == f.Line && prev.Column == f.Column {
+				prev.Analyzer += "," + f.Analyzer
+				prev.Message += "; " + f.Message
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// baselineKey identifies a finding across line drift: unrelated edits
+// move line numbers, so the baseline matches on file, analyzer list,
+// and message only.
+func baselineKey(f finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// applyBaseline marks findings present in the baseline file as
+// grandfathered and returns the number of fresh (non-baselined)
+// findings plus the baseline entries that no longer fire.
+func applyBaseline(findings []finding, baseline []finding) (fresh int, stale []finding) {
+	known := make(map[string]int)
+	for _, b := range baseline {
+		known[baselineKey(b)]++
+	}
+	for i := range findings {
+		k := baselineKey(findings[i])
+		if known[k] > 0 {
+			known[k]--
+			findings[i].Baselined = true
+		} else {
+			fresh++
+		}
+	}
+	for _, b := range baseline {
+		if known[baselineKey(b)] > 0 {
+			known[baselineKey(b)]--
+			stale = append(stale, b)
+		}
+	}
+	return fresh, stale
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout (text still goes to stderr)")
 	verbose := flag.Bool("v", false, "report per-analyzer wall time")
+	baselinePath := flag.String("baseline", "", "JSON findings baseline; only findings not in it fail the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: netmarkvet [-list] [-json] [-v] [dir ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: netmarkvet [-list] [-json] [-v] [-baseline file] [dir ...]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -83,12 +160,16 @@ func main() {
 	}
 
 	dirs := flag.Args()
+	rootFrom := "."
+	if len(dirs) > 0 {
+		rootFrom = dirs[0]
+	}
+	root, err := moduleRoot(rootFrom)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netmarkvet:", err)
+		os.Exit(2)
+	}
 	if len(dirs) == 0 {
-		root, err := moduleRoot(".")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "netmarkvet:", err)
-			os.Exit(2)
-		}
 		dirs, err = packageDirs(root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netmarkvet:", err)
@@ -131,8 +212,14 @@ func main() {
 	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
 		pos := loader.Fset.Position(d.Pos)
+		file := pos.Filename
+		// Module-relative paths: stable across checkouts, so the
+		// committed baseline and CI artifacts stay comparable.
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
 		findings = append(findings, finding{
-			File:     pos.Filename,
+			File:     file,
 			Line:     pos.Line,
 			Column:   pos.Column,
 			Analyzer: d.Analyzer,
@@ -157,6 +244,18 @@ func main() {
 		}
 		return a.Message < b.Message
 	})
+	findings = dedupe(findings)
+
+	fresh := len(findings)
+	var stale []finding
+	if *baselinePath != "" {
+		baseline, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netmarkvet:", err)
+			os.Exit(2)
+		}
+		fresh, stale = applyBaseline(findings, baseline)
+	}
 
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "netmarkvet: loaded %d packages in %v\n", len(mod.Packages), loadTime.Round(time.Millisecond))
@@ -167,7 +266,14 @@ func main() {
 	// Compiler-style text on stderr so CI logs and humans see findings
 	// even when stdout carries JSON.
 	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		suffix := ""
+		if f.Baselined {
+			suffix = " (baselined)"
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message, suffix)
+	}
+	for _, b := range stale {
+		fmt.Fprintf(os.Stderr, "netmarkvet: baseline entry no longer fires (prune it): %s: %s: %s\n", b.File, b.Analyzer, b.Message)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -180,10 +286,26 @@ func main() {
 	switch {
 	case loadErrs > 0:
 		os.Exit(2)
-	case len(findings) > 0:
-		fmt.Fprintf(os.Stderr, "netmarkvet: %d finding(s)\n", len(findings))
+	case fresh > 0:
+		fmt.Fprintf(os.Stderr, "netmarkvet: %d finding(s)\n", fresh)
 		os.Exit(1)
+	case len(findings) > 0:
+		fmt.Fprintf(os.Stderr, "netmarkvet: %d baselined finding(s), none new\n", len(findings))
 	}
+}
+
+// loadBaseline reads a JSON findings array written by a previous
+// `netmarkvet -json` run (an empty array is a clean baseline).
+func loadBaseline(path string) ([]finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var out []finding
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return out, nil
 }
 
 // moduleRoot walks up from dir to the directory containing go.mod.

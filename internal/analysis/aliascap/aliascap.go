@@ -1,0 +1,57 @@
+// Package aliascap guards the lifetime contract of pooled and reused
+// buffers.  A struct field tagged `netmarkvet:arena` (posting-list
+// iterator decode scratch, page frames, fill buffers) is refilled in
+// place; any subslice or pointer derived from it is valid only until
+// the next fill.  Retaining such an alias — storing it into a
+// non-arena field or global, sending it on a channel, capturing it in
+// a goroutine, or handing it to a callee that retains its argument —
+// is a use-after-reuse bug waiting for the next refill, the class of
+// corruption the COW and cache machinery otherwise takes on faith.
+//
+// The taint is interprocedural: callees that return arena aliases
+// (ReturnsArena) extend it through calls, and parameters that receive
+// arena aliases from any caller (ArenaParam) are checked inside the
+// callee too.  Copies sever the taint — string(b), append into a
+// fresh slice, element reads of scalar slices — and a refill store
+// back into an arena field is the arena's purpose, not a leak.
+// `netmarkvet:allocok — <why>` on the line excuses a deliberate
+// exception.
+package aliascap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the aliascap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliascap",
+	Doc:  "reports aliases of netmarkvet:arena buffers retained past the fill/decode scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	summ := pass.Mod.Summaries()
+	if summ == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			fs := summ.Of(fn)
+			if fs == nil {
+				continue
+			}
+			for _, leak := range analysis.ArenaLeaks(fs, summ) {
+				pass.Reportf(leak.Pos, "alias of netmarkvet:arena buffer escapes its fill/decode scope: %s", leak.What)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package aliascap_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/aliascap"
+	"netmark/internal/analysis/analysistest"
+)
+
+func TestAliascap(t *testing.T) {
+	analysistest.Run(t, ".", "a", aliascap.Analyzer)
+}

@@ -1,0 +1,110 @@
+package a
+
+type pool struct {
+	// buf is the reused decode scratch, refilled in place each block.
+	// netmarkvet:arena
+	buf []byte
+	// kept outlives the fill scope.
+	kept []byte
+}
+
+var global []byte
+
+// retain receives an arena alias from KeepViaCallee, so its own store
+// is checked under the arena assumption too.
+func retain(b []byte) { global = b } // want `stored into package variable global`
+
+func read(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+// —— known good ——————————————————————————————————————————————
+
+// Refill stores back into the arena: that is the arena's purpose.
+func (p *pool) Refill() {
+	p.buf = append(p.buf[:0], 1, 2, 3)
+}
+
+// CopyOut severs the alias before handing it out.
+func (p *pool) CopyOut() []byte {
+	return append([]byte(nil), p.buf...)
+}
+
+// StringOut copies via the string conversion.
+func (p *pool) StringOut() string {
+	return string(p.buf)
+}
+
+// ScalarRead takes a value, not an alias.
+func (p *pool) ScalarRead(i int) byte {
+	return p.buf[i]
+}
+
+// Borrow passes the alias to a callee that only reads it.
+func (p *pool) Borrow() byte {
+	return read(p.buf[1:])
+}
+
+// Excused is a deliberate, documented exception.
+func (p *pool) Excused() {
+	global = p.buf // netmarkvet:allocok — test hook, reset before next fill
+}
+
+// view returns an arena alias; legal by itself, callers are tainted.
+func (p *pool) view() []byte {
+	return p.buf
+}
+
+// —— known bad ———————————————————————————————————————————————
+
+// KeepField retains a subslice in a non-arena field.
+func (p *pool) KeepField() {
+	p.kept = p.buf[:2] // want `stored into field kept`
+}
+
+// KeepGlobal publishes the alias.
+func (p *pool) KeepGlobal() {
+	global = p.buf // want `stored into package variable global`
+}
+
+// KeepViaLocal launders the alias through a local first.
+func (p *pool) KeepViaLocal() {
+	b := p.buf[1:]
+	global = b // want `stored into package variable global`
+}
+
+// KeepSend retains through a channel.
+func (p *pool) KeepSend(ch chan []byte) {
+	ch <- p.buf // want `sent on a channel`
+}
+
+// KeepViaCallee hands the alias to a retaining callee.
+func (p *pool) KeepViaCallee() {
+	retain(p.buf) // want `passed to retain, which retains it`
+}
+
+// KeepGo lets a goroutine outlive the fill scope with the alias.
+func (p *pool) KeepGo() {
+	b := p.buf
+	go func() { read(b) }() // want `captured by a goroutine`
+}
+
+// KeepViaView retains what an arena-returning callee handed back.
+func (p *pool) KeepViaView() {
+	global = p.view() // want `stored into package variable global`
+}
+
+// spill receives an arena alias from KeepViaParam below, so its own
+// store is checked too.
+func spill(b []byte) {
+	global = b // want `stored into package variable global`
+}
+
+// KeepViaParam leaks by passing to spill, whose body is checked under
+// the arena assumption.
+func (p *pool) KeepViaParam() {
+	spill(p.buf) // want `passed to spill, which retains it`
+}

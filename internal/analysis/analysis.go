@@ -37,6 +37,18 @@
 //	//                            snapshot encode and decode (snapcover)
 //	// netmarkvet:snap-encode     on a function: snapshot encode root
 //	// netmarkvet:snap-decode     on a function: snapshot decode root
+//	// netmarkvet:hotpath         on a function: performance-tier root;
+//	//                            it and the module functions it calls
+//	//                            must stay free of hidden allocations
+//	//                            (hotalloc) and interface boxing
+//	//                            (boxcheck)
+//	// netmarkvet:allocok <why>   on a site's line (or the line above),
+//	//                            or a function doc: excuse the
+//	//                            allocation — always with a reason
+//	// netmarkvet:arena           on a pooled/reused buffer field:
+//	//                            aliases derived from it must not be
+//	//                            retained past the fill/decode scope
+//	//                            (aliascap)
 package analysis
 
 import (

@@ -1,0 +1,72 @@
+// Package boxcheck reports implicit concrete→interface conversions
+// inside `netmarkvet:hotpath` functions and the module functions they
+// transitively call.  Boxing is the stealthiest allocation Go has: an
+// innocent-looking call argument, assignment, return, map store, or
+// channel send against an interface type heap-allocates a copy of the
+// value — invisible in the source, visible in allocs/op.
+//
+// Pointer-shaped values (pointers, maps, chans, funcs) are exempt:
+// they fit the interface data word without allocating.  Untyped nil
+// and interface→interface conversions never box.  Sites inside
+// error-handling blocks and sites excused by `netmarkvet:allocok —
+// <why>` are skipped, the same exemptions as hotalloc.
+package boxcheck
+
+import (
+	"go/token"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the boxcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "boxcheck",
+	Doc:  "reports implicit concrete-to-interface boxing in netmarkvet:hotpath functions and their module callees",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	summ := pass.Mod.Summaries()
+	reported := make(map[token.Pos]bool)
+	var roots []*analysis.FuncSummary
+	summ.Funcs(func(fs *analysis.FuncSummary) {
+		if fs.HotPath && !fs.AllocOK && fs.Pkg == pass.Loaded {
+			roots = append(roots, fs)
+		}
+	})
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j].Decl.Pos() < roots[j-1].Decl.Pos(); j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+	for _, fs := range roots {
+		root := analysis.DisplayName(fs.Fn)
+		for _, site := range fs.Boxes {
+			if !reported[site.Pos] {
+				reported[site.Pos] = true
+				pass.Reportf(site.Pos, "hot path %s boxes: %s", root, site.What)
+			}
+		}
+		walk(pass, summ, fs, root, make(map[*analysis.FuncSummary]bool), reported)
+	}
+	return nil
+}
+
+func walk(pass *analysis.Pass, summ *analysis.Summaries, fs *analysis.FuncSummary,
+	root string, seen map[*analysis.FuncSummary]bool, reported map[token.Pos]bool) {
+	for _, edge := range fs.HotCalls {
+		cs := summ.Of(edge.Callee)
+		if cs == nil || cs.AllocOK || cs.HotPath || seen[cs] {
+			continue
+		}
+		seen[cs] = true
+		for _, site := range cs.Boxes {
+			if !reported[site.Pos] {
+				reported[site.Pos] = true
+				pass.Reportf(site.Pos, "boxing in %s, reached from hot path %s: %s",
+					analysis.DisplayName(cs.Fn), root, site.What)
+			}
+		}
+		walk(pass, summ, cs, root, seen, reported)
+	}
+}

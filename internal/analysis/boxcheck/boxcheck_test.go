@@ -1,0 +1,12 @@
+package boxcheck_test
+
+import (
+	"testing"
+
+	"netmark/internal/analysis/analysistest"
+	"netmark/internal/analysis/boxcheck"
+)
+
+func TestBoxcheck(t *testing.T) {
+	analysistest.Run(t, ".", "a", boxcheck.Analyzer)
+}

@@ -1,0 +1,104 @@
+package a
+
+type row struct{ id, gen uint64 }
+
+type sink struct {
+	vals map[string]interface{}
+	ch   chan interface{}
+}
+
+func take(v interface{}) bool { return v != nil }
+
+func takePtr(p *row) bool { return p != nil }
+
+// —— known good ——————————————————————————————————————————————
+
+// PassPtr hands over a pointer: pointer-shaped, no box.
+// netmarkvet:hotpath
+func PassPtr(r *row) bool {
+	return take(r)
+}
+
+// PassIface re-hands an existing interface: no conversion.
+// netmarkvet:hotpath
+func PassIface(v interface{}) bool {
+	return take(v)
+}
+
+// PassNil is untyped nil: no box.
+// netmarkvet:hotpath
+func PassNil() bool {
+	return take(nil)
+}
+
+// Concrete stays concrete all the way.
+// netmarkvet:hotpath
+func Concrete(r *row) bool {
+	return takePtr(r)
+}
+
+// ExcusedBox is a deliberate, documented exception.
+// netmarkvet:hotpath
+func ExcusedBox(r row) bool {
+	return take(r) // netmarkvet:allocok — diagnostics-only slow branch
+}
+
+// —— known bad ———————————————————————————————————————————————
+
+// BadArg boxes the struct into the interface parameter.
+// netmarkvet:hotpath
+func BadArg(r row) bool {
+	return take(r) // want `argument boxes a.row into interface\{\}`
+}
+
+// BadAssign boxes at the assignment.
+// netmarkvet:hotpath
+func BadAssign(r row) interface{} {
+	var v interface{}
+	v = r // want `assignment boxes a.row into interface\{\}`
+	return v
+}
+
+// BadDecl boxes at the declaration.
+// netmarkvet:hotpath
+func BadDecl(x uint64) bool {
+	var v interface{} = x // want `declaration boxes uint64 into interface\{\}`
+	return v != nil
+}
+
+// BadReturn boxes on the way out.
+// netmarkvet:hotpath
+func BadReturn(r row) interface{} {
+	return r // want `return boxes a.row into interface\{\}`
+}
+
+// BadMapStore boxes into the map's interface element.
+// netmarkvet:hotpath
+func BadMapStore(s *sink, k string, r row) {
+	s.vals[k] = r // want `assignment boxes a.row into interface\{\}`
+}
+
+// BadSend boxes into the channel's interface element.
+// netmarkvet:hotpath
+func BadSend(s *sink, r row) {
+	s.ch <- r // want `channel send boxes a.row into interface\{\}`
+}
+
+// BadVariadic boxes each variadic element.
+func sprint(vs ...interface{}) int { return len(vs) }
+
+// netmarkvet:hotpath
+func BadVariadic(x int) int {
+	return sprint(x) // want `argument boxes int into interface\{\}`
+}
+
+// helperBox hides the boxing one call away.
+func helperBox(x uint64) bool {
+	return take(x) // want `boxing in helperBox, reached from hot path BadTransitive: argument boxes uint64 into interface\{\}`
+}
+
+// BadTransitive reaches helperBox's boxing through the call graph.
+// netmarkvet:hotpath
+func BadTransitive(x uint64) bool {
+	return helperBox(x)
+}

@@ -1,0 +1,92 @@
+// Package hotalloc enforces the performance tier's core contract: a
+// function tagged `netmarkvet:hotpath` — and every module function it
+// transitively calls — must not perform hidden heap allocations.  The
+// repo's read paths (node-cache hits, posting-list iterator steps,
+// FetchView row decodes, SGML serialization) earn their latency by
+// staying allocation-free in steady state; one careless make, fmt
+// call, or escaping closure silently re-adds a per-hit allocation that
+// benchmarks only catch after the fact.
+//
+// What counts as a hidden allocation is decided by the inference in
+// internal/analysis (FuncSummary.Allocs): make and map/slice literals,
+// escaping &composites / new / capturing closures, string<->[]byte
+// conversions, go statements, known-allocating stdlib calls, and
+// fmt.*/errors.* off the error path, plus `append` past a provable
+// pre-sized cap.  Sites inside error-handling blocks are exempt, and
+// `netmarkvet:allocok — <why>` (line or function doc) is the reasoned
+// escape hatch; an allocok'd call also excuses the subtree behind it.
+package hotalloc
+
+import (
+	"go/token"
+
+	"netmark/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "reports hidden heap allocations in netmarkvet:hotpath functions and their module callees",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	summ := pass.Mod.Summaries()
+	reported := make(map[token.Pos]bool)
+	for _, fs := range hotRoots(pass, summ) {
+		root := analysis.DisplayName(fs.Fn)
+		for _, site := range fs.Allocs {
+			if !reported[site.Pos] {
+				reported[site.Pos] = true
+				pass.Reportf(site.Pos, "hot path %s performs hidden allocation: %s", root, site.What)
+			}
+		}
+		walkHotCalls(pass, summ, fs, root, make(map[*analysis.FuncSummary]bool), reported)
+	}
+	return nil
+}
+
+// hotRoots returns the hotpath-tagged functions declared in the
+// package under analysis, in declaration order.
+func hotRoots(pass *analysis.Pass, summ *analysis.Summaries) []*analysis.FuncSummary {
+	var roots []*analysis.FuncSummary
+	summ.Funcs(func(fs *analysis.FuncSummary) {
+		if fs.HotPath && !fs.AllocOK && fs.Pkg == pass.Loaded {
+			roots = append(roots, fs)
+		}
+	})
+	sortSummaries(roots)
+	return roots
+}
+
+func sortSummaries(roots []*analysis.FuncSummary) {
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j].Decl.Pos() < roots[j-1].Decl.Pos(); j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+}
+
+// walkHotCalls closes over fs's statically resolved module calls,
+// reporting each reached callee's allocation sites.  Callees that are
+// themselves hotpath roots are skipped (they report under their own
+// name); allocok'd callees and severed (allocok'd call) edges are the
+// escape hatch.
+func walkHotCalls(pass *analysis.Pass, summ *analysis.Summaries, fs *analysis.FuncSummary,
+	root string, seen map[*analysis.FuncSummary]bool, reported map[token.Pos]bool) {
+	for _, edge := range fs.HotCalls {
+		cs := summ.Of(edge.Callee)
+		if cs == nil || cs.AllocOK || cs.HotPath || seen[cs] {
+			continue
+		}
+		seen[cs] = true
+		for _, site := range cs.Allocs {
+			if !reported[site.Pos] {
+				reported[site.Pos] = true
+				pass.Reportf(site.Pos, "hidden allocation in %s, reached from hot path %s: %s",
+					analysis.DisplayName(cs.Fn), root, site.What)
+			}
+		}
+		walkHotCalls(pass, summ, cs, root, seen, reported)
+	}
+}

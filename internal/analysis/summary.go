@@ -64,11 +64,52 @@ type FuncSummary struct {
 	// same-module callees.  genbump uses it to credit generation bumps
 	// made by helpers called under the guard.
 	FieldWrites map[types.Object]bool
+
+	// HotPath: the function is a performance-tier root
+	// (netmarkvet:hotpath on its doc comment).  hotalloc and boxcheck
+	// close over the module functions it calls.
+	HotPath bool
+	// AllocOK: the whole function is excused from allocation checking
+	// (netmarkvet:allocok on its doc comment, with a reason).
+	AllocOK bool
+	// Allocs are the function's own hidden-allocation sites, already
+	// filtered by allocok lines and error-path exemptions.
+	Allocs []AllocSite
+	// Boxes are the function's own concrete->interface conversion
+	// sites, filtered the same way.
+	Boxes []AllocSite
+	// HotCalls are the statically resolved same-module calls the
+	// hotpath closure follows (calls on allocok lines are dropped).
+	HotCalls []CallEdge
+	// LeaksParam reports, per parameter, whether the function may
+	// retain the argument past the call (stored into a field, a global,
+	// a channel, or handed to a callee that does).
+	LeaksParam []bool
+	// ReturnsParam reports, per parameter, whether a result may alias
+	// the argument.
+	ReturnsParam []bool
+	// ReturnsArena: a result may alias a netmarkvet:arena buffer.
+	ReturnsArena bool
+	// ArenaParam reports, per parameter, whether some caller passes an
+	// arena-derived alias in that position (aliascap checks the body
+	// under that assumption).
+	ArenaParam []bool
 }
 
 // Summaries indexes FuncSummary by the function's types.Func identity.
 type Summaries struct {
 	byFunc map[*types.Func]*FuncSummary
+	// ArenaFields is the module-wide set of struct fields tagged
+	// netmarkvet:arena — pooled or reused buffers whose aliases must
+	// not outlive the fill/decode scope (aliascap).
+	ArenaFields map[types.Object]bool
+}
+
+// Funcs calls f for every module function summary (unordered).
+func (s *Summaries) Funcs(f func(*FuncSummary)) {
+	for _, fs := range s.byFunc {
+		f(fs)
+	}
 }
 
 // Of returns the summary for fn, or nil for functions outside the
@@ -126,7 +167,15 @@ func unparen(e ast.Expr) ast.Expr {
 }
 
 func computeSummaries(m *Module) *Summaries {
-	s := &Summaries{byFunc: make(map[*types.Func]*FuncSummary)}
+	s := &Summaries{
+		byFunc:      make(map[*types.Func]*FuncSummary),
+		ArenaFields: make(map[types.Object]bool),
+	}
+	// Arena fields first: the taint fixed point below needs the full
+	// module-wide set.
+	for _, pkg := range m.Packages {
+		collectArenaFields(pkg, s.ArenaFields)
+	}
 	// Seed pass: one summary per declared function, annotation bits set.
 	for _, pkg := range m.Packages {
 		for _, file := range pkg.Files {
@@ -139,19 +188,25 @@ func computeSummaries(m *Module) *Summaries {
 				if !ok {
 					continue
 				}
+				nparams := funcSig(fn).Params().Len()
 				fs := &FuncSummary{
-					Fn:          fn,
-					Decl:        fd,
-					Pkg:         pkg,
-					ConsumesErr: make([]bool, funcSig(fn).Params().Len()),
-					AcksParam:   make([]bool, funcSig(fn).Params().Len()),
-					FieldWrites: make(map[types.Object]bool),
+					Fn:           fn,
+					Decl:         fd,
+					Pkg:          pkg,
+					ConsumesErr:  make([]bool, nparams),
+					AcksParam:    make([]bool, nparams),
+					FieldWrites:  make(map[types.Object]bool),
+					LeaksParam:   make([]bool, nparams),
+					ReturnsParam: make([]bool, nparams),
+					ArenaParam:   make([]bool, nparams),
 				}
 				if fd.Doc != nil {
 					doc := fd.Doc.Text()
 					fs.Commits = strings.Contains(doc, "netmarkvet:commit")
 					fs.Mutates = strings.Contains(doc, "netmarkvet:mutates")
 					fs.ErrSink = strings.Contains(doc, "netmarkvet:errsink")
+					fs.HotPath = strings.Contains(doc, "netmarkvet:hotpath")
+					fs.AllocOK = strings.Contains(doc, "netmarkvet:allocok")
 				}
 				if fs.ErrSink {
 					// Handing an error to a sink in any position handles it.
@@ -177,7 +232,36 @@ func computeSummaries(m *Module) *Summaries {
 			break
 		}
 	}
+	// Allocation facts last: they consume the converged leak facts and
+	// need no further propagation (hotalloc/boxcheck walk HotCalls).
+	for _, fs := range s.byFunc {
+		collectAllocFacts(fs, s)
+	}
 	return s
+}
+
+// collectArenaFields records struct fields tagged netmarkvet:arena.
+func collectArenaFields(pkg *Package, out map[types.Object]bool) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := fieldCommentText(field)
+				if !strings.Contains(text, "netmarkvet:arena") {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
 }
 
 // updateSummary re-derives fs's transitive facts, reporting whether
@@ -260,6 +344,70 @@ func updateSummary(fs *FuncSummary, s *Summaries) bool {
 		if paramAcked(fs.Pkg, fs.Decl, params.At(i), s) {
 			fs.AcksParam[i] = true
 			changed = true
+		}
+	}
+	// LeaksParam / ReturnsParam per aliasable parameter.
+	for i := 0; i < params.Len(); i++ {
+		if (fs.LeaksParam[i] && fs.ReturnsParam[i]) || !aliasable(params.At(i).Type()) {
+			continue
+		}
+		pi := i
+		ts := paramSeeds(fs.Pkg, fs.Decl, func(j int) bool { return j == pi })
+		localTaint(fs.Pkg, fs.Decl, ts, nil, s)
+		if !fs.LeaksParam[i] && len(findSinks(fs.Pkg, fs.Decl, ts, nil, s, sinkOpts{})) > 0 {
+			fs.LeaksParam[i] = true
+			changed = true
+		}
+		if !fs.ReturnsParam[i] && returnsTainted(fs.Pkg, fs.Decl, ts, nil, s) {
+			fs.ReturnsParam[i] = true
+			changed = true
+		}
+	}
+	// Arena taint: ReturnsArena for this function, ArenaParam for its
+	// callees (caller-ward marking inside the same fixed point).
+	if len(s.ArenaFields) > 0 {
+		ts, seed, any := arenaSeed(fs, s)
+		if any {
+			localTaint(fs.Pkg, fs.Decl, ts, seed, s)
+			// ReturnsArena comes from arena *fields* (and arena-returning
+			// callees) only — not from ArenaParam seeds.  A function that
+			// hands a parameter back (decodeBlock-style) is covered by
+			// ReturnsParam at each call site, where the caller knows
+			// whether its argument was arena-derived; folding it into
+			// ReturnsArena would taint every caller unconditionally.
+			if !fs.ReturnsArena {
+				fieldTs := localTaint(fs.Pkg, fs.Decl, make(taintSet), seed, s)
+				if returnsTainted(fs.Pkg, fs.Decl, fieldTs, seed, s) {
+					fs.ReturnsArena = true
+					changed = true
+				}
+			}
+			info := fs.Pkg.Info
+			ast.Inspect(fs.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				cs := s.Of(CalleeFunc(info, call))
+				if cs == nil || cs == fs {
+					return true
+				}
+				sig := funcSig(cs.Fn)
+				for i, a := range call.Args {
+					if !aliasTainted(info, ts, seed, s, a) {
+						continue
+					}
+					pi := i
+					if sig.Variadic() && pi >= sig.Params().Len()-1 {
+						pi = sig.Params().Len() - 1
+					}
+					if pi < len(cs.ArenaParam) && !cs.ArenaParam[pi] && aliasable(sig.Params().At(pi).Type()) {
+						cs.ArenaParam[pi] = true
+						changed = true
+					}
+				}
+				return true
+			})
 		}
 	}
 	return changed

@@ -299,6 +299,8 @@ func DecodeRow(b []byte) (Row, error) {
 // a fixed-size array on the stack.  The record must hold exactly len(row)
 // columns.  String and byte payloads are copied, never aliased, so the
 // decoded values outlive the source buffer.
+//
+// netmarkvet:hotpath
 func DecodeRowInto(b []byte, row Row) error {
 	n, off := binary.Uvarint(b)
 	if off <= 0 {
@@ -341,6 +343,8 @@ func decodeColumns(b []byte, pos int, row Row) error {
 				return fmt.Errorf("ordbms: corrupt string at column %d", i)
 			}
 			pos += m
+			// netmarkvet:allocok — payload copy is the documented
+			// contract: decoded values outlive the page latch
 			v.Str = string(b[pos : pos+int(l)])
 			pos += int(l)
 		case TypeBytes:
@@ -349,6 +353,7 @@ func decodeColumns(b []byte, pos int, row Row) error {
 				return fmt.Errorf("ordbms: corrupt bytes at column %d", i)
 			}
 			pos += m
+			// netmarkvet:allocok — payload copy, same contract as strings
 			v.Bytes = append([]byte(nil), b[pos:pos+int(l)]...)
 			pos += int(l)
 		case TypeBool:

@@ -1,0 +1,29 @@
+package sgml
+
+import "testing"
+
+// The serializer calls escapeText/escapeAttr for every text run and
+// attribute it renders; building the strings.Replacer per call (as an
+// earlier version did) costs an allocation each time, and escaping a
+// string with nothing to escape must return it without copying.
+func TestEscapeCleanStringZeroAlloc(t *testing.T) {
+	clean := "cryogenic fuel pump telemetry with no markup at all"
+	var sink string
+	if n := testing.AllocsPerRun(100, func() { sink = escapeText(clean) }); n != 0 {
+		t.Errorf("escapeText(clean) = %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { sink = escapeAttr(clean) }); n != 0 {
+		t.Errorf("escapeAttr(clean) = %.1f allocs/op, want 0", n)
+	}
+	_ = sink
+}
+
+// Escaping still works after the hoist.
+func TestEscapeReplaces(t *testing.T) {
+	if got, want := escapeText(`a<b>&c`), "a&lt;b&gt;&amp;c"; got != want {
+		t.Errorf("escapeText = %q, want %q", got, want)
+	}
+	if got, want := escapeAttr(`say "hi" & <go>`), "say &quot;hi&quot; &amp; &lt;go&gt;"; got != want {
+		t.Errorf("escapeAttr = %q, want %q", got, want)
+	}
+}

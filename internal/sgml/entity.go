@@ -102,14 +102,18 @@ func decodeOneEntity(ent string) (string, bool) {
 	return "", false
 }
 
+// The escape replacers are built once: a strings.Replacer costs an
+// allocation (plus a lazily built lookup table) per construction, and
+// the serializer calls these for every text run and attribute of every
+// rendered node.  Replacer is safe for concurrent use, and Replace on
+// a string with nothing to escape returns the input without copying.
+var (
+	textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+)
+
 // escapeText escapes text content for XML serialisation.
-func escapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
-}
+func escapeText(s string) string { return textEscaper.Replace(s) }
 
 // escapeAttr escapes an attribute value for XML serialisation.
-func escapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
-}
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -48,6 +48,11 @@ type serialWriter interface {
 	WriteByte(c byte) error
 }
 
+// serialize is the shared renderer beneath Serialize and the streaming
+// Write/WriteIndent fast paths; per-node work must not allocate beyond
+// what the sink itself buffers.
+//
+// netmarkvet:hotpath
 func serialize(sb serialWriter, n *Node, indent bool, depth int) {
 	pad := func() {
 		if indent {

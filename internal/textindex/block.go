@@ -148,12 +148,15 @@ type view struct {
 // time is decoded into a reusable buffer; seekGE skips whole blocks by
 // maxID without decoding them.
 type iter struct {
-	v   view
-	bi  int      // index of the block decoded into buf (-1: none yet)
-	buf []uint64 // decoded ids of block bi
-	pi  int      // cursor into buf
-	ti  int      // cursor into tail
-	di  int      // cursor into dead
+	v  view
+	bi int // index of the block decoded into buf (-1: none yet)
+	// buf is refilled in place for every decoded block; aliases must
+	// not outlive the current block.
+	// netmarkvet:arena
+	buf []uint64
+	pi  int // cursor into buf
+	ti  int // cursor into tail
+	di  int // cursor into dead
 	cur uint64
 	has bool
 }
@@ -293,27 +296,12 @@ func intersectViews(views []view) []uint64 {
 		its[i] = newIter(v)
 	}
 	out := make([]uint64, 0, views[0].live)
-	drv := its[0]
-outer:
 	for {
-		x, ok := drv.head()
+		x, ok := stepIntersect(its)
 		if !ok {
 			return out
 		}
-		for _, it := range its[1:] {
-			it.seekGE(x)
-			y, ok := it.head()
-			if !ok {
-				return out
-			}
-			if y != x {
-				// galloping: jump the driver straight to the blocker
-				drv.seekGE(y)
-				continue outer
-			}
-		}
 		out = append(out, x)
-		drv.advance()
 	}
 }
 
@@ -331,31 +319,18 @@ func mergeViews(views []view) []uint64 {
 		}
 		return materializeView(views[0], make([]uint64, 0, views[0].live))
 	}
-	h := make([]*iter, 0, len(views))
 	total := 0
 	for _, v := range views {
-		it := newIter(v)
-		if _, ok := it.head(); ok {
-			h = append(h, it)
-		}
 		total += v.live
 	}
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		siftDown(h, i)
-	}
+	x := mergeIter(views)
 	out := make([]uint64, 0, total)
-	for len(h) > 0 {
-		it := h[0]
-		id, _ := it.head()
-		if n := len(out); n == 0 || out[n-1] != id {
-			out = append(out, id)
+	for {
+		id, ok := x.Next()
+		if !ok {
+			break
 		}
-		it.advance()
-		if _, ok := it.head(); !ok {
-			h[0] = h[len(h)-1]
-			h = h[:len(h)-1]
-		}
-		siftDown(h, 0)
+		out = append(out, id)
 	}
 	if len(out) == 0 {
 		return nil

@@ -180,6 +180,16 @@ func TestPropertyCompressedListEquivalence(t *testing.T) {
 				live = append(live, id)
 			}
 
+			drain := func(x *IDIter) []uint64 {
+				var out []uint64
+				for {
+					id, ok := x.Next()
+					if !ok {
+						return out
+					}
+					out = append(out, id)
+				}
+			}
 			check := func(stage string) {
 				t.Helper()
 				for _, q := range queries {
@@ -193,10 +203,24 @@ func TestPropertyCompressedListEquivalence(t *testing.T) {
 					if got, want := ix.Or(q), model.or(q); !eqIDs(got, want) {
 						t.Fatalf("%s: Or(%q) = %v, want %v", stage, q, got, want)
 					}
+					// Streaming iterators must emit exactly the materialized
+					// results, id for id.
+					if got, want := drain(ix.LookupIter(q)), model.lookup(normTerm(q)); !eqIDs(got, want) {
+						t.Fatalf("%s: LookupIter(%q) = %v, want %v", stage, q, got, want)
+					}
+					if got, want := drain(ix.AndIter(q)), model.and(q); !eqIDs(got, want) {
+						t.Fatalf("%s: AndIter(%q) = %v, want %v", stage, q, got, want)
+					}
+					if got, want := drain(ix.OrIter(q)), model.or(q); !eqIDs(got, want) {
+						t.Fatalf("%s: OrIter(%q) = %v, want %v", stage, q, got, want)
+					}
 				}
 				for _, p := range prefixes {
 					if got, want := ix.Prefix(p), model.prefix(p); !eqIDs(got, want) {
 						t.Fatalf("%s: Prefix(%q) = %v, want %v", stage, p, got, want)
+					}
+					if got, want := drain(ix.PrefixIter(p)), model.prefix(p); !eqIDs(got, want) {
+						t.Fatalf("%s: PrefixIter(%q) = %v, want %v", stage, p, got, want)
 					}
 				}
 				for _, p := range phrases {

@@ -448,22 +448,10 @@ func (ix *Index) Lookup(term string) []uint64 {
 // kernel already gives, since rows can vanish between the index probe
 // and the heap fetch anyway.
 func (ix *Index) And(query string) []uint64 {
-	toks := Tokenize(query)
-	if len(toks) == 0 {
+	views := ix.andViews(query)
+	if len(views) == 0 {
 		return nil
 	}
-	views := make([]view, 0, len(toks))
-	ix.mu.RLock()
-	for _, tok := range toks {
-		got := ix.terms.Get(tok.Term)
-		if len(got) == 0 {
-			ix.mu.RUnlock()
-			return nil
-		}
-		views = append(views, got[0].view())
-	}
-	ix.mu.RUnlock()
-	sort.Slice(views, func(i, j int) bool { return views[i].live < views[j].live })
 	if len(views) == 1 {
 		return materializeView(views[0], make([]uint64, 0, views[0].live))
 	}
@@ -475,19 +463,7 @@ func (ix *Index) And(query string) []uint64 {
 // over block iterators runs outside the lock and decodes each block
 // exactly once.
 func (ix *Index) Or(query string) []uint64 {
-	toks := Tokenize(query)
-	if len(toks) == 0 {
-		return nil
-	}
-	views := make([]view, 0, len(toks))
-	ix.mu.RLock()
-	for _, tok := range toks {
-		if got := ix.terms.Get(tok.Term); len(got) > 0 && got[0].live > 0 {
-			views = append(views, got[0].view())
-		}
-	}
-	ix.mu.RUnlock()
-	return mergeViews(views)
+	return mergeViews(ix.orViews(query))
 }
 
 // Phrase returns IDs where the query terms occur adjacently in order.
@@ -537,24 +513,7 @@ func (ix *Index) Phrase(query string) []uint64 {
 // list views are captured under the lock and k-way merged outside it,
 // like Or.
 func (ix *Index) Prefix(p string) []uint64 {
-	p = strings.ToLower(strings.TrimSpace(p))
-	if p == "" {
-		return nil
-	}
-	var views []view
-	ix.mu.RLock()
-	ix.terms.AscendPrefixFunc(p,
-		func(k string) bool { return strings.HasPrefix(k, p) },
-		func(_ string, vals []*postingList) bool {
-			for _, pl := range vals {
-				if pl.live > 0 {
-					views = append(views, pl.view())
-				}
-			}
-			return true
-		})
-	ix.mu.RUnlock()
-	return mergeViews(views)
+	return mergeViews(ix.prefixViews(p))
 }
 
 // Stats describes the posting-list storage: how many ids sit in sealed

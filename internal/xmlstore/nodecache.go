@@ -92,6 +92,10 @@ func (c *nodeCache) shard(rid ordbms.RowID) *nodeCacheShard {
 	return &c.shards[h>>(64-5)]
 }
 
+// get probes the shard map for a decoded node: the warm traversal hop,
+// two atomic counters and a map read.
+//
+// netmarkvet:hotpath
 func (c *nodeCache) get(rid ordbms.RowID) (*Node, bool) {
 	s := c.shard(rid)
 	s.mu.RLock()

@@ -38,6 +38,8 @@ import (
 // one map probe plus one (usually cached) node fetch, instead of an
 // O(siblings × depth) chain of row fetches.  Nodes without an index
 // entry fall back to the pointer-chasing walk.
+//
+// netmarkvet:hotpath
 func (s *Store) ContextFor(n *Node) (*Node, error) {
 	if !s.ctxIdxOff {
 		s.ctxIdxMu.RLock()
@@ -480,19 +482,26 @@ func (s *Store) ContentSearchN(query string, limit int) ([]Section, error) {
 // the same section cost a map probe, never a second traversal, and the
 // expensive stage parallelises over exactly the distinct sections.
 func (s *Store) forEachContentSection(query string, fn func(Section) bool) error {
-	hits := s.content.And(query)
-	if len(hits) == 0 {
-		return nil
-	}
-	rids := make([]ordbms.RowID, len(hits))
-	for i, h := range hits {
-		rids[i] = ordbms.RowIDFromUint64(h)
-	}
-	workers := s.sectionWorkers(len(rids))
+	// The hit list streams out of the text index one id at a time —
+	// a capped query over a huge posting list never materialises the
+	// full hit slice, only the current chunk, and the chunk buffer is
+	// reused across iterations.
+	it := s.content.AndIter(query)
 	seen := make(map[ordbms.RowID]bool)
 	var tasks []sectionTask
-	for start := 0; start < len(rids); start += sectionChunk {
-		chunk := rids[start:min(start+sectionChunk, len(rids))]
+	chunk := make([]ordbms.RowID, 0, sectionChunk)
+	for {
+		chunk = chunk[:0]
+		for len(chunk) < sectionChunk {
+			h, ok := it.Next()
+			if !ok {
+				break
+			}
+			chunk = append(chunk, ordbms.RowIDFromUint64(h))
+		}
+		if len(chunk) == 0 {
+			return nil
+		}
 		nodes, err := s.fetchNodesBatch(chunk)
 		if err != nil {
 			return err
@@ -512,12 +521,11 @@ func (s *Store) forEachContentSection(query string, fn func(Section) bool) error
 			seen[key] = true
 			tasks = append(tasks, task)
 		}
-		stopped, err := s.emitSectionTasks(tasks, workers, fn)
+		stopped, err := s.emitSectionTasks(tasks, s.sectionWorkers(len(tasks)), fn)
 		if err != nil || stopped {
 			return err
 		}
 	}
-	return nil
 }
 
 // sectionTask names one distinct section to materialise: a governing
@@ -534,6 +542,8 @@ type sectionTask struct {
 // pointer-chasing walk as fallback.  key identifies the section for
 // dedup (the context rowid, or the hit's own rowid for heading-less
 // documents).
+//
+// netmarkvet:hotpath
 func (s *Store) resolveSectionTask(node *Node) (task sectionTask, key ordbms.RowID, skip bool, err error) {
 	if !s.ctxIdxOff {
 		s.ctxIdxMu.RLock()
@@ -634,14 +644,24 @@ func (s *Store) ContentSearchDocs(query string) ([]*DocInfo, error) {
 // *some* limit matching documents, sorted by DocID, not a guaranteed
 // lowest-DocID prefix.
 func (s *Store) ContentSearchDocsN(query string, limit int) ([]*DocInfo, error) {
-	hits := s.content.And(query)
+	// Stream hits out of the index in chunks through one reused
+	// buffer: a limit-capped scan over a stop-word-sized posting list
+	// stops after a chunk or two instead of decoding the whole list.
+	it := s.content.AndIter(query)
 	seen := make(map[uint64]bool)
 	var out []*DocInfo
-	for start := 0; start < len(hits) && (limit <= 0 || len(out) < limit); start += sectionChunk {
-		end := min(start+sectionChunk, len(hits))
-		rids := make([]ordbms.RowID, end-start)
-		for i, h := range hits[start:end] {
-			rids[i] = ordbms.RowIDFromUint64(h)
+	rids := make([]ordbms.RowID, 0, sectionChunk)
+	for limit <= 0 || len(out) < limit {
+		rids = rids[:0]
+		for len(rids) < sectionChunk {
+			h, ok := it.Next()
+			if !ok {
+				break
+			}
+			rids = append(rids, ordbms.RowIDFromUint64(h))
+		}
+		if len(rids) == 0 {
+			break
 		}
 		nodes, err := s.fetchNodesBatch(rids)
 		if err != nil {

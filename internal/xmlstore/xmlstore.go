@@ -613,20 +613,22 @@ func (s *Store) SetContextIndexEnabled(enabled bool) { s.ctxIdxOff = !enabled }
 // With the node cache enabled a warm hop is a shard map probe; a cold
 // hop decodes straight from the latched page into a fresh Node with no
 // intermediate Row or record copy.
+//
+// netmarkvet:hotpath
 func (s *Store) FetchNode(rid ordbms.RowID) (*Node, error) {
 	c := s.nodes
 	if c == nil {
-		return s.fetchNodeUncached(rid)
+		return s.fetchNodeUncached(rid) // netmarkvet:allocok — uncached store: every hop decodes a fresh Node
 	}
 	if n, ok := c.get(rid); ok {
 		return n, nil
 	}
 	token := c.beginFill(rid)
-	n, err := s.fetchNodeUncached(rid)
+	n, err := s.fetchNodeUncached(rid) // netmarkvet:allocok — cold hop: the decoded Node is the product
 	if err != nil {
 		return nil, err
 	}
-	c.completeFill(rid, n, token)
+	c.completeFill(rid, n, token) // netmarkvet:allocok — publishing the fill allocates the cache entry
 	return n, nil
 }
 
